@@ -1,0 +1,49 @@
+// Extension bench: the handshake-join family (related work the paper
+// discusses but does not evaluate) against all evaluated engines, on
+// Workload A and the adversarial Table V workload.
+//
+// Expected shapes: handshake's storage is naturally balanced (low
+// unbalancedness even with 5 keys) and it avoids SplitJoin's broadcast,
+// but every base tuple traverses the whole chain, so result latency grows
+// with the joiner count and per-tuple forwarding caps throughput.
+
+#include "bench_util.h"
+
+using namespace oij;
+using namespace oij::bench;
+
+int main() {
+  PrintTitle("Ext/handshake", "handshake join vs the evaluated engines");
+
+  for (const char* preset : {"A", "adversarial"}) {
+    WorkloadSpec w;
+    FindPreset(preset, &w);
+    w.total_tuples = Scaled(300'000);
+    const WorkloadSpec tw = Unpaced(w);
+    const QuerySpec q = QueryFor(w, EmitMode::kEager);
+
+    std::printf("\nworkload %s:\n%-14s", w.name.c_str(), "engine");
+    for (uint32_t t : ThreadSweep()) std::printf("  j=%-10u", t);
+    std::printf("  %-12s %-10s\n", "p99-latency", "unbalanced");
+    for (EngineKind kind :
+         {EngineKind::kKeyOij, EngineKind::kScaleOij,
+          EngineKind::kSplitJoin, EngineKind::kHandshake}) {
+      std::printf("%-14s", std::string(EngineKindName(kind)).c_str());
+      EngineStats last;
+      for (uint32_t threads : ThreadSweep()) {
+        EngineOptions options;
+        options.num_joiners = threads;
+        const RunResult r = RunOnce(kind, tw, q, options);
+        std::printf("  %-12s", HumanRate(r.throughput_tps).c_str());
+        std::fflush(stdout);
+        last = r.stats;
+      }
+      std::printf("  %-12s %-10.3f\n",
+                  HumanDurationUs(static_cast<double>(
+                                      last.latency.Percentile(0.99)))
+                      .c_str(),
+                  last.ActualUnbalancedness());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Fig 13: the dynamic balanced schedule study.
+//   (a) scalability with very few keys (u=5): Key-OIJ vs Scale-OIJ;
+//   (b) throughput across key counts;
+//   (c) unbalancedness across key counts;
+//   (d) LLC misses across key counts (software cache model).
+//
+// Expected shapes: Scale-OIJ scales despite u < #joiners and keeps
+// unbalancedness near zero everywhere; both engines lose throughput at
+// very large key counts as the footprint (#keys x window) outgrows the
+// cache.
+
+#include "bench_util.h"
+#include "metrics/cache_sim.h"
+
+using namespace oij;
+using namespace oij::bench;
+
+int main() {
+  PrintTitle("Fig 13a", "scalability with u=5 keys");
+  std::printf("%-10s", "engine");
+  for (uint32_t t : ThreadSweep()) std::printf("  j=%-10u", t);
+  std::printf("\n");
+  for (EngineKind kind : {EngineKind::kKeyOij, EngineKind::kScaleOij}) {
+    WorkloadSpec w = DefaultSynthetic();
+    w.num_keys = 5;
+    w.total_tuples = Scaled(400'000);
+    const QuerySpec q = QueryFor(w, EmitMode::kEager);
+    std::printf("%-10s", std::string(EngineKindName(kind)).c_str());
+    for (uint32_t threads : ThreadSweep()) {
+      EngineOptions options;
+      options.num_joiners = threads;
+      options.rebalance_interval_events = 16384;
+      const RunResult r = RunOnce(kind, w, q, options);
+      std::printf("  %-12s", HumanRate(r.throughput_tps).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  PrintTitle("Fig 13b/c/d", "key-count sweep: throughput, unbalancedness, "
+                            "LLC miss (16 joiners)");
+  std::printf("%-10s %14s %14s %10s %10s %12s %12s\n", "keys", "key-oij",
+              "scale-oij", "unb(key)", "unb(scale)", "llc(key)%",
+              "llc(scale)%");
+  for (uint64_t keys : {10ULL, 100ULL, 1000ULL, 10'000ULL, 100'000ULL}) {
+    WorkloadSpec w = DefaultSynthetic();
+    w.num_keys = keys;
+    w.total_tuples = Scaled(400'000);
+    const QuerySpec q = QueryFor(w, EmitMode::kEager);
+
+    double tput[2], unb[2], llc[2];
+    int i = 0;
+    for (EngineKind kind : {EngineKind::kKeyOij, EngineKind::kScaleOij}) {
+      CacheSim sim;
+      EngineOptions options;
+      options.num_joiners = 16;
+      options.cache_sim = &sim;
+      options.cache_sample_period = 8;
+      options.rebalance_interval_events = 16384;
+      const RunResult r = RunOnce(kind, w, q, options);
+      tput[i] = r.throughput_tps;
+      unb[i] = r.stats.ActualUnbalancedness();
+      llc[i] = sim.MissRatio() * 100.0;
+      ++i;
+    }
+    std::printf("%-10llu %14s %14s %10.3f %10.3f %11.1f%% %11.1f%%\n",
+                static_cast<unsigned long long>(keys),
+                HumanRate(tput[0]).c_str(), HumanRate(tput[1]).c_str(),
+                unb[0], unb[1], llc[0], llc[1]);
+    std::fflush(stdout);
+  }
+  return 0;
+}

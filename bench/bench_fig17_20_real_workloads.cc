@@ -1,0 +1,77 @@
+// Reproduces Figs 17-20: the full comparison on Workloads A-D — Key-OIJ
+// vs Scale-OIJ (with and without incremental) vs SplitJoin: throughput
+// scalability plus the latency distribution at 16 joiners.
+//
+// Expected shapes (paper Section V-D):
+//  - A: Scale-OIJ >> Key-OIJ; SplitJoin has good latency but far lower
+//    throughput (broadcast traffic + full scans);
+//  - B: Scale-OIJ with incremental wins big (large window overlap);
+//  - C: Scale-OIJ without incremental already wins (index kills the
+//    lateness-bloated scans); incremental adds little;
+//  - D: similar throughput everywhere (rate-limited), Scale-OIJ lowest
+//    latency.
+
+#include "bench_util.h"
+
+using namespace oij;
+using namespace oij::bench;
+
+namespace {
+
+struct Contender {
+  const char* label;
+  EngineKind kind;
+  bool incremental;
+};
+
+constexpr Contender kContenders[] = {
+    {"key-oij", EngineKind::kKeyOij, true},
+    {"scale-oij", EngineKind::kScaleOij, true},
+    {"scale-no-inc", EngineKind::kScaleOij, false},
+    {"split-join", EngineKind::kSplitJoin, true},
+};
+
+}  // namespace
+
+int main() {
+  for (WorkloadSpec w : RealWorkloads()) {
+    PrintTitle(("Fig 17-20 / Workload " + w.name).c_str(),
+               "throughput scalability + latency CDF");
+
+    // Throughput panel: unthrottled.
+    WorkloadSpec tw = Unpaced(w);
+    tw.total_tuples = Scaled(w.name == "B" ? 150'000 : 250'000);
+    const QuerySpec q = QueryFor(w, EmitMode::kEager);
+
+    std::printf("%-14s", "engine");
+    for (uint32_t t : ThreadSweep()) std::printf("  j=%-10u", t);
+    std::printf("\n");
+    for (const Contender& c : kContenders) {
+      std::printf("%-14s", c.label);
+      for (uint32_t threads : ThreadSweep()) {
+        EngineOptions options;
+        options.num_joiners = threads;
+        options.incremental_agg = c.incremental;
+        const RunResult r = RunOnce(c.kind, tw, q, options);
+        std::printf("  %-12s", HumanRate(r.throughput_tps).c_str());
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+
+    // Latency panel: paced at the Table II arrival rate, 16 joiners.
+    WorkloadSpec lw = w;
+    lw.total_tuples = Scaled(
+        w.pace_rate_per_sec > 0 ? w.pace_rate_per_sec * 2 : 250'000);
+    std::printf("latency (paced, 16 joiners):\n");
+    for (const Contender& c : kContenders) {
+      EngineOptions options;
+      options.num_joiners = 16;
+      options.incremental_agg = c.incremental;
+      const RunResult r = RunOnce(c.kind, lw, q, options);
+      PrintLatencyRow(c.label, r.stats);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Fig 21 (Table V): the adversarial synthetic workload where
+// Key-OIJ is expected to win — u=1000 keys (no skew to fix), |w|=100 us
+// (no overlap for incremental to exploit), l=10 us (nothing for the
+// time-travel index to skip).
+//
+// Expected shapes: Key-OIJ best; Scale-OIJ close behind (its machinery
+// buys nothing here but costs a little); SplitJoin degrades at high
+// thread counts as broadcast overhead dominates the tiny join work.
+
+#include "bench_util.h"
+
+using namespace oij;
+using namespace oij::bench;
+
+int main() {
+  PrintTitle("Fig 21 / Table V",
+             "adversarial synthetic: u=1000, |w|=100us, l=10us");
+
+  WorkloadSpec w = AdversarialSynthetic();
+  w.total_tuples = Scaled(500'000);
+  const QuerySpec q = QueryFor(w, EmitMode::kEager);
+
+  std::printf("%-14s", "engine");
+  for (uint32_t t : ThreadSweep()) std::printf("  j=%-10u", t);
+  std::printf("\n");
+  for (EngineKind kind : {EngineKind::kKeyOij, EngineKind::kScaleOij,
+                          EngineKind::kSplitJoin}) {
+    std::printf("%-14s", std::string(EngineKindName(kind)).c_str());
+    for (uint32_t threads : ThreadSweep()) {
+      EngineOptions options;
+      options.num_joiners = threads;
+      const RunResult r = RunOnce(kind, w, q, options);
+      std::printf("  %-12s", HumanRate(r.throughput_tps).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figs 22-23: Scale-OIJ vs the OpenMLDB-like shared-state
+// baseline on Workloads A-D (throughput and latency).
+//
+// Expected shapes (paper Section V-E): Scale-OIJ far ahead on A/B/C
+// (serialized inserts throttle the shared table at high arrival rates; no
+// incremental computation for the large window of B); the baseline is
+// competitive only on the low-rate Workload D.
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace oij;
+using namespace oij::bench;
+
+int main() {
+  PrintTitle("Fig 22/23", "Scale-OIJ vs OpenMLDB-like shared state");
+
+  std::printf("%-10s %16s %16s %10s\n", "workload", "openmldb-like",
+              "scale-oij", "speedup");
+  std::vector<std::pair<std::string, std::array<EngineStats, 2>>> latency;
+  for (WorkloadSpec w : RealWorkloads()) {
+    WorkloadSpec tw = Unpaced(w);
+    tw.total_tuples = Scaled(w.name == "B" ? 150'000 : 250'000);
+    const QuerySpec q = QueryFor(w, EmitMode::kEager);
+
+    EngineOptions options;
+    options.num_joiners = 8;
+    const RunResult shared =
+        RunOnce(EngineKind::kSharedState, tw, q, options);
+    const RunResult scale = RunOnce(EngineKind::kScaleOij, tw, q, options);
+    std::printf("%-10s %16s %16s %9.1fx\n", w.name.c_str(),
+                HumanRate(shared.throughput_tps).c_str(),
+                HumanRate(scale.throughput_tps).c_str(),
+                shared.throughput_tps > 0
+                    ? scale.throughput_tps / shared.throughput_tps
+                    : 0.0);
+    std::fflush(stdout);
+    latency.emplace_back(w.name,
+                         std::array<EngineStats, 2>{shared.stats,
+                                                    scale.stats});
+  }
+
+  std::printf("\nlatency (unthrottled runs, 8 workers):\n");
+  for (auto& [name, stats] : latency) {
+    PrintLatencyRow("W" + name + " openmldb-like", stats[0]);
+    PrintLatencyRow("W" + name + " scale-oij", stats[1]);
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Google-benchmark microbenchmarks for the substrate data structures:
+// the SWMR skip-list / time-travel index against the unsorted-buffer
+// strategy Key-OIJ uses, plus the SPSC queue and the incremental window.
+// These quantify the constant factors behind the figure-level results.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/spsc_queue.h"
+#include "skiplist/time_travel_index.h"
+#include "window/incremental_window.h"
+
+namespace oij {
+namespace {
+
+void BM_SkipListInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SwmrSkipList<Timestamp, Tuple> list;
+    state.ResumeTiming();
+    for (int64_t i = 0; i < n; ++i) {
+      list.Insert(i, Tuple{i, 0, 1.0});
+    }
+    benchmark::DoNotOptimize(list.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SkipListInsert)->Arg(1000)->Arg(10000);
+
+void BM_SkipListSeek(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  SwmrSkipList<Timestamp, Tuple> list;
+  for (int64_t i = 0; i < n; ++i) list.Insert(i, Tuple{i, 0, 1.0});
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto it =
+        list.SeekGE(static_cast<Timestamp>(rng.NextBelow(n)));
+    benchmark::DoNotOptimize(it.Valid());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipListSeek)->Arg(1000)->Arg(100000);
+
+/// The core asymmetry of the paper: window lookup via index seek+scan vs
+/// full scan of an unsorted buffer with a filter. `range(0)` is the
+/// buffer population, window fixed at 100 tuples.
+void BM_WindowLookup_TimeTravelIndex(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  TimeTravelIndex index;
+  for (int64_t i = 0; i < n; ++i) index.Insert(Tuple{i, 7, 1.0});
+  Rng rng(2);
+  for (auto _ : state) {
+    const Timestamp start =
+        static_cast<Timestamp>(rng.NextBelow(n - 100));
+    double sum = 0;
+    index.ForEachInRange(7, start, start + 99,
+                         [&](const Tuple& t) { sum += t.payload; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_WindowLookup_TimeTravelIndex)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+
+void BM_WindowLookup_UnsortedScan(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<Tuple> buffer;
+  Rng shuffle_rng(3);
+  for (int64_t i = 0; i < n; ++i) buffer.push_back(Tuple{i, 7, 1.0});
+  // Shuffle to model out-of-order arrival.
+  for (int64_t i = n - 1; i > 0; --i) {
+    std::swap(buffer[i],
+              buffer[shuffle_rng.NextBelow(static_cast<uint64_t>(i) + 1)]);
+  }
+  Rng rng(4);
+  for (auto _ : state) {
+    const Timestamp start =
+        static_cast<Timestamp>(rng.NextBelow(n - 100));
+    const Timestamp end = start + 99;
+    double sum = 0;
+    for (const Tuple& t : buffer) {
+      if (t.ts >= start && t.ts <= end) sum += t.payload;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WindowLookup_UnsortedScan)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SpscQueueRoundTrip(benchmark::State& state) {
+  SpscQueue<Tuple> q(1024);
+  Tuple t{1, 2, 3.0};
+  Tuple out;
+  for (auto _ : state) {
+    q.TryPush(t);
+    q.TryPop(&out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscQueueRoundTrip);
+
+/// Incremental slide vs full recompute over a dense store; `range(0)` is
+/// the window population, slide step fixed at 16 tuples.
+void BM_IncrementalSlide(benchmark::State& state) {
+  const int64_t window = state.range(0);
+  TimeTravelIndex index;
+  const int64_t n = window * 20;
+  for (int64_t i = 0; i < n; ++i) index.Insert(Tuple{i, 1, 1.0});
+  auto scan = [&](Timestamp lo, Timestamp hi, auto&& fn) {
+    index.ForEachInRange(1, lo, hi, fn);
+  };
+  IncrementalWindowState st;
+  Timestamp start = 0;
+  for (auto _ : state) {
+    st.Slide(start, start + window - 1, AggKind::kSum, scan);
+    benchmark::DoNotOptimize(st.agg().sum);
+    start += 16;
+    if (start + window >= n) {
+      start = 0;
+      st.Invalidate();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementalSlide)->Arg(1000)->Arg(10000);
+
+void BM_FullRecompute(benchmark::State& state) {
+  const int64_t window = state.range(0);
+  TimeTravelIndex index;
+  const int64_t n = window * 20;
+  for (int64_t i = 0; i < n; ++i) index.Insert(Tuple{i, 1, 1.0});
+  Timestamp start = 0;
+  for (auto _ : state) {
+    AggState agg;
+    index.ForEachInRange(1, start, start + window - 1,
+                         [&](const Tuple& t) { agg.Add(t.payload); });
+    benchmark::DoNotOptimize(agg.sum);
+    start += 16;
+    if (start + window >= n) start = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullRecompute)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace oij
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+#ifndef OIJ_BENCH_BENCH_UTIL_H_
+#define OIJ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/engine_factory.h"
+#include "core/pipeline.h"
+#include "core/run_summary.h"
+#include "stream/presets.h"
+
+namespace oij::bench {
+
+/// Scale factor for run sizes: OIJ_BENCH_SCALE=0.1 makes every bench run
+/// 10x shorter (useful on small machines); default 1.0.
+inline double ScaleFactor() {
+  const char* env = std::getenv("OIJ_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t tuples) {
+  const double scaled = static_cast<double>(tuples) * ScaleFactor();
+  return scaled < 1000 ? 1000 : static_cast<uint64_t>(scaled);
+}
+
+/// Joiner-thread sweep used by the scalability figures. Overridable via
+/// OIJ_BENCH_THREADS="1,2,4" for constrained machines.
+inline std::vector<uint32_t> ThreadSweep() {
+  const char* env = std::getenv("OIJ_BENCH_THREADS");
+  if (env == nullptr) return {1, 2, 4, 8, 16};
+  std::vector<uint32_t> out;
+  int v = 0;
+  for (const char* p = env;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      v = v * 10 + (*p - '0');
+    } else {
+      if (v > 0) out.push_back(static_cast<uint32_t>(v));
+      v = 0;
+      if (*p == '\0') break;
+    }
+  }
+  return out.empty() ? std::vector<uint32_t>{1, 2, 4} : out;
+}
+
+/// QuerySpec matching a workload's window/lateness parameters.
+inline QuerySpec QueryFor(const WorkloadSpec& w,
+                          EmitMode mode = EmitMode::kEager,
+                          AggKind agg = AggKind::kSum) {
+  QuerySpec q;
+  q.window = w.window;
+  q.lateness_us = w.lateness_us;
+  q.agg = agg;
+  q.emit_mode = mode;
+  return q;
+}
+
+/// One measured run of (engine, workload, options).
+inline RunResult RunOnce(EngineKind kind, const WorkloadSpec& workload,
+                         const QuerySpec& query,
+                         const EngineOptions& options,
+                         ResultSink* sink = nullptr) {
+  NullSink null_sink;
+  auto engine =
+      CreateEngine(kind, query, options, sink ? sink : &null_sink);
+  WorkloadGenerator gen(workload);
+  return RunPipeline(engine.get(), &gen);
+}
+
+/// Throughput-mode variant: drops pacing so the engine runs flat out.
+inline WorkloadSpec Unpaced(WorkloadSpec w) {
+  w.pace_rate_per_sec = 0;
+  return w;
+}
+
+inline void PrintTitle(const char* id, const char* what) {
+  std::printf("\n=== %s: %s ===\n", id, what);
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("--- %s\n", note.c_str());
+}
+
+/// Latency percentile row used by the CDF figures.
+inline void PrintLatencyRow(const std::string& label,
+                            const EngineStats& stats) {
+  std::printf(
+      "%-28s p50=%10s p90=%10s p95=%10s p99=%10s max=%10s <20ms=%5.1f%%\n",
+      label.c_str(),
+      HumanDurationUs(static_cast<double>(stats.latency.Percentile(0.50)))
+          .c_str(),
+      HumanDurationUs(static_cast<double>(stats.latency.Percentile(0.90)))
+          .c_str(),
+      HumanDurationUs(static_cast<double>(stats.latency.Percentile(0.95)))
+          .c_str(),
+      HumanDurationUs(static_cast<double>(stats.latency.Percentile(0.99)))
+          .c_str(),
+      HumanDurationUs(static_cast<double>(stats.latency.max_us())).c_str(),
+      stats.latency.FractionBelow(20'000) * 100.0);
+}
+
+}  // namespace oij::bench
+
+#endif  // OIJ_BENCH_BENCH_UTIL_H_

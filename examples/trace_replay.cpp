@@ -1,0 +1,77 @@
+// Record-and-replay workflow: capture an arrival trace to disk, measure
+// its actual disorder (instead of guessing a lateness), then replay it
+// through two engines so the comparison is input-identical — the
+// methodology for benchmarking with real production traces.
+//
+//   $ ./build/examples/trace_replay [path]
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine_factory.h"
+#include "core/pipeline.h"
+#include "core/run_summary.h"
+#include "stream/generator.h"
+#include "stream/presets.h"
+#include "stream/trace.h"
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/oij_example.trace";
+
+  // 1. Record: generate Workload D's arrival sequence and persist it.
+  oij::WorkloadSpec workload = oij::WorkloadD();
+  workload.total_tuples = 200'000;
+  std::vector<oij::StreamEvent> events;
+  {
+    oij::WorkloadGenerator gen(workload);
+    oij::StreamEvent ev;
+    while (gen.Next(&ev)) events.push_back(ev);
+  }
+  oij::Status s = oij::WriteTrace(path, events);
+  if (!s.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("recorded %zu arrivals to %s\n", events.size(), path.c_str());
+
+  // 2. Load and characterize: the replayer derives the minimum exact
+  //    lateness from the trace itself.
+  std::vector<oij::StreamEvent> loaded;
+  s = oij::ReadTrace(path, &loaded);
+  if (!s.ok()) {
+    std::fprintf(stderr, "read failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const oij::Timestamp disorder = oij::MeasureDisorder(loaded);
+  std::printf("measured disorder: %lld us (configured lateness was %lld "
+              "us)\n\n",
+              static_cast<long long>(disorder),
+              static_cast<long long>(workload.lateness_us));
+
+  // 3. Replay the identical input through two engines in exact mode.
+  oij::QuerySpec query;
+  query.window = workload.window;
+  query.lateness_us = disorder;
+  query.emit_mode = oij::EmitMode::kWatermark;
+
+  for (oij::EngineKind kind :
+       {oij::EngineKind::kKeyOij, oij::EngineKind::kScaleOij}) {
+    oij::CountingSink sink;
+    oij::EngineOptions options;
+    options.num_joiners = 4;
+    auto engine = oij::CreateEngine(kind, query, options, &sink);
+    oij::TraceSource source(loaded, disorder);
+    const oij::RunResult run =
+        oij::RunPipelineFrom(engine.get(), &source, /*pace=*/0);
+    std::printf("%s", oij::SummarizeRun(
+                          std::string(oij::EngineKindName(kind)), run)
+                          .c_str());
+    std::printf("  (results=%llu, matched pairs=%llu — identical across "
+                "engines by construction)\n",
+                static_cast<unsigned long long>(sink.count()),
+                static_cast<unsigned long long>(sink.matches()));
+  }
+  std::remove(path.c_str());
+  return 0;
+}

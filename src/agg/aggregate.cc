@@ -1,0 +1,77 @@
+#include "agg/aggregate.h"
+
+#include <cctype>
+#include <string>
+
+namespace oij {
+
+bool IsInvertible(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+    case AggKind::kCount:
+    case AggKind::kAvg:
+      return true;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return false;
+  }
+  return false;
+}
+
+std::string_view AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+Status AggKindFromName(std::string_view name, AggKind* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "sum") {
+    *out = AggKind::kSum;
+  } else if (lower == "count") {
+    *out = AggKind::kCount;
+  } else if (lower == "avg") {
+    *out = AggKind::kAvg;
+  } else if (lower == "min") {
+    *out = AggKind::kMin;
+  } else if (lower == "max") {
+    *out = AggKind::kMax;
+  } else {
+    return Status::ParseError("unknown aggregate function: " + lower);
+  }
+  return Status::OK();
+}
+
+double AggState::Result(AggKind kind) const {
+  switch (kind) {
+    case AggKind::kSum:
+      return sum;
+    case AggKind::kCount:
+      return static_cast<double>(count);
+    case AggKind::kAvg:
+      return count == 0 ? std::numeric_limits<double>::quiet_NaN()
+                        : sum / static_cast<double>(count);
+    case AggKind::kMin:
+      return count == 0 ? std::numeric_limits<double>::quiet_NaN() : min;
+    case AggKind::kMax:
+      return count == 0 ? std::numeric_limits<double>::quiet_NaN() : max;
+  }
+  return 0.0;
+}
+
+}  // namespace oij

@@ -1,0 +1,76 @@
+#ifndef OIJ_AGG_AGGREGATE_H_
+#define OIJ_AGG_AGGREGATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace oij {
+
+/// Aggregation operators over the matched probe tuples of a window.
+/// The paper's incremental technique (Subtract-on-Evict, Section V-C)
+/// applies to the invertible ones (sum, count, avg); min/max are kept as
+/// the non-invertible contrast — engines fall back to recomputation for
+/// them, exactly the limitation the paper scopes out.
+enum class AggKind : uint8_t {
+  kSum = 0,
+  kCount,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+/// Whether `⊖` (Subtract) is defined for the operator.
+bool IsInvertible(AggKind kind);
+
+/// Lower-case SQL name ("sum", "count", ...).
+std::string_view AggKindName(AggKind kind);
+
+/// Parses a (case-insensitive) SQL aggregate name. Returns a ParseError
+/// status for unknown names.
+Status AggKindFromName(std::string_view name, AggKind* out);
+
+/// Mergeable, optionally invertible aggregate state.
+///
+/// One AggState per open window; `Add` is ⊕, `Subtract` is ⊖ (valid only
+/// when the operator is invertible), `Merge` combines partial states
+/// (SplitJoin's collector merges one partial per joiner).
+struct AggState {
+  double sum = 0.0;
+  uint64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Add(double v) {
+    sum += v;
+    ++count;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+
+  /// ⊖. Only the invertible components (sum, count) are maintained; the
+  /// caller must not read min/max after a Subtract.
+  void Subtract(double v) {
+    sum -= v;
+    --count;
+  }
+
+  void Merge(const AggState& other) {
+    sum += other.sum;
+    count += other.count;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+
+  void Reset() { *this = AggState{}; }
+
+  /// Final value under `kind`. Empty windows yield 0 for sum/count and
+  /// NaN for avg/min/max (SQL NULL stand-in).
+  double Result(AggKind kind) const;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_AGG_AGGREGATE_H_

@@ -1,0 +1,42 @@
+#ifndef OIJ_COMMON_CLOCK_H_
+#define OIJ_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace oij {
+
+/// Monotonic wall time in microseconds. Used for arrival stamps, latency
+/// accounting, and throughput timing. Event time (Tuple::ts) is a separate,
+/// generator-controlled timeline.
+inline int64_t MonotonicNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Scoped stopwatch accumulating elapsed nanoseconds into a counter.
+/// Used by the per-joiner time breakdown (Fig 6): lookup vs match vs other.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(int64_t* sink)
+      : sink_(sink), start_(MonotonicNowNs()) {}
+  ~ScopedTimerNs() { *sink_ += MonotonicNowNs() - start_; }
+
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  int64_t* sink_;
+  int64_t start_;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_COMMON_CLOCK_H_

@@ -1,0 +1,34 @@
+#ifndef OIJ_COMMON_HASH_H_
+#define OIJ_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace oij {
+
+/// Strong 64-bit integer mixer (splitmix64 finalizer). Used to spread join
+/// keys across partitions; the avalanche property matters because Key-OIJ
+/// binds hash values statically to joiners.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash of a byte string (FNV-1a with a 64-bit mix finish). Used by the SQL
+/// layer to map column names and by tests.
+uint64_t HashBytes(std::string_view data, uint64_t seed = 0);
+
+/// Maps a hashed key into one of `n` contiguous hash-range partitions.
+/// Partitions are *ranges* of the hash space (not modulo classes) so that a
+/// partition table over ranges can be re-split without rehashing.
+inline uint32_t RangePartition(uint64_t hash, uint32_t n) {
+  // Multiply-shift: floor(hash / 2^64 * n), avoids modulo bias and divide.
+  return static_cast<uint32_t>(
+      (static_cast<unsigned __int128>(hash) * n) >> 64);
+}
+
+}  // namespace oij
+
+#endif  // OIJ_COMMON_HASH_H_

@@ -1,0 +1,90 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace oij {
+
+namespace {
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four state words with distinct splitmix64 outputs; an
+  // all-zero state (illegal for xoshiro) is impossible this way.
+  for (int i = 0; i < 4; ++i) {
+    seed = Mix64(seed + 0x9e3779b97f4a7c15ULL);
+    s_[i] = seed | 1;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  if (bound == 0) return 0;
+  unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<unsigned __int128>(Next()) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  if (n_ == 0) n_ = 1;
+  // Constants per Hörmann & Derflinger's rejection-inversion method.
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(n_ + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfSampler::H(double x) const {
+  if (theta_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (theta_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) {
+  if (theta_ <= 0.0) return rng.NextBelow(n_);
+  while (true) {
+    double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (k - x <= s_ || u >= H(k + 0.5) - std::pow(static_cast<double>(k),
+                                                  -theta_)) {
+      return k - 1;  // zero-based rank
+    }
+  }
+}
+
+}  // namespace oij

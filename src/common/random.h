@@ -1,0 +1,57 @@
+#ifndef OIJ_COMMON_RANDOM_H_
+#define OIJ_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace oij {
+
+/// xoshiro256** PRNG: fast, high quality, deterministic across platforms.
+/// Every generator, test, and benchmark takes an explicit seed so runs are
+/// reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  uint64_t Next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed sampler over {0, ..., n-1} with exponent `theta`.
+/// theta = 0 degenerates to uniform. Uses the rejection-inversion method of
+/// Hörmann & Derflinger so construction is O(1) and sampling is O(1)
+/// amortized even for large n (needed for the u = 100K sweeps of Fig 8).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_COMMON_RANDOM_H_

@@ -1,0 +1,49 @@
+#include "common/rate_limiter.h"
+
+#include <thread>
+
+#include "common/clock.h"
+
+namespace oij {
+
+RateLimiter::RateLimiter(uint64_t rate_per_sec) : rate_per_sec_(rate_per_sec) {
+  if (rate_per_sec_ > 0) {
+    interval_ns_ = 1e9 / static_cast<double>(rate_per_sec_);
+    next_deadline_ns_ = static_cast<double>(MonotonicNowNs());
+  }
+}
+
+void RateLimiter::WaitUntil(int64_t deadline_ns) {
+  int64_t now = MonotonicNowNs();
+  // Sleep for the bulk of long waits; yield for the tail so granting is
+  // accurate without burning a hot spin on oversubscribed machines.
+  while (now < deadline_ns) {
+    int64_t remaining = deadline_ns - now;
+    if (remaining > 200'000) {  // > 200 us: let the OS sleep us.
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(remaining - 100'000));
+    } else {
+      std::this_thread::yield();
+    }
+    now = MonotonicNowNs();
+  }
+}
+
+void RateLimiter::Acquire() { AcquireBatch(1); }
+
+void RateLimiter::AcquireBatch(uint64_t n) {
+  if (unlimited() || n == 0) return;
+  next_deadline_ns_ += interval_ns_ * static_cast<double>(n);
+  const int64_t deadline = static_cast<int64_t>(next_deadline_ns_);
+  const int64_t now = MonotonicNowNs();
+  if (now >= deadline) {
+    // We are behind; don't accumulate unbounded debt (bounded burst).
+    if (static_cast<double>(now) - next_deadline_ns_ > 1e8) {
+      next_deadline_ns_ = static_cast<double>(now);
+    }
+    return;
+  }
+  WaitUntil(deadline);
+}
+
+}  // namespace oij

@@ -1,0 +1,39 @@
+#ifndef OIJ_COMMON_RATE_LIMITER_H_
+#define OIJ_COMMON_RATE_LIMITER_H_
+
+#include <cstdint>
+
+namespace oij {
+
+/// Paces a source thread to a target arrival rate (tuples/second), used by
+/// the latency experiments (Figs 5, 17-20, 23) where Workloads A/B/D are
+/// rate-limited while Workload C is unthrottled.
+///
+/// The limiter hands out evenly spaced deadlines ("smoothed" token bucket)
+/// and sleeps/yields until each deadline. A rate of 0 means unlimited.
+class RateLimiter {
+ public:
+  /// `rate_per_sec` == 0 disables pacing.
+  explicit RateLimiter(uint64_t rate_per_sec);
+
+  /// Blocks until the next permit time, then returns. Call once per tuple.
+  void Acquire();
+
+  /// Blocks until `n` permits are due. Cheaper than n Acquire() calls;
+  /// sources use this to pace whole batches.
+  void AcquireBatch(uint64_t n);
+
+  uint64_t rate_per_sec() const { return rate_per_sec_; }
+  bool unlimited() const { return rate_per_sec_ == 0; }
+
+ private:
+  void WaitUntil(int64_t deadline_ns);
+
+  uint64_t rate_per_sec_;
+  double interval_ns_ = 0.0;   // nanoseconds per permit
+  double next_deadline_ns_ = 0.0;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_COMMON_RATE_LIMITER_H_

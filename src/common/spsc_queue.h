@@ -1,0 +1,86 @@
+#ifndef OIJ_COMMON_SPSC_QUEUE_H_
+#define OIJ_COMMON_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace oij {
+
+/// Bounded single-producer single-consumer ring buffer.
+///
+/// This is the transport between the router (source) thread and each joiner
+/// thread. Head and tail live on separate cache lines; the producer and the
+/// consumer each cache the opposite index to avoid ping-ponging the shared
+/// lines on every operation (the classic Vyukov/folly SPSC layout).
+///
+/// Blocking variants back off with std::this_thread::yield() rather than
+/// spinning hot: benchmark machines are frequently oversubscribed (more
+/// joiners than cores), and a hot spin would starve the very thread being
+/// waited on.
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 2.
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Non-blocking push. Returns false when the ring is full.
+  bool TryPush(const T& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    buffer_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking push; yields while full.
+  void Push(const T& value) {
+    while (!TryPush(value)) std::this_thread::yield();
+  }
+
+  /// Non-blocking pop. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    *out = buffer_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate size (exact if called from producer or consumer).
+  size_t SizeApprox() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> buffer_;
+  size_t mask_ = 0;
+
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) size_t head_cache_ = 0;  // producer-local
+  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) size_t tail_cache_ = 0;  // consumer-local
+};
+
+}  // namespace oij
+
+#endif  // OIJ_COMMON_SPSC_QUEUE_H_

@@ -1,0 +1,50 @@
+#include "common/thread_util.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace oij {
+
+void SetCurrentThreadName(const std::string& name) {
+#if defined(__linux__)
+  // Linux limits thread names to 15 chars + NUL.
+  pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+#else
+  (void)name;
+#endif
+}
+
+void TryPinCurrentThreadTo(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= NumCpus()) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+int NumCpus() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void Backoff::Pause() {
+  ++count_;
+  if (count_ < 4) {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace oij

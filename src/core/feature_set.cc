@@ -1,0 +1,70 @@
+#include "core/feature_set.h"
+
+#include <cmath>
+#include <limits>
+
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace oij {
+
+bool FeatureSetSpec::RequiresFullState() const {
+  bool has_extreme = false;
+  bool has_other = false;
+  bool has_min = false, has_max = false;
+  for (const FeatureOutput& out : outputs) {
+    if (out.kind == AggKind::kMin || out.kind == AggKind::kMax) {
+      has_extreme = true;
+      has_min |= out.kind == AggKind::kMin;
+      has_max |= out.kind == AggKind::kMax;
+    } else {
+      has_other = true;
+    }
+  }
+  // A lone min (or lone max) rides the Two-Stacks incremental state;
+  // anything mixing extremes with other aggregates — or both extremes —
+  // needs full window materialization.
+  return (has_extreme && has_other) || (has_min && has_max);
+}
+
+Status CompileFeatureSet(std::string_view sql, FeatureSetSpec* out,
+                         ParsedQuery* parsed_out) {
+  ParsedQuery parsed;
+  Status s = ParseQuery(sql, &parsed);
+  if (!s.ok()) return s;
+  s = BindQuery(parsed, &out->query);
+  if (!s.ok()) return s;
+
+  out->outputs.clear();
+  for (const SelectItem& item : parsed.selects) {
+    FeatureOutput output;
+    s = AggKindFromName(item.func, &output.kind);
+    if (!s.ok()) return s;
+    output.column = item.column;
+    output.name = item.func + "(" + item.column + ")";
+    out->outputs.push_back(std::move(output));
+  }
+  if (parsed_out != nullptr) *parsed_out = parsed;
+  return Status::OK();
+}
+
+double ExtractFeature(const JoinResult& result, AggKind kind) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  switch (kind) {
+    case AggKind::kSum:
+      return result.match_count == 0 ? 0.0 : result.sum;
+    case AggKind::kCount:
+      return static_cast<double>(result.match_count);
+    case AggKind::kAvg:
+      return result.match_count == 0 || std::isnan(result.sum)
+                 ? nan
+                 : result.sum / static_cast<double>(result.match_count);
+    case AggKind::kMin:
+      return result.match_count == 0 ? nan : result.min;
+    case AggKind::kMax:
+      return result.match_count == 0 ? nan : result.max;
+  }
+  return nan;
+}
+
+}  // namespace oij

@@ -1,0 +1,58 @@
+#ifndef OIJ_CORE_FEATURE_SET_H_
+#define OIJ_CORE_FEATURE_SET_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query_spec.h"
+#include "sql/ast.h"
+
+namespace oij {
+
+/// One output column of a feature set.
+struct FeatureOutput {
+  AggKind kind = AggKind::kSum;
+  std::string column;  ///< aggregated payload column name
+  std::string name;    ///< "sum(col2)" etc., for display
+};
+
+/// A multi-aggregate OIJ feature query — the common OpenMLDB shape where
+/// several window aggregations share one window definition:
+///
+///   SELECT sum(amt), count(amt), max(amt) OVER w FROM S
+///   WINDOW w AS (UNION R PARTITION BY k ORDER BY ts
+///                ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW);
+///
+/// One engine run computes all outputs: every join operation produces the
+/// window's full statistics (sum/count/min/max) in JoinResult, and
+/// ExtractFeature() projects each requested output from them.
+///
+/// Caveat: Scale-OIJ's *incremental* path only maintains the statistics
+/// its running state covers (sum/count for Subtract-on-Evict; the single
+/// requested extreme for Two-Stacks). RequiresFullState() tells callers
+/// whether the output list needs min or max alongside other aggregates,
+/// in which case incremental aggregation should be disabled (the engine
+/// option) or the NaN outputs accepted.
+struct FeatureSetSpec {
+  QuerySpec query;  ///< query.agg is the first output's kind
+  std::vector<FeatureOutput> outputs;
+
+  /// True when the outputs need window statistics beyond what a single
+  /// incremental state maintains (i.e. min/max mixed with anything else).
+  bool RequiresFullState() const;
+};
+
+/// Parses and binds a (possibly multi-select) window-union query.
+Status CompileFeatureSet(std::string_view sql, FeatureSetSpec* out,
+                         ParsedQuery* parsed_out = nullptr);
+
+/// Projects one output from a result's window statistics. Returns NaN
+/// when the producing engine did not materialize that statistic (see
+/// FeatureSetSpec) or the window was empty (SQL NULL stand-in).
+double ExtractFeature(const JoinResult& result, AggKind kind);
+
+}  // namespace oij
+
+#endif  // OIJ_CORE_FEATURE_SET_H_

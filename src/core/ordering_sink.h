@@ -1,0 +1,67 @@
+#ifndef OIJ_CORE_ORDERING_SINK_H_
+#define OIJ_CORE_ORDERING_SINK_H_
+
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "join/engine.h"
+
+namespace oij {
+
+/// Restores base-timestamp order over an engine's result stream.
+///
+/// Joiners emit results concurrently, so the raw stream interleaves
+/// across keys. Downstream consumers that need deterministic, ordered
+/// feature rows (e.g. training-data writers) wrap their sink in an
+/// OrderingSink: results are buffered and forwarded to the inner sink in
+/// (base.ts, base.key) order.
+///
+/// Release protocol: the driver calls ReleaseUpTo(T) once no result with
+/// base ts <= T can still be produced. In EmitMode::kWatermark that is
+/// exactly the engine's watermark minus the FOL offset (every base at or
+/// below it has been finalized); the pipeline's punctuation points are
+/// natural call sites. Flush() drains everything (end of stream).
+class OrderingSink : public ResultSink {
+ public:
+  explicit OrderingSink(ResultSink* inner) : inner_(inner) {}
+
+  void OnResult(const JoinResult& result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    heap_.push(result);
+  }
+
+  /// Forwards, in order, every buffered result with base ts <= bound.
+  void ReleaseUpTo(Timestamp bound) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!heap_.empty() && heap_.top().base.ts <= bound) {
+      inner_->OnResult(heap_.top());
+      heap_.pop();
+    }
+  }
+
+  /// Forwards everything still buffered, in order.
+  void Flush() { ReleaseUpTo(kMaxTimestamp); }
+
+  /// Results currently held back.
+  size_t buffered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return heap_.size();
+  }
+
+ private:
+  struct Later {
+    bool operator()(const JoinResult& a, const JoinResult& b) const {
+      if (a.base.ts != b.base.ts) return a.base.ts > b.base.ts;
+      return a.base.key > b.base.key;
+    }
+  };
+
+  ResultSink* inner_;
+  mutable std::mutex mu_;
+  std::priority_queue<JoinResult, std::vector<JoinResult>, Later> heap_;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_CORE_ORDERING_SINK_H_

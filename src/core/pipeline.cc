@@ -1,0 +1,12 @@
+#include "core/pipeline.h"
+
+namespace oij {
+
+RunResult RunPipeline(JoinEngine* engine, WorkloadGenerator* generator,
+                      const PipelineConfig& config) {
+  return internal::DrivePipeline(engine, generator,
+                                 generator->spec().pace_rate_per_sec,
+                                 config);
+}
+
+}  // namespace oij

@@ -1,0 +1,74 @@
+#ifndef OIJ_CORE_PIPELINE_H_
+#define OIJ_CORE_PIPELINE_H_
+
+#include <cstdint>
+
+#include "join/engine.h"
+#include "metrics/throughput.h"
+#include "stream/disorder_estimator.h"
+#include "stream/generator.h"
+
+namespace oij {
+
+/// Driver knobs: how often the source injects watermark punctuations.
+/// Punctuations carry the watermark to every joiner, advance eviction, and
+/// (for Scale-OIJ) refresh schedule snapshots and teammate progress, so the
+/// interval trades per-event overhead against finalize/eviction latency.
+struct PipelineConfig {
+  /// Punctuate after this many tuples...
+  uint64_t watermark_interval_events = 1024;
+  /// ...or after this much wall time in paced runs (0 disables the timer).
+  int64_t watermark_interval_us = 1000;
+
+  /// When true, watermarks are derived from an online disorder estimate
+  /// (AdaptiveWatermarkTracker) instead of the workload's configured
+  /// lateness — the "tunable accuracy without prior knowledge" mode.
+  /// Tuples arriving behind an already-emitted watermark are counted as
+  /// accuracy violations in RunResult.
+  bool adaptive_lateness = false;
+  AdaptiveWatermarkTracker::Options adaptive;
+};
+
+/// Outcome of one complete run.
+struct RunResult {
+  EngineStats stats;
+  uint64_t tuples = 0;
+  double elapsed_seconds = 0.0;
+  double throughput_tps = 0.0;  ///< input tuples per second
+
+  // Adaptive-lateness accounting (zero unless adaptive_lateness is on).
+  uint64_t watermark_violations = 0;  ///< tuples behind an emitted wm
+  Timestamp final_adaptive_lag_us = 0;
+};
+
+/// Feeds a whole workload through an engine: starts it, paces the source
+/// per the workload's arrival rate, injects punctuations, drains, and
+/// returns merged stats. The single-call harness used by the examples,
+/// the benches, and the integration tests.
+RunResult RunPipeline(JoinEngine* engine, WorkloadGenerator* generator,
+                      const PipelineConfig& config = PipelineConfig());
+
+/// Generic variant over any pull source exposing
+/// `bool Next(StreamEvent*)` and `Timestamp watermark()` — e.g. a
+/// TraceSource replaying a recorded arrival sequence. `pace_rate_per_sec`
+/// = 0 runs unthrottled.
+template <typename Source>
+RunResult RunPipelineFrom(JoinEngine* engine, Source* source,
+                          uint64_t pace_rate_per_sec,
+                          const PipelineConfig& config = PipelineConfig());
+
+namespace internal {
+/// Implementation shared by RunPipeline and RunPipelineFrom; defined in
+/// pipeline.cc for the WorkloadGenerator instantiation and here for
+/// arbitrary sources.
+template <typename Source>
+RunResult DrivePipeline(JoinEngine* engine, Source* source,
+                        uint64_t pace_rate_per_sec,
+                        const PipelineConfig& config);
+}  // namespace internal
+
+}  // namespace oij
+
+#include "core/pipeline_impl.h"
+
+#endif  // OIJ_CORE_PIPELINE_H_

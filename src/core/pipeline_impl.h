@@ -1,0 +1,85 @@
+#ifndef OIJ_CORE_PIPELINE_IMPL_H_
+#define OIJ_CORE_PIPELINE_IMPL_H_
+
+// Implementation details of the pipeline driver templates; include
+// core/pipeline.h instead of this header.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/clock.h"
+#include "common/rate_limiter.h"
+#include "core/pipeline.h"
+
+namespace oij {
+namespace internal {
+
+template <typename Source>
+RunResult DrivePipeline(JoinEngine* engine, Source* source,
+                        uint64_t pace_rate_per_sec,
+                        const PipelineConfig& config) {
+  RunResult result;
+  Status s = engine->Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "engine start failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+
+  RateLimiter limiter(pace_rate_per_sec);
+  const bool paced = !limiter.unlimited();
+  const uint64_t wm_every = config.watermark_interval_events;
+  const int64_t wm_timer_us = paced ? config.watermark_interval_us : 0;
+
+  ThroughputMeter meter;
+  meter.Start();
+
+  AdaptiveWatermarkTracker adaptive(config.adaptive);
+
+  StreamEvent ev;
+  uint64_t since_wm = 0;
+  int64_t last_wm_check_us = MonotonicNowUs();
+  while (source->Next(&ev)) {
+    if (paced) limiter.Acquire();
+    if (config.adaptive_lateness) adaptive.Observe(ev.tuple.ts);
+    engine->Push(ev, MonotonicNowUs());
+    ++result.tuples;
+
+    bool punctuate = ++since_wm >= wm_every;
+    if (!punctuate && wm_timer_us > 0 && (result.tuples & 63) == 0) {
+      const int64_t now = MonotonicNowUs();
+      punctuate = now - last_wm_check_us >= wm_timer_us;
+    }
+    if (punctuate) {
+      since_wm = 0;
+      last_wm_check_us = MonotonicNowUs();
+      engine->SignalWatermark(config.adaptive_lateness
+                                  ? adaptive.Emit()
+                                  : source->watermark());
+    }
+  }
+
+  if (config.adaptive_lateness) {
+    result.watermark_violations = adaptive.violations();
+    result.final_adaptive_lag_us = adaptive.CurrentLag();
+  }
+
+  result.stats = engine->Finish();
+  meter.Stop();
+  meter.AddTuples(result.tuples);
+  result.elapsed_seconds = meter.elapsed_seconds();
+  result.throughput_tps = meter.TuplesPerSecond();
+  return result;
+}
+
+}  // namespace internal
+
+template <typename Source>
+RunResult RunPipelineFrom(JoinEngine* engine, Source* source,
+                          uint64_t pace_rate_per_sec,
+                          const PipelineConfig& config) {
+  return internal::DrivePipeline(engine, source, pace_rate_per_sec, config);
+}
+
+}  // namespace oij
+
+#endif  // OIJ_CORE_PIPELINE_IMPL_H_

@@ -1,0 +1,15 @@
+#include "core/query_spec.h"
+
+namespace oij {
+
+Status QuerySpec::Validate() const {
+  if (window.pre < 0 || window.fol < 0) {
+    return Status::InvalidArgument("window offsets must be non-negative");
+  }
+  if (lateness_us < 0) {
+    return Status::InvalidArgument("lateness must be non-negative");
+  }
+  return Status::OK();
+}
+
+}  // namespace oij

@@ -1,0 +1,70 @@
+#include "core/run_summary.h"
+
+#include <cstdio>
+
+namespace oij {
+
+namespace {
+std::string Format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string HumanRate(double per_second) {
+  return HumanCount(per_second) + "/s";
+}
+
+std::string HumanCount(double count) {
+  if (count >= 1e9) return Format("%.2fG", count / 1e9);
+  if (count >= 1e6) return Format("%.2fM", count / 1e6);
+  if (count >= 1e3) return Format("%.1fK", count / 1e3);
+  return Format("%.0f", count);
+}
+
+std::string HumanDurationUs(double us) {
+  if (us >= 1e6) return Format("%.2fs", us / 1e6);
+  if (us >= 1e3) return Format("%.2fms", us / 1e3);
+  return Format("%.0fus", us);
+}
+
+std::string SummarizeRun(const std::string& label, const RunResult& run) {
+  const EngineStats& st = run.stats;
+  std::string out;
+  char buf[512];
+
+  std::snprintf(buf, sizeof(buf),
+                "[%s] %s tuples in %.2fs -> throughput %s\n", label.c_str(),
+                HumanCount(static_cast<double>(run.tuples)).c_str(),
+                run.elapsed_seconds, HumanRate(run.throughput_tps).c_str());
+  out += buf;
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "  results=%s  latency p50=%s p90=%s p99=%s max=%s  <20ms=%.1f%%\n",
+      HumanCount(static_cast<double>(st.results)).c_str(),
+      HumanDurationUs(static_cast<double>(st.latency.Percentile(0.50)))
+          .c_str(),
+      HumanDurationUs(static_cast<double>(st.latency.Percentile(0.90)))
+          .c_str(),
+      HumanDurationUs(static_cast<double>(st.latency.Percentile(0.99)))
+          .c_str(),
+      HumanDurationUs(static_cast<double>(st.latency.max_us())).c_str(),
+      st.latency.FractionBelow(20'000) * 100.0);
+  out += buf;
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "  breakdown lookup=%.0f%% match=%.0f%% other=%.0f%%  "
+      "effectiveness=%.3f  unbalancedness=%.3f  rebalances=%llu\n",
+      st.breakdown.lookup_fraction() * 100.0,
+      st.breakdown.match_fraction() * 100.0,
+      st.breakdown.other_fraction() * 100.0, st.Effectiveness(),
+      st.ActualUnbalancedness(),
+      static_cast<unsigned long long>(st.rebalances));
+  out += buf;
+  return out;
+}
+
+}  // namespace oij

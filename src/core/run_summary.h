@@ -1,0 +1,26 @@
+#ifndef OIJ_CORE_RUN_SUMMARY_H_
+#define OIJ_CORE_RUN_SUMMARY_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace oij {
+
+/// "123.4K/s", "1.2M/s" — the unit the paper's throughput axes use.
+std::string HumanRate(double per_second);
+
+/// "1234", "1.2M" with K/M/G suffixes.
+std::string HumanCount(double count);
+
+/// Microseconds rendered as "x us" / "x.y ms" / "x.y s".
+std::string HumanDurationUs(double us);
+
+/// One text block per run: throughput, latency percentiles (p50/p90/p99,
+/// max, fraction under the 20 ms SLA), time breakdown, effectiveness and
+/// unbalancedness. The examples and ad-hoc tools print this.
+std::string SummarizeRun(const std::string& label, const RunResult& run);
+
+}  // namespace oij
+
+#endif  // OIJ_CORE_RUN_SUMMARY_H_

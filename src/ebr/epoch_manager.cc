@@ -1,0 +1,92 @@
+#include "ebr/epoch_manager.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace oij {
+
+EpochManager::EpochManager(uint32_t max_threads)
+    : max_threads_(max_threads), slots_(max_threads) {}
+
+EpochManager::~EpochManager() {
+  // Free any leftovers; by contract no readers are active at destruction.
+  for (uint32_t s = 0; s < max_threads_; ++s) {
+    if (slots_[s].in_use.load(std::memory_order_acquire)) {
+      ReclaimAllUnsafe(s);
+    }
+  }
+}
+
+uint32_t EpochManager::RegisterThread() {
+  uint32_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= max_threads_) {
+    std::fprintf(stderr, "EpochManager: slot capacity %u exhausted\n",
+                 max_threads_);
+    std::abort();
+  }
+  slots_[slot].in_use.store(true, std::memory_order_release);
+  return slot;
+}
+
+void EpochManager::Enter(uint32_t slot) {
+  Slot& s = slots_[slot];
+  // seq_cst so the pin is visible to the writer before we dereference
+  // anything: a plain release store could be reordered after our loads.
+  s.local_epoch.store(global_epoch_.load(std::memory_order_relaxed),
+                      std::memory_order_seq_cst);
+}
+
+void EpochManager::Exit(uint32_t slot) {
+  slots_[slot].local_epoch.store(kQuiescent, std::memory_order_release);
+}
+
+void EpochManager::Retire(uint32_t slot, std::function<void()> deleter) {
+  slots_[slot].retired.push_back(
+      {std::move(deleter), global_epoch_.load(std::memory_order_acquire)});
+}
+
+void EpochManager::TryAdvanceEpoch() {
+  const uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  const uint32_t n = next_slot_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < n && i < max_threads_; ++i) {
+    const uint64_t local = slots_[i].local_epoch.load(std::memory_order_seq_cst);
+    if (local != kQuiescent && local < e) return;  // straggler
+  }
+  // Single increment; concurrent callers may both try, CAS keeps it exact.
+  uint64_t expected = e;
+  global_epoch_.compare_exchange_strong(expected, e + 1,
+                                        std::memory_order_acq_rel);
+}
+
+size_t EpochManager::ReclaimSome(uint32_t slot) {
+  TryAdvanceEpoch();
+  const uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  auto& retired = slots_[slot].retired;
+  size_t freed = 0;
+  size_t kept = 0;
+  for (size_t i = 0; i < retired.size(); ++i) {
+    if (retired[i].epoch + 2 <= e) {
+      retired[i].deleter();
+      ++freed;
+    } else {
+      if (kept != i) retired[kept] = std::move(retired[i]);
+      ++kept;
+    }
+  }
+  retired.resize(kept);
+  return freed;
+}
+
+size_t EpochManager::ReclaimAllUnsafe(uint32_t slot) {
+  auto& retired = slots_[slot].retired;
+  size_t freed = retired.size();
+  for (auto& r : retired) r.deleter();
+  retired.clear();
+  return freed;
+}
+
+size_t EpochManager::PendingCount(uint32_t slot) const {
+  return slots_[slot].retired.size();
+}
+
+}  // namespace oij

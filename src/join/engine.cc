@@ -1,0 +1,177 @@
+#include "join/engine.h"
+
+#include <cmath>
+
+#include "common/clock.h"
+#include "common/thread_util.h"
+
+namespace oij {
+
+Status EngineOptions::Validate() const {
+  if (num_joiners == 0) {
+    return Status::InvalidArgument("num_joiners must be positive");
+  }
+  if (queue_capacity < 2) {
+    return Status::InvalidArgument("queue_capacity must be >= 2");
+  }
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be positive");
+  }
+  return Status::OK();
+}
+
+double EngineStats::ActualUnbalancedness() const {
+  if (per_joiner_processed.empty()) return 0.0;
+  double mean = 0.0;
+  for (uint64_t c : per_joiner_processed) mean += static_cast<double>(c);
+  mean /= static_cast<double>(per_joiner_processed.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (uint64_t c : per_joiner_processed) {
+    const double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(per_joiner_processed.size());
+  return std::sqrt(var) / mean;
+}
+
+ParallelEngineBase::ParallelEngineBase(const QuerySpec& spec,
+                                       const EngineOptions& options,
+                                       ResultSink* sink)
+    : spec_(spec), options_(options), sink_(sink) {
+  queues_.reserve(options_.num_joiners);
+  for (uint32_t j = 0; j < options_.num_joiners; ++j) {
+    queues_.push_back(
+        std::make_unique<SpscQueue<Event>>(options_.queue_capacity));
+  }
+}
+
+ParallelEngineBase::~ParallelEngineBase() {
+  // Engines must be Finish()ed; tolerate abandonment by draining anyway.
+  if (started_ && !finished_) Finish();
+}
+
+Status ParallelEngineBase::Start() {
+  if (started_) return Status::FailedPrecondition("engine already started");
+  Status s = options_.Validate();
+  if (!s.ok()) return s;
+  s = spec_.Validate();
+  if (!s.ok()) return s;
+
+  run_origin_ns_ = MonotonicNowNs();
+  busy_ns_.assign(options_.num_joiners, 0);
+  if (options_.collect_cpu_util) {
+    util_trackers_.clear();
+    util_trackers_.reserve(options_.num_joiners);
+    for (uint32_t j = 0; j < options_.num_joiners; ++j) {
+      util_trackers_.emplace_back(run_origin_ns_,
+                                  options_.cpu_util_interval_ns);
+    }
+  }
+
+  started_ = true;
+  threads_.reserve(options_.num_joiners);
+  for (uint32_t j = 0; j < options_.num_joiners; ++j) {
+    threads_.emplace_back([this, j] { JoinerMain(j); });
+  }
+  StartAuxiliary();
+  return Status::OK();
+}
+
+void ParallelEngineBase::Push(const StreamEvent& event, int64_t arrival_us) {
+  Event ev;
+  ev.kind = Event::Kind::kTuple;
+  ev.stream = event.stream;
+  ev.tuple = event.tuple;
+  ev.arrival_us = arrival_us;
+  ev.seq = NextSeq();
+  ++pushed_;
+  Route(ev);
+}
+
+void ParallelEngineBase::SignalWatermark(Timestamp watermark) {
+  Event ev;
+  ev.kind = Event::Kind::kWatermark;
+  ev.watermark = watermark;
+  ev.seq = NextSeq();
+  for (uint32_t j = 0; j < options_.num_joiners; ++j) {
+    EnqueueTo(j, ev);
+  }
+}
+
+EngineStats ParallelEngineBase::Finish() {
+  EngineStats stats;
+  if (!started_ || finished_) return stats;
+  finished_ = true;
+
+  Event flush;
+  flush.kind = Event::Kind::kFlush;
+  flush.watermark = kMaxTimestamp;
+  for (uint32_t j = 0; j < options_.num_joiners; ++j) {
+    EnqueueTo(j, flush);
+  }
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  StopAuxiliary();
+
+  stats.input_tuples = pushed_;
+  CollectStats(&stats);
+  if (options_.collect_breakdown) {
+    for (int64_t b : busy_ns_) stats.breakdown.busy_ns += b;
+  }
+  if (options_.collect_cpu_util) {
+    const int64_t now = MonotonicNowNs();
+    for (auto& tracker : util_trackers_) {
+      stats.utilization.push_back(tracker.UtilizationSeries(now));
+    }
+  }
+  return stats;
+}
+
+void ParallelEngineBase::JoinerMain(uint32_t joiner) {
+  SetCurrentThreadName("joiner-" + std::to_string(joiner));
+  if (options_.pin_threads) {
+    TryPinCurrentThreadTo(static_cast<int>(joiner) % NumCpus());
+  }
+
+  const bool track_util = options_.collect_cpu_util;
+  const bool track_busy = track_util || options_.collect_breakdown;
+  Backoff backoff;
+  Event ev;
+  while (true) {
+    if (!queues_[joiner]->TryPop(&ev)) {
+      OnIdle(joiner);
+      backoff.Pause();
+      continue;
+    }
+    backoff.Reset();
+
+    const int64_t busy_start = track_busy ? MonotonicNowNs() : 0;
+    bool stop = false;
+    // Drain a burst: everything currently queued plus the event in hand.
+    do {
+      switch (ev.kind) {
+        case Event::Kind::kTuple:
+          OnTuple(joiner, ev);
+          break;
+        case Event::Kind::kWatermark:
+          OnWatermark(joiner, ev.watermark);
+          break;
+        case Event::Kind::kFlush:
+          OnWatermark(joiner, kMaxTimestamp);
+          OnFlush(joiner);
+          stop = true;
+          break;
+      }
+    } while (!stop && queues_[joiner]->TryPop(&ev));
+
+    if (track_busy) {
+      const int64_t busy_end = MonotonicNowNs();
+      busy_ns_[joiner] += busy_end - busy_start;
+      if (track_util) util_trackers_[joiner].AddBusy(busy_start, busy_end);
+    }
+    if (stop) break;
+  }
+}
+
+}  // namespace oij

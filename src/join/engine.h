@@ -1,0 +1,275 @@
+#ifndef OIJ_JOIN_ENGINE_H_
+#define OIJ_JOIN_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/query_spec.h"
+#include "metrics/breakdown.h"
+#include "metrics/cache_sim.h"
+#include "metrics/cpu_util.h"
+#include "metrics/latency_recorder.h"
+#include "sched/rebalancer.h"
+#include "stream/generator.h"
+
+namespace oij {
+
+/// Message flowing through a router -> joiner queue.
+struct Event {
+  enum class Kind : uint8_t {
+    kTuple = 0,
+    kWatermark,  ///< punctuation carrying the current low-watermark
+    kFlush,      ///< end of stream: finalize everything and exit
+  };
+
+  Kind kind = Kind::kTuple;
+  StreamId stream = StreamId::kBase;
+  Tuple tuple;
+  Timestamp watermark = kMinTimestamp;
+  int64_t arrival_us = 0;  ///< router monotonic stamp (latency origin)
+  uint64_t seq = 0;        ///< router-assigned global sequence number
+};
+
+/// Copies a fully materialized window's statistics into a result (the
+/// multi-aggregate feature-set fields; see core/feature_set.h).
+inline void FillWindowStats(JoinResult* result, const AggState& agg) {
+  result->sum = agg.sum;
+  if (agg.count > 0) {
+    result->min = agg.min;
+    result->max = agg.max;
+  }
+}
+
+/// Receives finalized join results. May be invoked concurrently from
+/// several joiner threads; implementations must be thread-safe.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void OnResult(const JoinResult& result) = 0;
+};
+
+/// Discards results (throughput benchmarks measure engine cost only).
+class NullSink : public ResultSink {
+ public:
+  void OnResult(const JoinResult&) override {}
+};
+
+/// Collects every result under a mutex (tests, examples).
+class CollectingSink : public ResultSink {
+ public:
+  void OnResult(const JoinResult& result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    results_.push_back(result);
+  }
+
+  std::vector<JoinResult> TakeResults() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(results_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<JoinResult> results_;
+};
+
+/// Counts results and checksums aggregates (cheap validation at scale).
+class CountingSink : public ResultSink {
+ public:
+  void OnResult(const JoinResult& result) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    matches_.fetch_add(result.match_count, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t matches() const {
+    return matches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> matches_{0};
+};
+
+/// Engine construction knobs shared by all parallel engines. The Scale-OIJ
+/// optimizations are individually switchable so the ablation benches can
+/// isolate each one (time-travel indexing is what distinguishes Scale-OIJ
+/// from Key-OIJ structurally, so it is a choice of engine, not a flag).
+struct EngineOptions {
+  uint32_t num_joiners = 4;
+
+  /// Capacity of each router->joiner ring (events).
+  uint32_t queue_capacity = 8192;
+
+  /// Scale-OIJ: number of key hash-range partitions for scheduling.
+  uint32_t num_partitions = 256;
+
+  /// Scale-OIJ: enable the dynamic balanced schedule (Section V-B).
+  bool dynamic_schedule = true;
+
+  /// Scale-OIJ: enable incremental window aggregation (Section V-C).
+  bool incremental_agg = true;
+
+  /// Scale-OIJ: router events between rebalance attempts.
+  uint32_t rebalance_interval_events = 32768;
+
+  RebalanceConfig rebalance;
+
+  /// Pin joiner threads to CPUs round-robin.
+  bool pin_threads = false;
+
+  /// Measure per-joiner busy time (the denominator of the Fig 6 time
+  /// breakdown). ~2 clock reads per processed burst.
+  bool collect_breakdown = true;
+
+  /// Record per-joiner utilization-over-time series (Fig 14).
+  bool collect_cpu_util = false;
+  int64_t cpu_util_interval_ns = 100'000'000;
+
+  /// Feed sampled tuple accesses into a shared LLC model (Figs 8b/13d).
+  CacheSim* cache_sim = nullptr;
+  uint32_t cache_sample_period = 16;
+
+  Status Validate() const;
+};
+
+/// Everything a run reports; merged across joiners at Finish().
+struct EngineStats {
+  uint64_t input_tuples = 0;
+  uint64_t results = 0;
+
+  /// Tuples visited while locating window data vs tuples actually inside
+  /// windows. effectiveness (Eq. 1) is the mean per-join-op ratio.
+  uint64_t visited = 0;
+  uint64_t matched = 0;
+  double effectiveness_sum = 0.0;
+  uint64_t join_ops = 0;
+
+  TimeBreakdown breakdown;
+  LatencyRecorder latency;
+
+  /// Tuples processed per joiner: actual load distribution.
+  std::vector<uint64_t> per_joiner_processed;
+
+  /// Per-joiner utilization series (only when collect_cpu_util).
+  std::vector<std::vector<double>> utilization;
+
+  uint64_t rebalances = 0;
+  uint64_t final_schedule_version = 0;
+  uint64_t evicted_tuples = 0;
+  uint64_t peak_buffered_tuples = 0;
+
+  double Effectiveness() const {
+    return join_ops == 0 ? 1.0
+                         : effectiveness_sum / static_cast<double>(join_ops);
+  }
+
+  /// Coefficient of variation of the actual per-joiner processed counts
+  /// (the measured counterpart of Eq. 2).
+  double ActualUnbalancedness() const;
+};
+
+/// A parallel online interval join engine.
+///
+/// Protocol: Start() once; then, from a single driver thread, any number
+/// of Push()/SignalWatermark() calls; then Finish() exactly once, which
+/// drains, stops the joiners, and returns the merged statistics.
+class JoinEngine {
+ public:
+  virtual ~JoinEngine() = default;
+
+  virtual Status Start() = 0;
+
+  /// Feeds one arrival. `arrival_us` is the monotonic stamp used as the
+  /// latency origin. Single driver thread only.
+  virtual void Push(const StreamEvent& event, int64_t arrival_us) = 0;
+
+  /// Injects a watermark punctuation (driver thread).
+  virtual void SignalWatermark(Timestamp watermark) = 0;
+
+  virtual EngineStats Finish() = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Shared implementation for the queue-per-joiner engines (Key-OIJ,
+/// Scale-OIJ, SplitJoin): thread lifecycle, punctuation broadcast, the
+/// joiner event loop, and stats merging. Subclasses implement routing and
+/// per-event processing.
+class ParallelEngineBase : public JoinEngine {
+ public:
+  ParallelEngineBase(const QuerySpec& spec, const EngineOptions& options,
+                     ResultSink* sink);
+  ~ParallelEngineBase() override;
+
+  Status Start() final;
+  void Push(const StreamEvent& event, int64_t arrival_us) final;
+  void SignalWatermark(Timestamp watermark) final;
+  EngineStats Finish() final;
+
+ protected:
+  /// Routes a tuple event to one or more queues (subclass).
+  virtual void Route(const Event& event) = 0;
+
+  /// Per-event processing on joiner `j` (subclass). kFlush is handled by
+  /// the base loop after calling OnFlush.
+  virtual void OnTuple(uint32_t joiner, const Event& event) = 0;
+  virtual void OnWatermark(uint32_t joiner, Timestamp watermark) = 0;
+
+  /// Called when the joiner's queue is momentarily empty; engines poll
+  /// deferred work (pending base tuples waiting on teammates) here.
+  virtual void OnIdle(uint32_t /*joiner*/) {}
+
+  /// Final drain before the joiner thread exits.
+  virtual void OnFlush(uint32_t /*joiner*/) {}
+
+  /// Extra threads (e.g. SplitJoin's collector): started after joiners,
+  /// stopped before stats collection.
+  virtual void StartAuxiliary() {}
+  virtual void StopAuxiliary() {}
+
+  /// Subclass contribution to the merged stats (joiner-local counters).
+  virtual void CollectStats(EngineStats* stats) = 0;
+
+  void EnqueueTo(uint32_t joiner, const Event& event) {
+    queues_[joiner]->Push(event);
+  }
+
+  uint32_t num_joiners() const { return options_.num_joiners; }
+  const QuerySpec& spec() const { return spec_; }
+  const EngineOptions& options() const { return options_; }
+  ResultSink* sink() const { return sink_; }
+  uint64_t NextSeq() { return seq_++; }
+
+  /// Per-joiner utilization trackers (populated when collect_cpu_util).
+  std::vector<CpuUtilTracker> util_trackers_;
+
+  /// Per-joiner total busy nanoseconds (when collect_breakdown).
+  std::vector<int64_t> busy_ns_;
+
+ private:
+  void JoinerMain(uint32_t joiner);
+
+  QuerySpec spec_;
+  EngineOptions options_;
+  ResultSink* sink_;
+
+  std::vector<std::unique_ptr<SpscQueue<Event>>> queues_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+  bool finished_ = false;
+  uint64_t seq_ = 0;
+  uint64_t pushed_ = 0;
+  int64_t run_origin_ns_ = 0;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_JOIN_ENGINE_H_

@@ -1,0 +1,139 @@
+#ifndef OIJ_JOIN_HANDSHAKE_H_
+#define OIJ_JOIN_HANDSHAKE_H_
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "join/engine.h"
+
+namespace oij {
+
+/// Handshake join (Teubner & Mueller, SIGMOD'11) adapted to OIJ semantics
+/// — the other parallel stream-join family the paper's related work
+/// discusses (but does not evaluate); provided here as an extension
+/// baseline.
+///
+/// Topology: the joiners form a chain. Probe tuples are stored across the
+/// chain (round-robin slices: the probe window is spread over the line of
+/// players, per the paper's soccer analogy); base tuples enter at hop 0
+/// and *flow through every joiner in sequence*, probing each local slice
+/// and accumulating a partial aggregate as they travel; the chain's last
+/// hop emits the final result.
+///
+/// Exactness protocol (kWatermark): the *router* holds base tuples until
+/// the source watermark passes their window end, then injects them into
+/// the chain in timestamp order, each carrying the watermark in force at
+/// release (`required_wm`). A hop probes its slice for a base only once
+/// its own punctuation stream has caught up to that watermark — at which
+/// point every in-window probe routed to the hop is already stored (the
+/// probes precede the punctuation in the hop's FIFO). Because the chain
+/// is timestamp-ordered, each hop can evict its slice below
+/// (oldest possibly-future base ts − PRE) using local knowledge only.
+///
+/// This reproduces the family's documented trade-offs: naturally balanced
+/// storage and no broadcast of probe tuples (unlike SplitJoin), but
+/// result latency proportional to chain length and forwarding traffic of
+/// one hop per hop per base tuple.
+class HandshakeOijEngine : public JoinEngine {
+ public:
+  HandshakeOijEngine(const QuerySpec& spec, const EngineOptions& options,
+                     ResultSink* sink);
+  ~HandshakeOijEngine() override;
+
+  Status Start() override;
+  void Push(const StreamEvent& event, int64_t arrival_us) override;
+  void SignalWatermark(Timestamp watermark) override;
+  EngineStats Finish() override;
+
+  std::string_view name() const override { return "handshake"; }
+
+ private:
+  /// A base tuple in flight along the chain, carrying its partial state.
+  struct ChainMsg {
+    Tuple base;
+    int64_t arrival_us = 0;
+    /// Punctuation a hop must have processed before probing (kWatermark
+    /// mode; kMinTimestamp in kEager mode).
+    Timestamp required_wm = kMinTimestamp;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    uint64_t count = 0;
+  };
+
+  struct RouterPending {
+    Tuple base;
+    int64_t arrival_us;
+
+    bool operator>(const RouterPending& other) const {
+      return base.ts > other.base.ts;
+    }
+  };
+
+  struct JoinerState {
+    std::unordered_map<Key, std::vector<Tuple>> slice;
+    /// Bases awaiting this hop's gate; ts-ordered in kWatermark mode.
+    std::deque<ChainMsg> pending;
+    Timestamp max_seen = kMinTimestamp;
+    Timestamp last_wm = kMinTimestamp;
+    Timestamp max_chain_ts = kMinTimestamp;
+    bool direct_flushed = false;
+
+    uint64_t processed = 0;
+    uint64_t buffered = 0;
+    uint64_t peak_buffered = 0;
+    uint64_t evicted = 0;
+    uint64_t visited = 0;
+    uint64_t matched = 0;
+    double effectiveness_sum = 0.0;
+    uint64_t join_ops = 0;
+    TimeBreakdown breakdown;
+    LatencyRecorder latency;
+    SampledCacheProbe cache_probe;
+  };
+
+  void JoinerMain(uint32_t joiner);
+  bool GatePassed(const JoinerState& s, const ChainMsg& msg) const;
+  /// Probes the local slice, merges into the carried partial, forwards or
+  /// emits.
+  void ProcessBase(uint32_t joiner, JoinerState& s, ChainMsg msg);
+  void DrainPending(uint32_t joiner, JoinerState& s);
+  void Evict(JoinerState& s);
+  void Emit(JoinerState& s, const ChainMsg& msg);
+  void InjectBase(const Tuple& base, int64_t arrival_us,
+                  Timestamp required_wm);
+  void ReleaseRouterPending(Timestamp up_to, Timestamp required_wm);
+
+  QuerySpec spec_;
+  EngineOptions options_;
+  ResultSink* sink_;
+
+  /// Router -> joiner: probe tuples and punctuations.
+  std::vector<std::unique_ptr<SpscQueue<Event>>> direct_queues_;
+  /// Chain hop i receives base tuples from hop i-1 (hop 0 from the
+  /// router).
+  std::vector<std::unique_ptr<SpscQueue<ChainMsg>>> chain_queues_;
+
+  std::vector<std::unique_ptr<JoinerState>> states_;
+  std::vector<std::thread> threads_;
+  std::vector<int64_t> busy_ns_;
+
+  // Router-side gating state (driver thread only).
+  std::priority_queue<RouterPending, std::vector<RouterPending>,
+                      std::greater<RouterPending>>
+      router_pending_;
+  Timestamp router_wm_ = kMinTimestamp;
+
+  bool started_ = false;
+  bool finished_ = false;
+  uint64_t pushed_ = 0;
+  uint64_t store_rr_ = 0;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_JOIN_HANDSHAKE_H_

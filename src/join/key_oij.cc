@@ -1,0 +1,175 @@
+#include "join/key_oij.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/hash.h"
+
+namespace oij {
+
+KeyOijEngine::KeyOijEngine(const QuerySpec& spec,
+                           const EngineOptions& options, ResultSink* sink)
+    : ParallelEngineBase(spec, options, sink) {
+  states_.reserve(options.num_joiners);
+  for (uint32_t j = 0; j < options.num_joiners; ++j) {
+    states_.push_back(std::make_unique<JoinerState>());
+    states_.back()->cache_probe =
+        SampledCacheProbe(options.cache_sim, options.cache_sample_period);
+  }
+}
+
+void KeyOijEngine::Route(const Event& event) {
+  // Static binding of key hash to joiner: the defining property (and
+  // weakness: at most u joiners can be busy) of Key-OIJ.
+  const uint32_t joiner =
+      RangePartition(Mix64(event.tuple.key), num_joiners());
+  EnqueueTo(joiner, event);
+}
+
+Timestamp KeyOijEngine::FinalizeThreshold(const JoinerState& s) const {
+  // Returns the highest event time T such that all data with ts <= T is
+  // guaranteed present (exactly in kWatermark mode; best-effort in kEager).
+  if (spec().emit_mode == EmitMode::kEager) {
+    // Join-on-arrival: a base tuple waits only for its FOL offset worth of
+    // locally observed event time (zero wait for PRE-only windows).
+    Timestamp t = s.max_seen;
+    if (s.last_wm != kMinTimestamp && s.last_wm != kMaxTimestamp) {
+      t = std::max(t, s.last_wm + spec().lateness_us);
+    } else if (s.last_wm == kMaxTimestamp) {
+      t = kMaxTimestamp;
+    }
+    return t;
+  }
+  // A future tuple may still carry ts == watermark, so completeness is
+  // only guaranteed strictly below it.
+  if (s.last_wm == kMinTimestamp || s.last_wm == kMaxTimestamp) {
+    return s.last_wm;
+  }
+  return s.last_wm - 1;
+}
+
+void KeyOijEngine::OnTuple(uint32_t joiner, const Event& event) {
+  JoinerState& s = *states_[joiner];
+  ++s.processed;
+  if (event.tuple.ts > s.max_seen) s.max_seen = event.tuple.ts;
+
+  if (event.stream == StreamId::kProbe) {
+    s.buffers[event.tuple.key].push_back(event.tuple);
+    ++s.buffered;
+    if (s.buffered > s.peak_buffered) s.peak_buffered = s.buffered;
+  } else {
+    if (event.tuple.ts + spec().window.fol <= FinalizeThreshold(s)) {
+      JoinOne(s, event.tuple, event.arrival_us);
+    } else {
+      s.pending.push(PendingBase{event.tuple, event.arrival_us});
+    }
+  }
+  DrainPending(s);
+}
+
+void KeyOijEngine::OnWatermark(uint32_t joiner, Timestamp watermark) {
+  JoinerState& s = *states_[joiner];
+  if (watermark > s.last_wm) s.last_wm = watermark;
+  DrainPending(s);
+  Evict(s);
+}
+
+void KeyOijEngine::DrainPending(JoinerState& s) {
+  const Timestamp threshold = FinalizeThreshold(s);
+  while (!s.pending.empty() &&
+         s.pending.top().tuple.ts + spec().window.fol <= threshold) {
+    const PendingBase pb = s.pending.top();
+    s.pending.pop();
+    JoinOne(s, pb.tuple, pb.arrival_us);
+  }
+}
+
+void KeyOijEngine::JoinOne(JoinerState& s, const Tuple& base,
+                           int64_t arrival_us) {
+  const Timestamp start = spec().window.start_for(base.ts);
+  const Timestamp end = spec().window.end_for(base.ts);
+
+  // Lookup: the full scan over the key's buffer. The buffer is unsorted,
+  // so every stored tuple of the key must be visited and filtered.
+  s.scratch_matches.clear();
+  uint64_t op_visited = 0;
+  {
+    ScopedTimerNs timer(&s.breakdown.lookup_ns);
+    auto it = s.buffers.find(base.key);
+    if (it != s.buffers.end()) {
+      for (const Tuple& r : it->second) {
+        ++op_visited;
+        s.cache_probe.Touch(&r);
+        if (r.ts >= start && r.ts <= end) {
+          s.scratch_matches.push_back(&r);
+        }
+      }
+    }
+  }
+
+  // Match: aggregate the in-window tuples.
+  AggState agg;
+  {
+    ScopedTimerNs timer(&s.breakdown.match_ns);
+    for (const Tuple* r : s.scratch_matches) {
+      agg.Add(r->payload);
+    }
+  }
+
+  s.visited += op_visited;
+  s.matched += s.scratch_matches.size();
+  s.effectiveness_sum +=
+      op_visited == 0
+          ? 1.0
+          : static_cast<double>(s.scratch_matches.size()) /
+                static_cast<double>(op_visited);
+  ++s.join_ops;
+
+  JoinResult result;
+  result.base = base;
+  result.aggregate = agg.Result(spec().agg);
+  result.match_count = agg.count;
+  FillWindowStats(&result, agg);
+  result.arrival_us = arrival_us;
+  result.emit_us = MonotonicNowUs();
+  s.latency.Record(result.emit_us - arrival_us);
+  sink()->OnResult(result);
+}
+
+void KeyOijEngine::Evict(JoinerState& s) {
+  if (s.last_wm == kMinTimestamp) return;
+  // No future base tuple can have ts < last_wm (lateness bound), and
+  // pending ones have ts + FOL > last_wm, so no window reaches below:
+  const Timestamp bound = s.last_wm - spec().window.pre - spec().window.fol;
+  for (auto& [key, buffer] : s.buffers) {
+    auto keep_end = std::remove_if(
+        buffer.begin(), buffer.end(),
+        [bound](const Tuple& t) { return t.ts < bound; });
+    const size_t removed =
+        static_cast<size_t>(buffer.end() - keep_end);
+    if (removed > 0) {
+      buffer.erase(keep_end, buffer.end());
+      s.evicted += removed;
+      s.buffered -= removed;
+    }
+  }
+}
+
+void KeyOijEngine::CollectStats(EngineStats* stats) {
+  stats->per_joiner_processed.resize(states_.size());
+  for (size_t j = 0; j < states_.size(); ++j) {
+    JoinerState& s = *states_[j];
+    stats->per_joiner_processed[j] = s.processed;
+    stats->results += s.join_ops;
+    stats->visited += s.visited;
+    stats->matched += s.matched;
+    stats->effectiveness_sum += s.effectiveness_sum;
+    stats->join_ops += s.join_ops;
+    stats->breakdown.Merge(s.breakdown);
+    stats->latency.Merge(s.latency);
+    stats->evicted_tuples += s.evicted;
+    stats->peak_buffered_tuples += s.peak_buffered;
+  }
+}
+
+}  // namespace oij

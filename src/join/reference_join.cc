@@ -1,0 +1,75 @@
+#include "join/reference_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace oij {
+
+std::vector<ReferenceResult> ReferenceJoin(
+    const std::vector<StreamEvent>& events, const QuerySpec& spec) {
+  std::unordered_map<Key, std::vector<Tuple>> probes;
+  std::vector<Tuple> bases;
+  for (const StreamEvent& ev : events) {
+    if (ev.stream == StreamId::kProbe) {
+      probes[ev.tuple.key].push_back(ev.tuple);
+    } else {
+      bases.push_back(ev.tuple);
+    }
+  }
+  for (auto& [key, vec] : probes) {
+    std::sort(vec.begin(), vec.end(),
+              [](const Tuple& a, const Tuple& b) { return a.ts < b.ts; });
+  }
+
+  std::vector<ReferenceResult> out;
+  out.reserve(bases.size());
+  for (const Tuple& s : bases) {
+    const Timestamp start = spec.window.start_for(s.ts);
+    const Timestamp end = spec.window.end_for(s.ts);
+    AggState agg;
+    auto it = probes.find(s.key);
+    if (it != probes.end()) {
+      const auto& vec = it->second;
+      auto lo = std::lower_bound(
+          vec.begin(), vec.end(), start,
+          [](const Tuple& t, Timestamp v) { return t.ts < v; });
+      for (; lo != vec.end() && lo->ts <= end; ++lo) {
+        agg.Add(lo->payload);
+      }
+    }
+    out.push_back({s, agg.Result(spec.agg), agg.count});
+  }
+  return out;
+}
+
+std::vector<ReferenceResult> ReferenceJoinBrute(
+    const std::vector<StreamEvent>& events, const QuerySpec& spec) {
+  std::vector<ReferenceResult> out;
+  for (const StreamEvent& se : events) {
+    if (se.stream != StreamId::kBase) continue;
+    const Tuple& s = se.tuple;
+    const Timestamp start = spec.window.start_for(s.ts);
+    const Timestamp end = spec.window.end_for(s.ts);
+    AggState agg;
+    for (const StreamEvent& re : events) {
+      if (re.stream != StreamId::kProbe) continue;
+      const Tuple& r = re.tuple;
+      if (r.key == s.key && r.ts >= start && r.ts <= end) {
+        agg.Add(r.payload);
+      }
+    }
+    out.push_back({s, agg.Result(spec.agg), agg.count});
+  }
+  return out;
+}
+
+void SortResults(std::vector<ReferenceResult>* results) {
+  std::sort(results->begin(), results->end(),
+            [](const ReferenceResult& a, const ReferenceResult& b) {
+              if (a.base.ts != b.base.ts) return a.base.ts < b.base.ts;
+              if (a.base.key != b.base.key) return a.base.key < b.base.key;
+              return a.base.payload < b.base.payload;
+            });
+}
+
+}  // namespace oij

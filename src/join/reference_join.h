@@ -1,0 +1,38 @@
+#ifndef OIJ_JOIN_REFERENCE_JOIN_H_
+#define OIJ_JOIN_REFERENCE_JOIN_H_
+
+#include <vector>
+
+#include "core/query_spec.h"
+#include "stream/generator.h"
+
+namespace oij {
+
+/// One oracle result row: the base tuple and its exact aggregate.
+struct ReferenceResult {
+  Tuple base;
+  double aggregate = 0.0;
+  uint64_t match_count = 0;
+};
+
+/// Exact single-threaded OIJ oracle over a fully materialized arrival
+/// sequence (full knowledge: every probe tuple in a base tuple's window
+/// counts, matching EmitMode::kWatermark semantics and, when the input is
+/// in order, kEager as well). Sorted per-key probe arrays with binary
+/// search; O((|S|+|R|) log |R|).
+///
+/// Every parallel engine is differential-tested against this.
+std::vector<ReferenceResult> ReferenceJoin(
+    const std::vector<StreamEvent>& events, const QuerySpec& spec);
+
+/// O(|S|·|R|) brute-force oracle used to validate ReferenceJoin itself on
+/// small inputs.
+std::vector<ReferenceResult> ReferenceJoinBrute(
+    const std::vector<StreamEvent>& events, const QuerySpec& spec);
+
+/// Canonical ordering for comparisons: by (ts, key, payload).
+void SortResults(std::vector<ReferenceResult>* results);
+
+}  // namespace oij
+
+#endif  // OIJ_JOIN_REFERENCE_JOIN_H_

@@ -1,0 +1,305 @@
+#include "join/scale_oij.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace oij {
+
+ScaleOijEngine::ScaleOijEngine(const QuerySpec& spec,
+                               const EngineOptions& options, ResultSink* sink)
+    : ParallelEngineBase(spec, options, sink),
+      ebr_(options.num_joiners + 1),
+      table_(options.num_partitions, options.num_joiners),
+      router_stats_(options.num_partitions),
+      rebalancer_(options.rebalance),
+      round_robin_(options.num_partitions, 0) {
+  router_schedule_ = table_.Snapshot();
+  states_.reserve(options.num_joiners);
+  for (uint32_t j = 0; j < options.num_joiners; ++j) {
+    const uint32_t slot = ebr_.RegisterThread();
+    states_.push_back(std::make_unique<JoinerState>(
+        &ebr_, slot, /*seed=*/0x5ca1e + j));
+    states_.back()->schedule = router_schedule_;
+    states_.back()->cache_probe =
+        SampledCacheProbe(options.cache_sim, options.cache_sample_period);
+  }
+}
+
+void ScaleOijEngine::Route(const Event& event) {
+  const uint32_t p = PartitionTable::PartitionOf(
+      event.tuple.key, options().num_partitions);
+  router_stats_.Add(p);
+
+  const auto& team = router_schedule_->teams[p];
+  const uint32_t member = team[round_robin_[p]++ % team.size()];
+  EnqueueTo(member, event);
+
+  if (options().dynamic_schedule &&
+      ++events_since_rebalance_ >= options().rebalance_interval_events) {
+    events_since_rebalance_ = 0;
+    auto next = rebalancer_.Rebalance(router_schedule_, &router_stats_);
+    if (next != router_schedule_) {
+      ++rebalances_;
+      router_schedule_ = next;
+      table_.Publish(next);
+    }
+  }
+}
+
+Timestamp ScaleOijEngine::LocalProgress(const JoinerState& s) const {
+  // Highest event time through which this joiner's queue is complete *and*
+  // processed. A future tuple may still carry ts == watermark, so in
+  // kWatermark mode the guarantee is strictly below the punctuation.
+  if (spec().emit_mode == EmitMode::kWatermark) {
+    if (s.last_wm == kMinTimestamp || s.last_wm == kMaxTimestamp) {
+      return s.last_wm;
+    }
+    return s.last_wm - 1;
+  }
+  // Eager mode: everything this joiner has observed, plus what the last
+  // punctuation proves was emitted globally (wm = max emitted − l).
+  Timestamp p = s.max_seen;
+  if (s.last_wm != kMinTimestamp) {
+    const Timestamp global = s.last_wm == kMaxTimestamp
+                                 ? kMaxTimestamp
+                                 : s.last_wm + spec().lateness_us;
+    p = std::max(p, global);
+  }
+  return p;
+}
+
+void ScaleOijEngine::PublishProgress(JoinerState& s) {
+  // Release: teammates that acquire this value must observe every index
+  // insert performed before it.
+  s.progress.store(LocalProgress(s), std::memory_order_release);
+}
+
+void ScaleOijEngine::PublishReadFloor(JoinerState& s) {
+  Timestamp basis = s.last_wm;
+  if (!s.pending.empty()) {
+    basis = std::min(basis, s.pending.top().tuple.ts);
+  }
+  if (basis == kMinTimestamp) return;  // nothing observed yet
+  const Timestamp reach =
+      spec().window.pre + (spec().window.pre + spec().window.fol) + 1;
+  const Timestamp floor =
+      basis > kMinTimestamp + reach ? basis - reach : kMinTimestamp + 1;
+  // Monotone by construction, but clamp defensively.
+  if (floor > s.read_floor.load(std::memory_order_relaxed)) {
+    s.read_floor.store(floor, std::memory_order_release);
+  }
+}
+
+Timestamp ScaleOijEngine::TeamMinProgress(
+    const std::vector<uint32_t>& team) const {
+  Timestamp min_p = kMaxTimestamp;
+  for (uint32_t m : team) {
+    min_p = std::min(min_p,
+                     states_[m]->progress.load(std::memory_order_acquire));
+  }
+  return min_p;
+}
+
+Timestamp ScaleOijEngine::GlobalMinReadFloor() const {
+  Timestamp min_f = kMaxTimestamp;
+  for (const auto& s : states_) {
+    min_f =
+        std::min(min_f, s->read_floor.load(std::memory_order_acquire));
+  }
+  return min_f;
+}
+
+void ScaleOijEngine::OnTuple(uint32_t joiner, const Event& event) {
+  JoinerState& s = *states_[joiner];
+  ++s.processed;
+  if (event.tuple.ts > s.max_seen) s.max_seen = event.tuple.ts;
+
+  if (event.stream == StreamId::kProbe) {
+    s.index.Insert(event.tuple);
+    const size_t size = s.index.size();
+    if (size > s.peak_buffered) s.peak_buffered = size;
+  } else {
+    s.pending.push(PendingBase{event.tuple, event.arrival_us});
+  }
+
+  if (spec().emit_mode == EmitMode::kEager) {
+    PublishProgress(s);
+  }
+  DrainPending(joiner, s);
+}
+
+void ScaleOijEngine::OnWatermark(uint32_t joiner, Timestamp watermark) {
+  JoinerState& s = *states_[joiner];
+  if (watermark > s.last_wm) s.last_wm = watermark;
+  // Teams only grow, so refreshing to the newest schedule is always safe
+  // and guarantees the view covers every member routed to so far.
+  s.schedule = table_.Snapshot();
+  // Publish before draining: gating is on progress, so publishing first
+  // keeps the team free of circular waits; eviction safety is carried by
+  // read_floor, which still reflects the undrained pending tuples.
+  PublishProgress(s);
+  PublishReadFloor(s);
+  DrainPending(joiner, s);
+  Evict(s);
+}
+
+void ScaleOijEngine::OnIdle(uint32_t joiner) {
+  // Teammate progress may have advanced while our queue is empty.
+  DrainPending(joiner, *states_[joiner]);
+}
+
+void ScaleOijEngine::OnFlush(uint32_t joiner) {
+  JoinerState& s = *states_[joiner];
+  // All joiners have published kMaxTimestamp progress by the time they
+  // process their own flush; spin until ours drains.
+  while (!s.pending.empty()) {
+    DrainPending(joiner, s);
+    if (!s.pending.empty()) std::this_thread::yield();
+  }
+  PublishReadFloor(s);
+}
+
+void ScaleOijEngine::DrainPending(uint32_t joiner, JoinerState& s) {
+  if (s.schedule == nullptr) s.schedule = table_.Snapshot();
+  bool popped = false;
+  while (!s.pending.empty()) {
+    const PendingBase top = s.pending.top();
+    const uint32_t p = PartitionTable::PartitionOf(
+        top.tuple.key, options().num_partitions);
+    const Timestamp window_end = spec().window.end_for(top.tuple.ts);
+    if (window_end > TeamMinProgress(s.schedule->teams[p])) break;
+    s.pending.pop();
+    popped = true;
+    JoinOne(joiner, s, top.tuple, top.arrival_us);
+  }
+  if (popped) PublishReadFloor(s);
+}
+
+void ScaleOijEngine::JoinOne(uint32_t joiner, JoinerState& s,
+                             const Tuple& base, int64_t arrival_us) {
+  (void)joiner;
+  const Timestamp start = spec().window.start_for(base.ts);
+  const Timestamp end = spec().window.end_for(base.ts);
+  const uint32_t p =
+      PartitionTable::PartitionOf(base.key, options().num_partitions);
+  const std::vector<uint32_t>& team = s.schedule->teams[p];
+
+  uint64_t op_visited = 0;
+  double result_value = 0.0;
+  uint64_t result_count = 0;
+  double out_sum = std::numeric_limits<double>::quiet_NaN();
+  double out_min = std::numeric_limits<double>::quiet_NaN();
+  double out_max = std::numeric_limits<double>::quiet_NaN();
+  {
+    ScopedTimerNs timer(&s.breakdown.match_ns);
+    EpochGuard guard(ebr_, s.ebr_slot);
+
+    auto scan = [&](Timestamp lo, Timestamp hi, auto&& per_tuple) {
+      for (uint32_t m : team) {
+        op_visited += states_[m]->index.ForEachInRange(
+            base.key, lo, hi, [&](const Tuple& t) {
+              s.cache_probe.Touch(&t);
+              per_tuple(t);
+            });
+      }
+    };
+
+    if (options().incremental_agg && IsInvertible(spec().agg)) {
+      IncrementalWindowState& inc = s.inc_states[base.key];
+      const auto slide = inc.Slide(start, end, spec().agg, scan);
+      if (slide.recomputed) {
+        ++s.recomputes;
+      } else {
+        ++s.incremental_slides;
+      }
+      result_value = inc.agg().Result(spec().agg);
+      result_count = inc.agg().count;
+      out_sum = inc.agg().sum;  // min/max not maintained incrementally
+    } else if (options().incremental_agg) {
+      // Non-invertible (min/max): Two-Stacks incremental window.
+      NonInvertibleWindowState& ni =
+          s.ni_states.try_emplace(base.key, spec().agg).first->second;
+      const auto slide = ni.Slide(start, end, scan);
+      if (slide.recomputed) {
+        ++s.recomputes;
+      } else {
+        ++s.incremental_slides;
+      }
+      result_count = ni.count();
+      result_value = result_count == 0
+                         ? std::numeric_limits<double>::quiet_NaN()
+                         : ni.Result();
+      if (result_count > 0) {
+        (spec().agg == AggKind::kMin ? out_min : out_max) = ni.Result();
+      }
+    } else {
+      AggState agg;
+      scan(start, end, [&](const Tuple& t) { agg.Add(t.payload); });
+      ++s.recomputes;
+      result_value = agg.Result(spec().agg);
+      result_count = agg.count;
+      out_sum = agg.sum;
+      if (agg.count > 0) {
+        out_min = agg.min;
+        out_max = agg.max;
+      }
+    }
+  }
+
+  s.visited += op_visited;
+  s.matched += result_count;
+  // Incremental slides can visit fewer tuples than are in the window;
+  // effectiveness (Eq. 1) is defined on [0, 1], so clamp.
+  s.effectiveness_sum +=
+      op_visited == 0 ? 1.0
+                      : std::min(1.0, static_cast<double>(result_count) /
+                                          static_cast<double>(op_visited));
+  ++s.join_ops;
+
+  JoinResult result;
+  result.base = base;
+  result.aggregate = result_value;
+  result.match_count = result_count;
+  result.sum = out_sum;
+  result.min = out_min;
+  result.max = out_max;
+  result.arrival_us = arrival_us;
+  result.emit_us = MonotonicNowUs();
+  s.latency.Record(result.emit_us - arrival_us);
+  sink()->OnResult(result);
+}
+
+void ScaleOijEngine::Evict(JoinerState& s) {
+  const Timestamp bound = GlobalMinReadFloor();
+  if (bound == kMinTimestamp || bound == kMaxTimestamp) {
+    // Nothing published yet, or flush already drained: evict everything
+    // only in the latter case.
+    if (bound == kMaxTimestamp) s.evicted += s.index.EvictBefore(bound);
+    return;
+  }
+  s.evicted += s.index.EvictBefore(bound);
+}
+
+void ScaleOijEngine::CollectStats(EngineStats* stats) {
+  stats->per_joiner_processed.resize(states_.size());
+  for (size_t j = 0; j < states_.size(); ++j) {
+    JoinerState& s = *states_[j];
+    stats->per_joiner_processed[j] = s.processed;
+    stats->results += s.join_ops;
+    stats->visited += s.visited;
+    stats->matched += s.matched;
+    stats->effectiveness_sum += s.effectiveness_sum;
+    stats->join_ops += s.join_ops;
+    stats->breakdown.Merge(s.breakdown);
+    stats->latency.Merge(s.latency);
+    stats->evicted_tuples += s.evicted;
+    stats->peak_buffered_tuples += s.peak_buffered;
+  }
+  stats->rebalances = rebalances_;
+  stats->final_schedule_version = router_schedule_->version;
+}
+
+}  // namespace oij

@@ -1,0 +1,38 @@
+#ifndef OIJ_JOIN_WATERMARK_H_
+#define OIJ_JOIN_WATERMARK_H_
+
+#include "common/types.h"
+
+namespace oij {
+
+/// Tracks the low-watermark of a stream under a lateness bound l: after
+/// observing a tuple with event timestamp t, no future tuple may carry a
+/// timestamp <= max_seen − l (Section II-B; the generator enforces exactly
+/// this disorder bound). The pipeline advances one tracker over the merged
+/// arrival sequence and periodically injects the watermark into every
+/// joiner queue as a punctuation.
+class WatermarkTracker {
+ public:
+  explicit WatermarkTracker(Timestamp lateness_us)
+      : lateness_us_(lateness_us) {}
+
+  void Observe(Timestamp ts) {
+    if (ts > max_seen_) max_seen_ = ts;
+  }
+
+  Timestamp watermark() const {
+    return max_seen_ == kMinTimestamp ? kMinTimestamp
+                                      : max_seen_ - lateness_us_;
+  }
+
+  Timestamp max_seen() const { return max_seen_; }
+  Timestamp lateness_us() const { return lateness_us_; }
+
+ private:
+  Timestamp lateness_us_;
+  Timestamp max_seen_ = kMinTimestamp;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_JOIN_WATERMARK_H_

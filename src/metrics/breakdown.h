@@ -1,0 +1,49 @@
+#ifndef OIJ_METRICS_BREAKDOWN_H_
+#define OIJ_METRICS_BREAKDOWN_H_
+
+#include <cstdint>
+
+namespace oij {
+
+/// Per-joiner processing-time breakdown — the categories of Fig 6:
+///   lookup: visiting stored tuples to find those inside the window;
+///   match:  aggregating the in-window tuples;
+///   other:  everything else (queue handling, insertion, result writing).
+/// Joiners accumulate lookup/match with ScopedTimerNs; `other` is derived
+/// as busy − lookup − match at report time.
+struct TimeBreakdown {
+  int64_t lookup_ns = 0;
+  int64_t match_ns = 0;
+  int64_t busy_ns = 0;  ///< total time spent processing events
+
+  int64_t other_ns() const {
+    const int64_t o = busy_ns - lookup_ns - match_ns;
+    return o > 0 ? o : 0;
+  }
+
+  void Merge(const TimeBreakdown& b) {
+    lookup_ns += b.lookup_ns;
+    match_ns += b.match_ns;
+    busy_ns += b.busy_ns;
+  }
+
+  double lookup_fraction() const {
+    return busy_ns == 0 ? 0.0
+                        : static_cast<double>(lookup_ns) /
+                              static_cast<double>(busy_ns);
+  }
+  double match_fraction() const {
+    return busy_ns == 0 ? 0.0
+                        : static_cast<double>(match_ns) /
+                              static_cast<double>(busy_ns);
+  }
+  double other_fraction() const {
+    return busy_ns == 0 ? 0.0
+                        : static_cast<double>(other_ns()) /
+                              static_cast<double>(busy_ns);
+  }
+};
+
+}  // namespace oij
+
+#endif  // OIJ_METRICS_BREAKDOWN_H_

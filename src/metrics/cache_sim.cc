@@ -1,0 +1,58 @@
+#include "metrics/cache_sim.h"
+
+#include <bit>
+
+namespace oij {
+
+CacheSim::CacheSim(const Config& config) : config_(config) {
+  line_shift_ = static_cast<uint32_t>(std::countr_zero(config_.line_bytes));
+  const uint64_t lines = config_.capacity_bytes / config_.line_bytes;
+  uint64_t sets = lines / config_.ways;
+  // Round down to a power of two so set indexing is a mask.
+  if (sets == 0) sets = 1;
+  sets = uint64_t{1} << (63 - std::countl_zero(sets));
+  num_sets_ = static_cast<uint32_t>(sets);
+  ways_.resize(static_cast<size_t>(num_sets_) * config_.ways);
+}
+
+bool CacheSim::Access(uintptr_t address) {
+  const uint64_t line = static_cast<uint64_t>(address) >> line_shift_;
+  const uint32_t set = static_cast<uint32_t>(line) & (num_sets_ - 1);
+  const uint64_t tag = line >> std::countr_zero(num_sets_);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  Way* row = &ways_[static_cast<size_t>(set) * config_.ways];
+  Way* victim = row;
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    if (row[w].valid && row[w].tag == tag) {
+      row[w].lru = tick_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (!row[w].valid) {
+      victim = &row[w];
+    } else if (victim->valid && row[w].lru < victim->lru) {
+      victim = &row[w];
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+double CacheSim::MissRatio() const {
+  const uint64_t total = accesses();
+  return total == 0 ? 0.0
+                    : static_cast<double>(misses()) /
+                          static_cast<double>(total);
+}
+
+void CacheSim::ResetCounters() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace oij

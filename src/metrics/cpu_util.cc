@@ -1,0 +1,55 @@
+#include "metrics/cpu_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oij {
+
+CpuUtilTracker::CpuUtilTracker(int64_t origin_ns, int64_t interval_ns)
+    : origin_ns_(origin_ns), interval_ns_(interval_ns) {}
+
+void CpuUtilTracker::AddBusy(int64_t start_ns, int64_t end_ns) {
+  if (end_ns <= start_ns) return;
+  start_ns = std::max(start_ns, origin_ns_);
+  if (end_ns <= origin_ns_) return;
+  int64_t cursor = start_ns;
+  while (cursor < end_ns) {
+    const size_t idx =
+        static_cast<size_t>((cursor - origin_ns_) / interval_ns_);
+    const int64_t interval_end = origin_ns_ + (idx + 1) * interval_ns_;
+    const int64_t span = std::min(end_ns, interval_end) - cursor;
+    if (busy_per_interval_.size() <= idx) busy_per_interval_.resize(idx + 1, 0);
+    busy_per_interval_[idx] += span;
+    cursor += span;
+  }
+}
+
+std::vector<double> CpuUtilTracker::UtilizationSeries(
+    int64_t through_ns) const {
+  size_t n = busy_per_interval_.size();
+  if (through_ns > origin_ns_) {
+    n = std::max<size_t>(
+        n, static_cast<size_t>((through_ns - origin_ns_ + interval_ns_ - 1) /
+                               interval_ns_));
+  }
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < busy_per_interval_.size() && i < n; ++i) {
+    out[i] = std::min(
+        1.0, static_cast<double>(busy_per_interval_[i]) /
+                 static_cast<double>(interval_ns_));
+  }
+  return out;
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  return std::sqrt(var);
+}
+
+}  // namespace oij

@@ -1,0 +1,39 @@
+#ifndef OIJ_METRICS_CPU_UTIL_H_
+#define OIJ_METRICS_CPU_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace oij {
+
+/// Tracks one joiner's busy time per fixed wall-clock interval, producing
+/// the per-joiner utilization-over-time series of Fig 14. The joiner calls
+/// AddBusy(start_ns, end_ns) around each processed batch; busy spans are
+/// apportioned across interval boundaries.
+class CpuUtilTracker {
+ public:
+  /// `origin_ns` anchors interval 0; all joiners of a run share it.
+  explicit CpuUtilTracker(int64_t origin_ns = 0,
+                          int64_t interval_ns = 100'000'000);
+
+  void AddBusy(int64_t start_ns, int64_t end_ns);
+
+  /// Utilization (busy fraction in [0,1]) for each interval up to
+  /// `through_ns`; trailing idle intervals are included.
+  std::vector<double> UtilizationSeries(int64_t through_ns) const;
+
+  int64_t interval_ns() const { return interval_ns_; }
+
+ private:
+  int64_t origin_ns_;
+  int64_t interval_ns_;
+  std::vector<int64_t> busy_per_interval_;
+};
+
+/// Standard deviation of a series (used to score utilization smoothness:
+/// Scale-OIJ's dynamic schedule yields a smoother series than Key-OIJ).
+double StdDev(const std::vector<double>& values);
+
+}  // namespace oij
+
+#endif  // OIJ_METRICS_CPU_UTIL_H_

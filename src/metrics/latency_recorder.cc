@@ -1,0 +1,82 @@
+#include "metrics/latency_recorder.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace oij {
+
+LatencyRecorder::LatencyRecorder()
+    : buckets_(static_cast<size_t>(kBuckets) * kSubBuckets, 0) {}
+
+int LatencyRecorder::BucketIndex(int64_t value_us) {
+  const uint64_t v = static_cast<uint64_t>(std::max<int64_t>(value_us, 0));
+  if (v < kSubBuckets) return static_cast<int>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBucketBits;  // >= 0 here since v >= kSubBuckets
+  const int sub = static_cast<int>(v >> shift) & (kSubBuckets - 1);
+  const int index = (shift + 1) * kSubBuckets + sub;
+  return std::min(index, kBuckets * kSubBuckets - 1);
+}
+
+int64_t LatencyRecorder::BucketValue(int index) {
+  const int shift = index / kSubBuckets - 1;
+  const int sub = index % kSubBuckets;
+  if (shift < 0) return sub;
+  // Upper edge of the sub-bucket.
+  return ((static_cast<int64_t>(kSubBuckets) + sub + 1) << shift) - 1;
+}
+
+void LatencyRecorder::Record(int64_t latency_us) {
+  latency_us = std::max<int64_t>(latency_us, 0);
+  buckets_[BucketIndex(latency_us)]++;
+  ++count_;
+  sum_us_ += latency_us;
+  max_us_ = std::max(max_us_, latency_us);
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_us_ += other.sum_us_;
+  max_us_ = std::max(max_us_, other.max_us_);
+}
+
+int64_t LatencyRecorder::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return BucketValue(static_cast<int>(i));
+  }
+  return max_us_;
+}
+
+double LatencyRecorder::FractionBelow(int64_t threshold_us) const {
+  if (count_ == 0) return 1.0;
+  uint64_t below = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (BucketValue(static_cast<int>(i)) <= threshold_us) {
+      below += buckets_[i];
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+std::vector<LatencyRecorder::CdfPoint> LatencyRecorder::CdfPoints() const {
+  std::vector<CdfPoint> points;
+  if (count_ == 0) return points;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    points.push_back({BucketValue(static_cast<int>(i)),
+                      static_cast<double>(seen) /
+                          static_cast<double>(count_)});
+  }
+  return points;
+}
+
+}  // namespace oij

@@ -1,0 +1,65 @@
+#ifndef OIJ_METRICS_LATENCY_RECORDER_H_
+#define OIJ_METRICS_LATENCY_RECORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace oij {
+
+/// Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets with
+/// 16 linear sub-buckets each, ~6% relative error). One instance per
+/// joiner thread (no synchronization); merge at the end of a run.
+///
+/// The paper reports latency as a CDF (Figs 5, 17-20, 23); CdfPoints()
+/// reproduces that series and Percentile() gives the usual summary rows.
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  /// Records one latency observation in microseconds (negative clamps to 0).
+  void Record(int64_t latency_us);
+
+  void Merge(const LatencyRecorder& other);
+
+  uint64_t count() const { return count_; }
+  int64_t max_us() const { return max_us_; }
+  double mean_us() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_us_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1], e.g. Percentile(0.99).
+  int64_t Percentile(double q) const;
+
+  /// Fraction of observations <= `threshold_us` (e.g. the paper's 20 ms
+  /// bank SLA line).
+  double FractionBelow(int64_t threshold_us) const;
+
+  struct CdfPoint {
+    int64_t latency_us;
+    double cumulative;  // P(latency <= latency_us)
+  };
+
+  /// The latency CDF as (value, cumulative-probability) points, one per
+  /// non-empty bucket.
+  std::vector<CdfPoint> CdfPoints() const;
+
+ private:
+  static constexpr int kSubBucketBits = 4;   // 16 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBuckets = 40;        // covers > 10^13 us
+
+  static int BucketIndex(int64_t value_us);
+  /// Representative (upper-bound) value of a bucket.
+  static int64_t BucketValue(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t sum_us_ = 0;
+  int64_t max_us_ = 0;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_METRICS_LATENCY_RECORDER_H_

@@ -1,0 +1,20 @@
+#include "metrics/throughput.h"
+
+#include "common/clock.h"
+
+namespace oij {
+
+void ThroughputMeter::Start() { start_us_ = MonotonicNowUs(); }
+
+void ThroughputMeter::Stop() { stop_us_ = MonotonicNowUs(); }
+
+double ThroughputMeter::elapsed_seconds() const {
+  return static_cast<double>(stop_us_ - start_us_) / 1e6;
+}
+
+double ThroughputMeter::TuplesPerSecond() const {
+  const double secs = elapsed_seconds();
+  return secs <= 0.0 ? 0.0 : static_cast<double>(tuples_) / secs;
+}
+
+}  // namespace oij

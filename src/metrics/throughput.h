@@ -1,0 +1,30 @@
+#ifndef OIJ_METRICS_THROUGHPUT_H_
+#define OIJ_METRICS_THROUGHPUT_H_
+
+#include <cstdint>
+
+namespace oij {
+
+/// Measures input-tuples-per-second over a run, the paper's throughput
+/// metric (Section III-B).
+class ThroughputMeter {
+ public:
+  void Start();
+  void Stop();
+
+  void AddTuples(uint64_t n) { tuples_ += n; }
+
+  uint64_t tuples() const { return tuples_; }
+  double elapsed_seconds() const;
+  /// Tuples per second; 0 before Stop().
+  double TuplesPerSecond() const;
+
+ private:
+  uint64_t tuples_ = 0;
+  int64_t start_us_ = 0;
+  int64_t stop_us_ = 0;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_METRICS_THROUGHPUT_H_

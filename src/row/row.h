@@ -1,0 +1,81 @@
+#ifndef OIJ_ROW_ROW_H_
+#define OIJ_ROW_ROW_H_
+
+#include <cstring>
+#include <vector>
+
+#include "common/types.h"
+#include "row/schema.h"
+
+namespace oij {
+
+/// Builds packed fixed-width rows (8 bytes per column, little-endian
+/// in-memory representation). One builder is reused across rows.
+class RowBuilder {
+ public:
+  explicit RowBuilder(const Schema* schema)
+      : schema_(schema), buffer_(schema->row_bytes(), 0) {}
+
+  RowBuilder& SetInt64(int index, int64_t value) {
+    Store(index, static_cast<uint64_t>(value));
+    return *this;
+  }
+  RowBuilder& SetDouble(int index, double value) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, 8);
+    Store(index, bits);
+    return *this;
+  }
+  RowBuilder& SetTimestamp(int index, Timestamp value) {
+    return SetInt64(index, value);
+  }
+
+  /// The packed row; valid until the next Set/Reset.
+  const std::vector<uint8_t>& row() const { return buffer_; }
+
+  void Reset() { std::fill(buffer_.begin(), buffer_.end(), 0); }
+
+  const Schema* schema() const { return schema_; }
+
+ private:
+  void Store(int index, uint64_t bits) {
+    std::memcpy(buffer_.data() + static_cast<size_t>(index) * 8, &bits, 8);
+  }
+
+  const Schema* schema_;
+  std::vector<uint8_t> buffer_;
+};
+
+/// Read-only view over one packed row. Does not own the bytes.
+class RowView {
+ public:
+  RowView(const Schema* schema, const uint8_t* data)
+      : schema_(schema), data_(data) {}
+
+  int64_t GetInt64(int index) const {
+    return static_cast<int64_t>(Load(index));
+  }
+  double GetDouble(int index) const {
+    const uint64_t bits = Load(index);
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+  Timestamp GetTimestamp(int index) const { return GetInt64(index); }
+
+  const Schema* schema() const { return schema_; }
+
+ private:
+  uint64_t Load(int index) const {
+    uint64_t bits;
+    std::memcpy(&bits, data_ + static_cast<size_t>(index) * 8, 8);
+    return bits;
+  }
+
+  const Schema* schema_;
+  const uint8_t* data_;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_ROW_ROW_H_

@@ -1,0 +1,44 @@
+#include "row/schema.h"
+
+#include <unordered_set>
+
+namespace oij {
+
+std::string_view FieldTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kInt64:
+      return "int64";
+    case FieldType::kDouble:
+      return "double";
+    case FieldType::kTimestamp:
+      return "timestamp";
+  }
+  return "?";
+}
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::Validate() const {
+  if (fields_.empty()) {
+    return Status::InvalidArgument("schema has no columns");
+  }
+  std::unordered_set<std::string> seen;
+  for (const Field& f : fields_) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("schema has an unnamed column");
+    }
+    if (!seen.insert(f.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + f.name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace oij

@@ -1,0 +1,58 @@
+#ifndef OIJ_ROW_SCHEMA_H_
+#define OIJ_ROW_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oij {
+
+/// Column types of the row layer. All types are fixed-width (8 bytes), so
+/// rows pack densely and field access is branch-free — the layout
+/// OpenMLDB-style online feature stores favour for hot paths.
+enum class FieldType : uint8_t {
+  kInt64 = 0,
+  kDouble,
+  kTimestamp,  ///< event time, microseconds (int64 on the wire)
+};
+
+std::string_view FieldTypeName(FieldType type);
+
+struct Field {
+  std::string name;
+  FieldType type = FieldType::kInt64;
+
+  friend bool operator==(const Field&, const Field&) = default;
+};
+
+/// An ordered, named set of fixed-width columns describing one stream's
+/// rows. The SQL binder resolves PARTITION BY / ORDER BY / aggregate
+/// columns against schemas (see row/stream_binding.h).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Column index of `name`, or -1.
+  int IndexOf(std::string_view name) const;
+
+  const Field& field(size_t i) const { return fields_[i]; }
+  size_t num_fields() const { return fields_.size(); }
+
+  /// Bytes per packed row (8 per field).
+  size_t row_bytes() const { return fields_.size() * 8; }
+
+  /// Non-empty, unique column names.
+  Status Validate() const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_ROW_SCHEMA_H_

@@ -1,0 +1,85 @@
+#include "row/stream_binding.h"
+
+namespace oij {
+
+namespace {
+
+Status CheckColumn(const Schema& schema, std::string_view name,
+                   std::initializer_list<FieldType> allowed, int* index) {
+  *index = schema.IndexOf(name);
+  if (*index < 0) {
+    return Status::NotFound("column not in schema: " + std::string(name));
+  }
+  const FieldType type = schema.field(static_cast<size_t>(*index)).type;
+  for (FieldType t : allowed) {
+    if (type == t) return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "column " + std::string(name) + " has type " +
+      std::string(FieldTypeName(type)) + ", which this clause cannot use");
+}
+
+}  // namespace
+
+Status ResolveBinding(const Schema& schema, std::string_view ts_column,
+                      std::string_view key_column,
+                      std::string_view value_column, StreamBinding* out) {
+  Status s = schema.Validate();
+  if (!s.ok()) return s;
+  StreamBinding binding;
+  binding.schema = &schema;
+  s = CheckColumn(schema, ts_column,
+                  {FieldType::kTimestamp, FieldType::kInt64},
+                  &binding.ts_index);
+  if (!s.ok()) return s;
+  s = CheckColumn(schema, key_column, {FieldType::kInt64},
+                  &binding.key_index);
+  if (!s.ok()) return s;
+  if (!value_column.empty()) {
+    s = CheckColumn(schema, value_column,
+                    {FieldType::kDouble, FieldType::kInt64},
+                    &binding.value_index);
+    if (!s.ok()) return s;
+  }
+  *out = binding;
+  return Status::OK();
+}
+
+Status BindQueryToSchemas(const ParsedQuery& parsed,
+                          const Schema& base_schema,
+                          const Schema& probe_schema, StreamBinding* base,
+                          StreamBinding* probe) {
+  // The aggregated column lives in the probe (window-union) stream; the
+  // base stream only anchors windows.
+  Status s = ResolveBinding(base_schema, parsed.order_column,
+                            parsed.partition_column, "", base);
+  if (!s.ok()) {
+    return Status::InvalidArgument("base stream " + parsed.base_table +
+                                   ": " + s.ToString());
+  }
+  s = ResolveBinding(probe_schema, parsed.order_column,
+                     parsed.partition_column, parsed.agg_column, probe);
+  if (!s.ok()) {
+    return Status::InvalidArgument("probe stream " + parsed.probe_table +
+                                   ": " + s.ToString());
+  }
+  return Status::OK();
+}
+
+Tuple RowToTuple(const StreamBinding& binding, const RowView& row) {
+  Tuple t;
+  t.ts = row.GetTimestamp(binding.ts_index);
+  t.key = static_cast<Key>(row.GetInt64(binding.key_index));
+  if (binding.value_index >= 0) {
+    const FieldType type =
+        binding.schema->field(static_cast<size_t>(binding.value_index))
+            .type;
+    t.payload = type == FieldType::kDouble
+                    ? row.GetDouble(binding.value_index)
+                    : static_cast<double>(
+                          row.GetInt64(binding.value_index));
+  }
+  return t;
+}
+
+}  // namespace oij

@@ -1,0 +1,43 @@
+#ifndef OIJ_ROW_STREAM_BINDING_H_
+#define OIJ_ROW_STREAM_BINDING_H_
+
+#include "common/status.h"
+#include "row/row.h"
+#include "row/schema.h"
+#include "sql/ast.h"
+
+namespace oij {
+
+/// Resolved column positions of one stream for an OIJ query: where in a
+/// row the event timestamp, the join key, and the aggregated value live.
+struct StreamBinding {
+  const Schema* schema = nullptr;
+  int ts_index = -1;
+  int key_index = -1;
+  int value_index = -1;  ///< -1 for the base stream (not aggregated)
+};
+
+/// Resolves a query's ORDER BY / PARTITION BY / aggregate columns against
+/// one stream's schema. `value_column` may be empty (base stream).
+/// Checks that the timestamp column is kTimestamp or kInt64, the key
+/// column kInt64, and the value column kDouble or kInt64.
+Status ResolveBinding(const Schema& schema, std::string_view ts_column,
+                      std::string_view key_column,
+                      std::string_view value_column, StreamBinding* out);
+
+/// Resolves both sides of a parsed window-union query: the probe stream
+/// (UNION table) must expose the aggregated column; both must expose the
+/// partition and order columns.
+Status BindQueryToSchemas(const ParsedQuery& parsed,
+                          const Schema& base_schema,
+                          const Schema& probe_schema, StreamBinding* base,
+                          StreamBinding* probe);
+
+/// Converts one packed row into the engine tuple using a binding.
+/// Doubles are truncated toward zero when the key column is typed
+/// kDouble upstream — ResolveBinding rejects that, so this stays exact.
+Tuple RowToTuple(const StreamBinding& binding, const RowView& row);
+
+}  // namespace oij
+
+#endif  // OIJ_ROW_STREAM_BINDING_H_

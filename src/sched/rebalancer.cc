@@ -1,0 +1,93 @@
+#include "sched/rebalancer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oij {
+
+std::vector<double> Rebalancer::JoinerWorkloads(const Schedule& schedule,
+                                                const LoadStats& stats) {
+  std::vector<double> w(schedule.num_joiners, 0.0);
+  for (uint32_t p = 0; p < schedule.num_partitions(); ++p) {
+    const auto& team = schedule.teams[p];
+    if (team.empty()) continue;
+    const double share =
+        stats.count(p) / static_cast<double>(team.size());
+    for (uint32_t j : team) w[j] += share;
+  }
+  return w;
+}
+
+double Rebalancer::Unbalancedness(const std::vector<double>& workloads) {
+  if (workloads.empty()) return 0.0;
+  double mean = 0.0;
+  for (double w : workloads) mean += w;
+  mean /= static_cast<double>(workloads.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (double w : workloads) var += (w - mean) * (w - mean);
+  var /= static_cast<double>(workloads.size());
+  return std::sqrt(var) / mean;
+}
+
+std::shared_ptr<const Schedule> Rebalancer::Rebalance(
+    std::shared_ptr<const Schedule> current, LoadStats* stats) const {
+  auto next = std::make_shared<Schedule>(*current);
+  next->version = current->version + 1;
+  bool changed = false;
+
+  for (uint32_t move = 0; move < config_.max_moves; ++move) {
+    const std::vector<double> w = JoinerWorkloads(*next, *stats);
+    double before = Unbalancedness(w);
+    if (before <= 0.0) break;
+
+    // Step 1: the most and least loaded joiners (Alg. 3 line 3-4).
+    uint32_t j_max = 0, j_min = 0;
+    for (uint32_t j = 1; j < next->num_joiners; ++j) {
+      if (w[j] > w[j_max]) j_max = j;
+      if (w[j] < w[j_min]) j_min = j;
+    }
+    if (j_max == j_min) break;
+
+    // Step 2: partitions of J_max by descending load (the priority queue
+    // PQ of Alg. 3 line 5).
+    std::vector<uint32_t> candidates;
+    for (uint32_t p = 0; p < next->num_partitions(); ++p) {
+      const auto& team = next->teams[p];
+      if (std::find(team.begin(), team.end(), j_max) != team.end() &&
+          std::find(team.begin(), team.end(), j_min) == team.end()) {
+        candidates.push_back(p);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](uint32_t a, uint32_t b) {
+                return stats->count(a) > stats->count(b);
+              });
+
+    // Step 3: replicate the hottest candidate that actually improves the
+    // balance by more than δ (Alg. 3 lines 6-10).
+    bool accepted = false;
+    for (uint32_t p : candidates) {
+      auto& team = next->teams[p];
+      team.insert(std::upper_bound(team.begin(), team.end(), j_min), j_min);
+      const double after =
+          Unbalancedness(JoinerWorkloads(*next, *stats));
+      if (before - after > config_.improvement_threshold) {
+        accepted = true;
+        changed = true;
+        break;
+      }
+      team.erase(std::find(team.begin(), team.end(), j_min));
+    }
+    // Step 4: stop when the schedule no longer changes (Alg. 3 line 11-12).
+    if (!accepted) break;
+  }
+
+  // Step 5: decay the statistics (Alg. 3 line 13).
+  stats->Decay(config_.decay);
+
+  if (!changed) return current;
+  return next;
+}
+
+}  // namespace oij

@@ -1,0 +1,58 @@
+#ifndef OIJ_SCHED_REBALANCER_H_
+#define OIJ_SCHED_REBALANCER_H_
+
+#include <memory>
+#include <vector>
+
+#include "sched/load_stats.h"
+#include "sched/partition_table.h"
+
+namespace oij {
+
+/// Greedy dynamic re-scheduler — paper Algorithm 3.
+///
+/// The exact partition-to-team assignment problem is NP-hard; the paper's
+/// heuristic repeatedly replicates the hottest partition of the most
+/// loaded joiner onto the least loaded joiner while that decreases the
+/// estimated unbalancedness by at least `improvement_threshold` (δ).
+/// Estimated joiner workload follows Eq. 3: a partition's load divides
+/// evenly among its virtual-team members.
+struct RebalanceConfig {
+  /// δ: minimum relative unbalancedness improvement to accept a move.
+  double improvement_threshold = 0.01;
+  /// λ: statistics decay applied after each rebalance (Alg. 3 line 13).
+  double decay = 0.5;
+  /// Safety bound on greedy iterations per rebalance.
+  uint32_t max_moves = 64;
+};
+
+class Rebalancer {
+ public:
+  explicit Rebalancer(const RebalanceConfig& config = RebalanceConfig())
+      : config_(config) {}
+
+  /// Estimated per-joiner workload under `schedule` (Eq. 3):
+  /// W_i = Σ_{p owned by i} count(p) / |team(p)|.
+  static std::vector<double> JoinerWorkloads(const Schedule& schedule,
+                                             const LoadStats& stats);
+
+  /// Unbalancedness of a workload vector (Eq. 2, interpreted as the
+  /// coefficient of variation: stddev(W) / mean(W); the literal formula in
+  /// the paper sums signed deviations, which is identically zero, so the
+  /// intended dispersion measure is used).
+  static double Unbalancedness(const std::vector<double>& workloads);
+
+  /// Runs Algorithm 3. Returns the improved schedule, or `current` itself
+  /// (same pointer) when no move helps. Decays `stats` in place.
+  std::shared_ptr<const Schedule> Rebalance(
+      std::shared_ptr<const Schedule> current, LoadStats* stats) const;
+
+  const RebalanceConfig& config() const { return config_; }
+
+ private:
+  RebalanceConfig config_;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_SCHED_REBALANCER_H_

@@ -1,0 +1,36 @@
+#include "sql/binder.h"
+
+#include "sql/parser.h"
+
+namespace oij {
+
+Status BindQuery(const ParsedQuery& parsed, QuerySpec* out) {
+  QuerySpec spec;
+  Status s = AggKindFromName(parsed.agg_func, &spec.agg);
+  if (!s.ok()) return s;
+
+  if (parsed.preceding.offset_us < 0 || parsed.following.offset_us < 0) {
+    return Status::InvalidArgument("window offsets must be non-negative");
+  }
+  spec.window.pre = parsed.preceding.current_row ? 0 : parsed.preceding.offset_us;
+  spec.window.fol = parsed.following.current_row ? 0 : parsed.following.offset_us;
+  spec.lateness_us = parsed.lateness_us < 0 ? 0 : parsed.lateness_us;
+
+  s = spec.Validate();
+  if (!s.ok()) return s;
+  *out = spec;
+  return Status::OK();
+}
+
+Status CompileQuery(std::string_view sql, QuerySpec* out,
+                    ParsedQuery* parsed_out) {
+  ParsedQuery parsed;
+  Status s = ParseQuery(sql, &parsed);
+  if (!s.ok()) return s;
+  s = BindQuery(parsed, out);
+  if (!s.ok()) return s;
+  if (parsed_out != nullptr) *parsed_out = parsed;
+  return Status::OK();
+}
+
+}  // namespace oij

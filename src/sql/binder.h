@@ -1,0 +1,24 @@
+#ifndef OIJ_SQL_BINDER_H_
+#define OIJ_SQL_BINDER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "core/query_spec.h"
+#include "sql/ast.h"
+
+namespace oij {
+
+/// Lowers a parsed window-union query to an executable QuerySpec:
+/// aggregate name -> AggKind, bounds -> (PRE, FOL) microseconds, LATENESS
+/// -> lateness_us (0 when unspecified, i.e. the in-order assumption
+/// OpenMLDB makes).
+Status BindQuery(const ParsedQuery& parsed, QuerySpec* out);
+
+/// Convenience: parse + bind in one call.
+Status CompileQuery(std::string_view sql, QuerySpec* out,
+                    ParsedQuery* parsed_out = nullptr);
+
+}  // namespace oij
+
+#endif  // OIJ_SQL_BINDER_H_

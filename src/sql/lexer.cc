@@ -1,0 +1,135 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace oij {
+
+namespace {
+
+constexpr std::array<std::string_view, 22> kKeywords = {
+    "SELECT",   "FROM",      "WINDOW",   "AS",        "UNION",
+    "PARTITION", "BY",       "ORDER",    "ROWS_RANGE", "BETWEEN",
+    "AND",      "PRECEDING", "FOLLOWING", "OVER",     "CURRENT",
+    "ROW",      "LATENESS",  "ROWS",     "OPEN",      "MAXSIZE",
+    "INSTANCE_NOT_IN_WINDOW", "EXCLUDE",
+};
+
+bool IsKeyword(const std::string& upper) {
+  for (std::string_view kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+/// Microseconds per unit suffix; 0 = unknown.
+int64_t UnitToUs(std::string_view unit) {
+  if (unit == "us") return 1;
+  if (unit == "ms") return 1000;
+  if (unit == "s") return 1'000'000;
+  if (unit == "m") return 60LL * 1'000'000;
+  if (unit == "h") return 3600LL * 1'000'000;
+  if (unit == "d") return 86400LL * 1'000'000;
+  return 0;
+}
+
+}  // namespace
+
+Status Tokenize(std::string_view sql, std::vector<Token>* out) {
+  out->clear();
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (c == '(') {
+      tok.type = TokenType::kLParen;
+      tok.text = "(";
+      ++i;
+    } else if (c == ')') {
+      tok.type = TokenType::kRParen;
+      tok.text = ")";
+      ++i;
+    } else if (c == ',') {
+      tok.type = TokenType::kComma;
+      tok.text = ",";
+      ++i;
+    } else if (c == ';') {
+      tok.type = TokenType::kSemicolon;
+      tok.text = ";";
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      const int64_t number =
+          std::strtoll(std::string(sql.substr(start, i - start)).c_str(),
+                       nullptr, 10);
+      // Optional unit suffix glued to the number: "1s", "150ms", "100us".
+      size_t unit_start = i;
+      while (i < n && std::isalpha(static_cast<unsigned char>(sql[i]))) ++i;
+      const std::string_view unit = sql.substr(unit_start, i - unit_start);
+      if (unit.empty()) {
+        tok.type = TokenType::kNumber;
+        tok.value = number;
+      } else {
+        const int64_t us = UnitToUs(unit);
+        if (us == 0) {
+          return Status::ParseError("unknown time unit '" +
+                                    std::string(unit) + "' at offset " +
+                                    std::to_string(unit_start));
+        }
+        tok.type = TokenType::kDuration;
+        tok.value = number * us;
+      }
+      tok.text = std::string(sql.substr(start, i - start));
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      const std::string raw(sql.substr(start, i - start));
+      const std::string upper = ToUpper(raw);
+      if (IsKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = raw;
+      }
+    } else {
+      return Status::ParseError("unexpected character '" +
+                                std::string(1, c) + "' at offset " +
+                                std::to_string(i));
+    }
+    out->push_back(std::move(tok));
+  }
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.offset = n;
+  out->push_back(std::move(eof));
+  return Status::OK();
+}
+
+}  // namespace oij

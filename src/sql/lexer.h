@@ -1,0 +1,21 @@
+#ifndef OIJ_SQL_LEXER_H_
+#define OIJ_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace oij {
+
+/// Tokenizer for the OpenMLDB window-union SQL dialect (Section II-A).
+/// Keywords are recognized case-insensitively and canonicalized to upper
+/// case; durations ("1s", "150ms", "100us", "2m", "1h") are folded into
+/// microsecond kDuration tokens; a bare number in a window bound defaults
+/// to milliseconds at bind time (OpenMLDB's ROWS_RANGE convention).
+Status Tokenize(std::string_view sql, std::vector<Token>* out);
+
+}  // namespace oij
+
+#endif  // OIJ_SQL_LEXER_H_

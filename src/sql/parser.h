@@ -1,0 +1,18 @@
+#ifndef OIJ_SQL_PARSER_H_
+#define OIJ_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace oij {
+
+/// Recursive-descent parser for the window-union OIJ dialect; see
+/// ParsedQuery for the accepted grammar. Returns ParseError with the
+/// offending offset on malformed input.
+Status ParseQuery(std::string_view sql, ParsedQuery* out);
+
+}  // namespace oij
+
+#endif  // OIJ_SQL_PARSER_H_

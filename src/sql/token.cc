@@ -1,0 +1,29 @@
+#include "sql/token.h"
+
+namespace oij {
+
+std::string_view TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kKeyword:
+      return "keyword";
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kDuration:
+      return "duration";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace oij

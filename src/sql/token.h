@@ -1,0 +1,37 @@
+#ifndef OIJ_SQL_TOKEN_H_
+#define OIJ_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace oij {
+
+enum class TokenType : uint8_t {
+  kIdentifier = 0,
+  kKeyword,
+  kNumber,     ///< bare integer/decimal literal
+  kDuration,   ///< number with a time-unit suffix, value held in microseconds
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kEof,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;     ///< raw text; keywords are upper-cased
+  int64_t value = 0;    ///< kNumber: the literal; kDuration: microseconds
+  size_t offset = 0;    ///< byte offset in the input (for error messages)
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+};
+
+std::string_view TokenTypeName(TokenType type);
+
+}  // namespace oij
+
+#endif  // OIJ_SQL_TOKEN_H_

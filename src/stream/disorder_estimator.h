@@ -1,0 +1,125 @@
+#ifndef OIJ_STREAM_DISORDER_ESTIMATOR_H_
+#define OIJ_STREAM_DISORDER_ESTIMATOR_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.h"
+#include "metrics/latency_recorder.h"
+
+namespace oij {
+
+/// Online estimator of stream disorder — the basis of the "tunable
+/// accuracy without prior knowledge (i.e., lateness)" extension the
+/// paper's conclusion calls out as future work (cf. Ji et al. [9],
+/// quality-driven disorder handling).
+///
+/// For every observed tuple the estimator records its *delay* — how far
+/// behind the running maximum timestamp it arrived. The delay
+/// distribution is kept in a log-bucketed histogram, so a watermark lag
+/// covering any target quantile of tuples can be queried at any time:
+/// lag = delay-quantile(q) × safety_factor. q = 1.0 with a generous
+/// safety factor approaches exactness; smaller q trades bounded
+/// inaccuracy (late tuples dropped past the watermark) for smaller
+/// buffers and lower result latency.
+class DisorderEstimator {
+ public:
+  /// Records an arrival; returns its delay (0 for in-order tuples).
+  Timestamp Observe(Timestamp ts) {
+    if (ts >= max_seen_) {
+      max_seen_ = ts;
+      delays_.Record(0);
+      return 0;
+    }
+    const Timestamp delay = max_seen_ - ts;
+    delays_.Record(delay);
+    return delay;
+  }
+
+  /// Delay covering quantile `q` of all arrivals seen so far.
+  Timestamp DelayQuantile(double q) const { return delays_.Percentile(q); }
+
+  /// Largest delay ever observed (the oracle lateness for this stream).
+  Timestamp MaxDelay() const { return delays_.max_us(); }
+
+  /// Fraction of arrivals with delay <= `lag` (the accuracy a fixed
+  /// watermark lag of `lag` would have achieved on this history).
+  double CoverageAt(Timestamp lag) const {
+    return delays_.FractionBelow(lag);
+  }
+
+  Timestamp max_seen() const { return max_seen_; }
+  uint64_t observed() const { return delays_.count(); }
+
+ private:
+  Timestamp max_seen_ = kMinTimestamp;
+  LatencyRecorder delays_;  // reused as a generic log-bucket histogram
+};
+
+/// Watermark tracker with an adaptive, quantile-driven lag instead of a
+/// fixed lateness: wm = max_seen − (DelayQuantile(q) × safety + 1).
+/// The +1 covers the strict-inequality convention of the engines, and
+/// `min_lag_us` bounds the lag from below while the estimate warms up.
+class AdaptiveWatermarkTracker {
+ public:
+  struct Options {
+    double quantile = 0.999;     ///< target fraction of tuples covered
+    double safety_factor = 2.0;  ///< headroom over the observed quantile
+    Timestamp min_lag_us = 10;   ///< floor while the estimate warms up
+    uint64_t warmup_tuples = 256;
+  };
+
+  AdaptiveWatermarkTracker() : AdaptiveWatermarkTracker(Options{}) {}
+  explicit AdaptiveWatermarkTracker(const Options& options)
+      : options_(options) {}
+
+  /// Returns true when the arrival violated the previously emitted
+  /// watermark (i.e. an exact engine would have treated it as too late —
+  /// the accuracy loss of the adaptive policy).
+  bool Observe(Timestamp ts) {
+    const bool violation =
+        last_emitted_ != kMinTimestamp && ts < last_emitted_;
+    if (violation) ++violations_;
+    estimator_.Observe(ts);
+    return violation;
+  }
+
+  /// Current adaptive watermark. Also remembers it as "emitted" so later
+  /// violations are counted against it.
+  Timestamp Emit() {
+    last_emitted_ = watermark();
+    return last_emitted_;
+  }
+
+  Timestamp watermark() const {
+    if (estimator_.max_seen() == kMinTimestamp) return kMinTimestamp;
+    return estimator_.max_seen() - CurrentLag();
+  }
+
+  /// The lag currently applied.
+  Timestamp CurrentLag() const {
+    Timestamp lag = static_cast<Timestamp>(
+        static_cast<double>(estimator_.DelayQuantile(options_.quantile)) *
+        options_.safety_factor);
+    if (estimator_.observed() < options_.warmup_tuples ||
+        lag < options_.min_lag_us) {
+      // Warmup / floor: do not trust a thin sample.
+      lag = std::max(lag, std::max(options_.min_lag_us,
+                                   estimator_.MaxDelay()));
+    }
+    return lag + 1;
+  }
+
+  uint64_t violations() const { return violations_; }
+  const DisorderEstimator& estimator() const { return estimator_; }
+
+ private:
+  Options options_;
+  DisorderEstimator estimator_;
+  Timestamp last_emitted_ = kMinTimestamp;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_STREAM_DISORDER_ESTIMATOR_H_

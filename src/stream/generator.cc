@@ -1,0 +1,87 @@
+#include "stream/generator.h"
+
+#include <cassert>
+
+namespace oij {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  assert(spec_.Validate().ok());
+  if (spec_.key_distribution == KeyDistribution::kZipf) {
+    zipf_.emplace(spec_.num_keys, spec_.zipf_theta);
+  }
+  interval_us_ = 1e6 / static_cast<double>(spec_.event_rate_per_sec);
+  disorder_bound_ =
+      spec_.disorder_bound_us >= 0 ? spec_.disorder_bound_us
+                                   : spec_.lateness_us;
+}
+
+Key WorkloadGenerator::PickKey() {
+  switch (spec_.key_distribution) {
+    case KeyDistribution::kUniform:
+      return rng_.NextBelow(spec_.num_keys);
+    case KeyDistribution::kZipf:
+      return zipf_->Sample(rng_);
+    case KeyDistribution::kRotatingHotSet: {
+      const int64_t epoch = static_cast<int64_t>(
+          event_cursor_us_ /
+          static_cast<double>(spec_.hot_rotation_period_us));
+      if (epoch != hot_epoch_) {
+        hot_epoch_ = epoch;
+        Rng hot_rng(spec_.seed ^ (static_cast<uint64_t>(epoch) * 0x9e3779b9ULL));
+        hot_keys_.resize(spec_.hot_set_size);
+        for (auto& k : hot_keys_) k = hot_rng.NextBelow(spec_.num_keys);
+      }
+      if (rng_.NextDouble() < spec_.hot_fraction) {
+        return hot_keys_[rng_.NextBelow(hot_keys_.size())];
+      }
+      return rng_.NextBelow(spec_.num_keys);
+    }
+  }
+  return 0;
+}
+
+void WorkloadGenerator::GenerateOne() {
+  StreamEvent ev;
+  ev.stream = rng_.NextDouble() < spec_.probe_fraction ? StreamId::kProbe
+                                                       : StreamId::kBase;
+  ev.tuple.ts = static_cast<Timestamp>(event_cursor_us_);
+  ev.tuple.key = PickKey();
+  ev.tuple.payload = rng_.NextDouble() * 100.0;
+  event_cursor_us_ += interval_us_;
+  ++generated_;
+
+  const Timestamp delay =
+      disorder_bound_ > 0
+          ? static_cast<Timestamp>(rng_.NextBelow(
+                static_cast<uint64_t>(disorder_bound_) + 1))
+          : 0;
+  delay_heap_.push(Pending{ev.tuple.ts + delay, generated_, ev});
+}
+
+bool WorkloadGenerator::Next(StreamEvent* out) {
+  // Keep generating until the head of the delay heap is releasable: a
+  // pending arrival may be released once the in-order cursor has passed
+  // its release time (no future tuple can be scheduled earlier), or once
+  // generation is exhausted.
+  while (true) {
+    if (delay_heap_.empty()) {
+      if (generated_ >= spec_.total_tuples) return false;
+      GenerateOne();
+      continue;
+    }
+    const Pending& head = delay_heap_.top();
+    if (generated_ < spec_.total_tuples &&
+        static_cast<double>(head.release_at) >= event_cursor_us_) {
+      GenerateOne();
+      continue;
+    }
+    *out = head.event;
+    delay_heap_.pop();
+    ++emitted_;
+    if (out->tuple.ts > max_emitted_ts_) max_emitted_ts_ = out->tuple.ts;
+    return true;
+  }
+}
+
+}  // namespace oij

@@ -1,0 +1,88 @@
+#ifndef OIJ_STREAM_GENERATOR_H_
+#define OIJ_STREAM_GENERATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "stream/workload.h"
+
+namespace oij {
+
+/// One generated arrival: a tuple on one of the two streams.
+struct StreamEvent {
+  StreamId stream = StreamId::kBase;
+  Tuple tuple;
+};
+
+/// Deterministic workload generator with bounded-disorder injection.
+///
+/// Tuples are produced with monotonically increasing event timestamps at
+/// `event_rate_per_sec`; each tuple is then held back by a random delay in
+/// [0, disorder_bound_us] of *event time* and released in delayed order.
+/// The resulting arrival sequence has disorder bounded exactly by the
+/// delay bound, so a watermark of (max emitted ts − lateness) with
+/// lateness >= disorder_bound_us never declares a tuple late — the 100%
+/// accuracy regime OpenMLDB applications require (Section III-C).
+///
+/// The same seed always reproduces the same arrival sequence, which is
+/// what lets every engine be differential-tested against the reference
+/// join.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadSpec& spec);
+
+  /// Produces the next arrival. Returns false when the workload is
+  /// exhausted (all `total_tuples` generated and released).
+  bool Next(StreamEvent* out);
+
+  /// Watermark implied by everything emitted so far: max emitted event
+  /// timestamp minus the configured lateness.
+  Timestamp watermark() const { return max_emitted_ts_ - spec_.lateness_us; }
+
+  /// Number of arrivals emitted so far.
+  uint64_t emitted() const { return emitted_; }
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  struct Pending {
+    Timestamp release_at;  // ts + injected delay
+    uint64_t tie;          // generation order, to keep releases stable
+    StreamEvent event;
+
+    bool operator>(const Pending& other) const {
+      return release_at != other.release_at ? release_at > other.release_at
+                                            : tie > other.tie;
+    }
+  };
+
+  /// Generates the next in-order tuple and pushes it into the delay heap.
+  void GenerateOne();
+
+  Key PickKey();
+
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::optional<ZipfSampler> zipf_;
+
+  double interval_us_;          // event-time microseconds per tuple
+  double event_cursor_us_ = 0;  // next in-order event timestamp
+  uint64_t generated_ = 0;
+  uint64_t emitted_ = 0;
+  Timestamp max_emitted_ts_ = kMinTimestamp;
+  Timestamp disorder_bound_;
+
+  std::vector<Key> hot_keys_;
+  int64_t hot_epoch_ = -1;
+
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      delay_heap_;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_STREAM_GENERATOR_H_

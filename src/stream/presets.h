@@ -1,0 +1,43 @@
+#ifndef OIJ_STREAM_PRESETS_H_
+#define OIJ_STREAM_PRESETS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "stream/workload.h"
+
+namespace oij {
+
+/// Synthetic stand-ins for the paper's four proprietary workloads
+/// (Table II plus the match-density prose of Section III-C). Absolute
+/// rates are preserved; match densities are tuned so that the per-window
+/// and per-lateness-range populations approximate the stated figures.
+/// See DESIGN.md §2 for the substitution rationale.
+WorkloadSpec WorkloadA();  ///< logistics: 120 K/s, u=5,  |w|=1 s,   l=1 s
+WorkloadSpec WorkloadB();  ///< retail:    200 K/s, u=111,|w|=150 s, l=10 s
+WorkloadSpec WorkloadC();  ///< retail:    ∞,       u=45, |w|=8 s,   l=100 s
+WorkloadSpec WorkloadD();  ///< logistics: 15 K/s,  u=5,  |w|=1 s,   l=2 s
+
+/// The default synthetic workload of Table IV: u=100, |w|=1000 us,
+/// l=100 us (16 joiner threads is an engine option, not a workload knob).
+WorkloadSpec DefaultSynthetic();
+
+/// The adversarial synthetic workload of Table V (Fig 21): u=1000,
+/// |w|=100 us, l=10 us — small window and lateness, many keys, the regime
+/// where Key-OIJ is expected to win.
+WorkloadSpec AdversarialSynthetic();
+
+/// The rotating-hot-set skewed workload of Fig 14: u=10K with a periodic
+/// random hot set, other parameters per Table IV.
+WorkloadSpec SkewedRotating();
+
+/// All four real-workload presets in order (A, B, C, D).
+std::vector<WorkloadSpec> RealWorkloads();
+
+/// Looks up any preset by name ("A".."D", "default", "adversarial",
+/// "skewed"); returns true on success.
+bool FindPreset(std::string_view name, WorkloadSpec* out);
+
+}  // namespace oij
+
+#endif  // OIJ_STREAM_PRESETS_H_

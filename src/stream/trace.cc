@@ -1,0 +1,208 @@
+#include "stream/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace oij {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'I', 'J', 'T', 'R', 'A', 'C', 'E'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8;  // magic, version, rsvd, count
+constexpr size_t kRecordBytes = 1 + 8 + 8 + 8;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+void PutU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Status WriteTrace(const std::string& path,
+                  const std::vector<StreamEvent>& events) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+
+  uint8_t header[kHeaderBytes];
+  std::memcpy(header, kMagic, 8);
+  PutU32(header + 8, kVersion);
+  PutU32(header + 12, 0);
+  PutU64(header + 16, events.size());
+  if (std::fwrite(header, 1, sizeof(header), f.get()) != sizeof(header)) {
+    return Status::Internal("short header write: " + path);
+  }
+
+  std::vector<uint8_t> buf;
+  buf.reserve(kRecordBytes * 4096);
+  auto flush = [&]() -> bool {
+    const bool ok =
+        std::fwrite(buf.data(), 1, buf.size(), f.get()) == buf.size();
+    buf.clear();
+    return ok;
+  };
+  for (const StreamEvent& ev : events) {
+    uint8_t rec[kRecordBytes];
+    rec[0] = static_cast<uint8_t>(ev.stream);
+    PutU64(rec + 1, static_cast<uint64_t>(ev.tuple.ts));
+    PutU64(rec + 9, ev.tuple.key);
+    uint64_t payload_bits;
+    std::memcpy(&payload_bits, &ev.tuple.payload, 8);
+    PutU64(rec + 17, payload_bits);
+    buf.insert(buf.end(), rec, rec + sizeof(rec));
+    if (buf.size() >= kRecordBytes * 4096 && !flush()) {
+      return Status::Internal("short record write: " + path);
+    }
+  }
+  if (!flush()) return Status::Internal("short record write: " + path);
+  return Status::OK();
+}
+
+Status ReadTrace(const std::string& path, std::vector<StreamEvent>* out) {
+  out->clear();
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open trace: " + path);
+  }
+
+  uint8_t header[kHeaderBytes];
+  if (std::fread(header, 1, sizeof(header), f.get()) != sizeof(header)) {
+    return Status::ParseError("trace too short for header: " + path);
+  }
+  if (std::memcmp(header, kMagic, 8) != 0) {
+    return Status::ParseError("bad trace magic: " + path);
+  }
+  const uint32_t version = GetU32(header + 8);
+  if (version != kVersion) {
+    return Status::ParseError("unsupported trace version " +
+                              std::to_string(version) + ": " + path);
+  }
+  const uint64_t count = GetU64(header + 16);
+
+  out->reserve(count);
+  std::vector<uint8_t> buf(kRecordBytes * 4096);
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const size_t want =
+        static_cast<size_t>(std::min<uint64_t>(remaining, 4096)) *
+        kRecordBytes;
+    if (std::fread(buf.data(), 1, want, f.get()) != want) {
+      return Status::ParseError("trace truncated: " + path);
+    }
+    for (size_t off = 0; off < want; off += kRecordBytes) {
+      const uint8_t* rec = buf.data() + off;
+      StreamEvent ev;
+      if (rec[0] > 1) {
+        return Status::ParseError("corrupt stream id in trace: " + path);
+      }
+      ev.stream = static_cast<StreamId>(rec[0]);
+      ev.tuple.ts = static_cast<Timestamp>(GetU64(rec + 1));
+      ev.tuple.key = GetU64(rec + 9);
+      const uint64_t payload_bits = GetU64(rec + 17);
+      std::memcpy(&ev.tuple.payload, &payload_bits, 8);
+      out->push_back(ev);
+    }
+    remaining -= want / kRecordBytes;
+  }
+  // Trailing garbage means the count header lies.
+  uint8_t extra;
+  if (std::fread(&extra, 1, 1, f.get()) == 1) {
+    return Status::ParseError("trailing bytes after trace records: " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteTraceCsv(const std::string& path,
+                     const std::vector<StreamEvent>& events) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  if (std::fputs("stream,ts,key,payload\n", f.get()) < 0) {
+    return Status::Internal("write failed: " + path);
+  }
+  for (const StreamEvent& ev : events) {
+    if (std::fprintf(f.get(), "%c,%lld,%llu,%.17g\n",
+                     ev.stream == StreamId::kBase ? 'S' : 'R',
+                     static_cast<long long>(ev.tuple.ts),
+                     static_cast<unsigned long long>(ev.tuple.key),
+                     ev.tuple.payload) < 0) {
+      return Status::Internal("write failed: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Status ReadTraceCsv(const std::string& path,
+                    std::vector<StreamEvent>* out) {
+  out->clear();
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open trace csv: " + path);
+  }
+  char line[256];
+  size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++line_no;
+    if (line_no == 1) {
+      if (std::strncmp(line, "stream,ts,key,payload", 21) != 0) {
+        return Status::ParseError("bad csv header in " + path);
+      }
+      continue;
+    }
+    char stream_ch = 0;
+    long long ts = 0;
+    unsigned long long key = 0;
+    double payload = 0.0;
+    if (std::sscanf(line, " %c ,%lld,%llu,%lf", &stream_ch, &ts, &key,
+                    &payload) != 4 ||
+        (stream_ch != 'S' && stream_ch != 'R')) {
+      return Status::ParseError("bad csv record at " + path + ":" +
+                                std::to_string(line_no));
+    }
+    StreamEvent ev;
+    ev.stream = stream_ch == 'S' ? StreamId::kBase : StreamId::kProbe;
+    ev.tuple.ts = static_cast<Timestamp>(ts);
+    ev.tuple.key = static_cast<Key>(key);
+    ev.tuple.payload = payload;
+    out->push_back(ev);
+  }
+  return Status::OK();
+}
+
+Timestamp MeasureDisorder(const std::vector<StreamEvent>& events) {
+  Timestamp max_seen = kMinTimestamp;
+  Timestamp worst = 0;
+  for (const StreamEvent& ev : events) {
+    if (max_seen != kMinTimestamp && max_seen - ev.tuple.ts > worst) {
+      worst = max_seen - ev.tuple.ts;
+    }
+    if (ev.tuple.ts > max_seen) max_seen = ev.tuple.ts;
+  }
+  return worst;
+}
+
+}  // namespace oij

@@ -1,0 +1,78 @@
+#ifndef OIJ_STREAM_TRACE_H_
+#define OIJ_STREAM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/generator.h"
+
+namespace oij {
+
+/// Binary arrival-trace files: the bridge to *real* workloads. A trace is
+/// the exact arrival sequence (stream id, timestamp, key, payload) of a
+/// run; recording one from production (or from a generator) and replaying
+/// it makes engine comparisons input-identical and reproducible across
+/// machines — the methodology the paper uses with its four proprietary
+/// traces.
+///
+/// Format: a 16-byte header ("OIJTRACE", u32 version, u32 reserved),
+/// a u64 record count, then packed 25-byte records
+/// (u8 stream, i64 ts, u64 key, f64 payload), all little-endian.
+
+/// Writes `events` to `path`, overwriting. Fails with Internal on I/O
+/// errors.
+Status WriteTrace(const std::string& path,
+                  const std::vector<StreamEvent>& events);
+
+/// Reads a trace written by WriteTrace. Validates magic, version, and
+/// record count against the file size.
+Status ReadTrace(const std::string& path, std::vector<StreamEvent>* out);
+
+/// Pull-source over a materialized trace with the same surface a
+/// WorkloadGenerator offers (Next/watermark), so RunPipeline-style
+/// drivers can replay traces. Lateness must be supplied (or measured
+/// with MeasureDisorder below) since a raw trace does not carry it.
+class TraceSource {
+ public:
+  TraceSource(std::vector<StreamEvent> events, Timestamp lateness_us)
+      : events_(std::move(events)), lateness_us_(lateness_us) {}
+
+  bool Next(StreamEvent* out) {
+    if (pos_ >= events_.size()) return false;
+    *out = events_[pos_++];
+    if (out->tuple.ts > max_seen_) max_seen_ = out->tuple.ts;
+    return true;
+  }
+
+  Timestamp watermark() const {
+    return max_seen_ == kMinTimestamp ? kMinTimestamp
+                                      : max_seen_ - lateness_us_;
+  }
+
+  size_t size() const { return events_.size(); }
+  uint64_t emitted() const { return pos_; }
+
+ private:
+  std::vector<StreamEvent> events_;
+  Timestamp lateness_us_;
+  size_t pos_ = 0;
+  Timestamp max_seen_ = kMinTimestamp;
+};
+
+/// Maximum observed disorder of a trace: the smallest lateness that
+/// replays it exactly.
+Timestamp MeasureDisorder(const std::vector<StreamEvent>& events);
+
+/// CSV interchange, for importing real workloads exported from other
+/// systems and for eyeballing traces. Format: a `stream,ts,key,payload`
+/// header, then one record per line with stream ∈ {S, R} (S = base).
+/// Payloads round-trip exactly (printed with %.17g).
+Status WriteTraceCsv(const std::string& path,
+                     const std::vector<StreamEvent>& events);
+Status ReadTraceCsv(const std::string& path,
+                    std::vector<StreamEvent>* out);
+
+}  // namespace oij
+
+#endif  // OIJ_STREAM_TRACE_H_

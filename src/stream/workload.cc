@@ -1,0 +1,176 @@
+#include "stream/workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace oij {
+
+namespace {
+
+std::string_view KeyDistributionName(KeyDistribution d) {
+  switch (d) {
+    case KeyDistribution::kUniform:
+      return "uniform";
+    case KeyDistribution::kZipf:
+      return "zipf";
+    case KeyDistribution::kRotatingHotSet:
+      return "rotating_hot_set";
+  }
+  return "?";
+}
+
+Status KeyDistributionFromName(std::string_view name, KeyDistribution* out) {
+  if (name == "uniform") {
+    *out = KeyDistribution::kUniform;
+  } else if (name == "zipf") {
+    *out = KeyDistribution::kZipf;
+  } else if (name == "rotating_hot_set") {
+    *out = KeyDistribution::kRotatingHotSet;
+  } else {
+    return Status::ParseError("unknown key distribution: " +
+                              std::string(name));
+  }
+  return Status::OK();
+}
+
+std::string_view TrimView(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Status WorkloadSpec::Validate() const {
+  if (num_keys == 0) {
+    return Status::InvalidArgument("num_keys must be positive");
+  }
+  if (window.pre < 0 || window.fol < 0) {
+    return Status::InvalidArgument("window offsets must be non-negative");
+  }
+  if (lateness_us < 0) {
+    return Status::InvalidArgument("lateness must be non-negative");
+  }
+  if (disorder_bound_us >= 0 && disorder_bound_us > lateness_us) {
+    return Status::InvalidArgument(
+        "disorder bound exceeds lateness: results would be inexact");
+  }
+  if (event_rate_per_sec == 0) {
+    return Status::InvalidArgument("event_rate_per_sec must be positive");
+  }
+  if (probe_fraction < 0.0 || probe_fraction > 1.0) {
+    return Status::InvalidArgument("probe_fraction must be in [0, 1]");
+  }
+  if (key_distribution == KeyDistribution::kZipf && zipf_theta < 0.0) {
+    return Status::InvalidArgument("zipf_theta must be non-negative");
+  }
+  if (key_distribution == KeyDistribution::kRotatingHotSet) {
+    if (hot_set_size == 0 || hot_set_size > num_keys) {
+      return Status::InvalidArgument("hot_set_size must be in [1, num_keys]");
+    }
+    if (hot_rotation_period_us <= 0) {
+      return Status::InvalidArgument("hot_rotation_period_us must be > 0");
+    }
+    if (hot_fraction < 0.0 || hot_fraction > 1.0) {
+      return Status::InvalidArgument("hot_fraction must be in [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+std::string WorkloadSpecToConfig(const WorkloadSpec& spec) {
+  std::ostringstream os;
+  os << "name=" << spec.name << "\n"
+     << "num_keys=" << spec.num_keys << "\n"
+     << "window_pre_us=" << spec.window.pre << "\n"
+     << "window_fol_us=" << spec.window.fol << "\n"
+     << "lateness_us=" << spec.lateness_us << "\n"
+     << "disorder_bound_us=" << spec.disorder_bound_us << "\n"
+     << "event_rate_per_sec=" << spec.event_rate_per_sec << "\n"
+     << "pace_rate_per_sec=" << spec.pace_rate_per_sec << "\n"
+     << "probe_fraction=" << spec.probe_fraction << "\n"
+     << "total_tuples=" << spec.total_tuples << "\n"
+     << "key_distribution=" << KeyDistributionName(spec.key_distribution)
+     << "\n"
+     << "zipf_theta=" << spec.zipf_theta << "\n"
+     << "hot_set_size=" << spec.hot_set_size << "\n"
+     << "hot_fraction=" << spec.hot_fraction << "\n"
+     << "hot_rotation_period_us=" << spec.hot_rotation_period_us << "\n"
+     << "seed=" << spec.seed << "\n";
+  return os.str();
+}
+
+Status WorkloadSpecFromConfig(std::string_view config, WorkloadSpec* out) {
+  WorkloadSpec spec;
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos <= config.size()) {
+    const size_t eol = config.find('\n', pos);
+    std::string_view line = config.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? config.size() + 1 : eol + 1;
+    ++line_no;
+    line = TrimView(line);
+    if (line.empty() || line.front() == '#') continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("config line " + std::to_string(line_no) +
+                                " has no '='");
+    }
+    const std::string key(TrimView(line.substr(0, eq)));
+    const std::string value(TrimView(line.substr(eq + 1)));
+    auto as_i64 = [&]() { return std::strtoll(value.c_str(), nullptr, 10); };
+    auto as_u64 = [&]() { return std::strtoull(value.c_str(), nullptr, 10); };
+    auto as_f64 = [&]() { return std::strtod(value.c_str(), nullptr); };
+
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "num_keys") {
+      spec.num_keys = as_u64();
+    } else if (key == "window_pre_us") {
+      spec.window.pre = as_i64();
+    } else if (key == "window_fol_us") {
+      spec.window.fol = as_i64();
+    } else if (key == "lateness_us") {
+      spec.lateness_us = as_i64();
+    } else if (key == "disorder_bound_us") {
+      spec.disorder_bound_us = as_i64();
+    } else if (key == "event_rate_per_sec") {
+      spec.event_rate_per_sec = as_u64();
+    } else if (key == "pace_rate_per_sec") {
+      spec.pace_rate_per_sec = as_u64();
+    } else if (key == "probe_fraction") {
+      spec.probe_fraction = as_f64();
+    } else if (key == "total_tuples") {
+      spec.total_tuples = as_u64();
+    } else if (key == "key_distribution") {
+      Status s = KeyDistributionFromName(value, &spec.key_distribution);
+      if (!s.ok()) return s;
+    } else if (key == "zipf_theta") {
+      spec.zipf_theta = as_f64();
+    } else if (key == "hot_set_size") {
+      spec.hot_set_size = as_u64();
+    } else if (key == "hot_fraction") {
+      spec.hot_fraction = as_f64();
+    } else if (key == "hot_rotation_period_us") {
+      spec.hot_rotation_period_us = as_i64();
+    } else if (key == "seed") {
+      spec.seed = as_u64();
+    } else {
+      return Status::ParseError("unknown config key: " + key);
+    }
+  }
+  Status s = spec.Validate();
+  if (!s.ok()) return s;
+  *out = spec;
+  return Status::OK();
+}
+
+}  // namespace oij

@@ -1,0 +1,91 @@
+#ifndef OIJ_STREAM_WORKLOAD_H_
+#define OIJ_STREAM_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace oij {
+
+/// Key-popularity models for the generator.
+enum class KeyDistribution : uint8_t {
+  kUniform = 0,
+  kZipf,
+  /// A rotating hot set: `hot_fraction` of tuples draw from a small set of
+  /// hot keys that is re-drawn every `hot_rotation_period_us` of event
+  /// time. This reproduces the "random set of hot keys flow periodically"
+  /// workload of Fig 14.
+  kRotatingHotSet,
+};
+
+/// Full description of a benchmark workload — the knobs of Tables II, IV
+/// and V plus the generator-level details (stream mix, disorder model).
+struct WorkloadSpec {
+  std::string name = "default";
+
+  /// Number of distinct keys u.
+  uint64_t num_keys = 100;
+
+  /// Relative window (PRE, FOL) in microseconds. The paper's workloads use
+  /// preceding-only windows (features over history), i.e. fol = 0, but the
+  /// engine supports both offsets (Definition 2).
+  IntervalWindow window{1000, 0};
+
+  /// Lateness l in microseconds: upper bound on stream disorder.
+  Timestamp lateness_us = 100;
+
+  /// Maximum injected arrival delay in event-time microseconds. Tuples may
+  /// arrive up to this much "late"; must be <= lateness_us for exact
+  /// results. Defaults to lateness_us when left negative.
+  Timestamp disorder_bound_us = -1;
+
+  /// Event-time density: tuples (S+R combined) per second of event time.
+  /// Determines matches-per-window irrespective of processing speed.
+  uint64_t event_rate_per_sec = 1'000'000;
+
+  /// Wall-clock pacing: tuples/s fed to the engine. 0 = unthrottled
+  /// (throughput mode / Workload C's "infinite" arrival rate).
+  uint64_t pace_rate_per_sec = 0;
+
+  /// Fraction of tuples that belong to the probe stream R; the rest are
+  /// base tuples S (each of which produces one output).
+  double probe_fraction = 0.5;
+
+  /// Total tuples generated (S + R).
+  uint64_t total_tuples = 1'000'000;
+
+  KeyDistribution key_distribution = KeyDistribution::kUniform;
+  double zipf_theta = 0.99;          ///< used when kZipf
+  uint64_t hot_set_size = 16;        ///< used when kRotatingHotSet
+  double hot_fraction = 0.9;         ///< used when kRotatingHotSet
+  Timestamp hot_rotation_period_us = 1'000'000;
+
+  uint64_t seed = 42;
+
+  /// Derived: expected probe tuples per key per window (match density).
+  double ExpectedMatchesPerWindow() const {
+    const double probe_rate =
+        static_cast<double>(event_rate_per_sec) * probe_fraction;
+    const double per_key = probe_rate / static_cast<double>(num_keys);
+    return per_key * (static_cast<double>(window.length()) / 1e6);
+  }
+
+  /// Validates parameter consistency (exactness requires the disorder
+  /// bound not to exceed the configured lateness, etc.).
+  Status Validate() const;
+};
+
+/// Serializes a spec as `key=value` lines (stable field order), the
+/// format benches and experiment logs use to make every run reproducible
+/// from its printed configuration.
+std::string WorkloadSpecToConfig(const WorkloadSpec& spec);
+
+/// Parses WorkloadSpecToConfig output (unknown keys are rejected so typos
+/// fail loudly; missing keys keep their defaults). `#` starts a comment.
+Status WorkloadSpecFromConfig(std::string_view config, WorkloadSpec* out);
+
+}  // namespace oij
+
+#endif  // OIJ_STREAM_WORKLOAD_H_

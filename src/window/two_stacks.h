@@ -1,0 +1,175 @@
+#ifndef OIJ_WINDOW_TWO_STACKS_H_
+#define OIJ_WINDOW_TWO_STACKS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "common/types.h"
+
+namespace oij {
+
+/// Two-Stacks sliding-window aggregation for *non-invertible* operators
+/// (min/max) — the "incremental computing for non-invertible operators"
+/// the paper's conclusion lists as future work, following the classic
+/// Two-Stacks scheme underlying Tangwongsan et al. [16].
+///
+/// The window is a FIFO of (ts, value): Append() at the back in
+/// non-decreasing ts order, EvictBefore() from the front. Each stack
+/// entry caches the aggregate of itself and everything nearer its stack
+/// bottom, so Query() is O(1) and every element is touched O(1) times
+/// amortized across its lifetime (one push, one flip, one pop) — no
+/// subtract operation required, hence no invertibility requirement.
+class TwoStacksWindow {
+ public:
+  explicit TwoStacksWindow(AggKind kind) : kind_(kind) {}
+
+  /// Appends one tuple. `ts` must be >= every previously appended ts
+  /// (callers sort their deltas; per-index scans are already sorted).
+  void Append(Timestamp ts, double value) {
+    back_.push_back({ts, value, Combine(BackAgg(), value)});
+  }
+
+  /// Evicts every element with ts < `bound` from the front. Returns the
+  /// number evicted.
+  size_t EvictBefore(Timestamp bound) {
+    size_t evicted = 0;
+    while (!empty()) {
+      if (front_.empty()) Flip();
+      if (front_.back().ts >= bound) break;
+      front_.pop_back();
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  /// Aggregate over the current window contents (identity when empty:
+  /// +inf for min, -inf for max — callers should consult size()).
+  double Query() const {
+    const double f = front_.empty() ? Identity() : front_.back().agg;
+    return Combine(f, BackAgg());
+  }
+
+  size_t size() const { return front_.size() + back_.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Timestamp of the oldest element (front of the FIFO); only valid when
+  /// non-empty.
+  Timestamp FrontTs() const {
+    return front_.empty() ? back_.front().ts : front_.back().ts;
+  }
+
+  void Clear() {
+    front_.clear();
+    back_.clear();
+  }
+
+  AggKind kind() const { return kind_; }
+
+ private:
+  struct Entry {
+    Timestamp ts;
+    double value;
+    /// Aggregate of this entry and everything below it in its stack
+    /// (back stack: towards the FIFO front; front stack: towards the
+    /// FIFO back) — arranged so Query() combines two stack tops.
+    double agg;
+  };
+
+  double Identity() const {
+    return kind_ == AggKind::kMin ? std::numeric_limits<double>::infinity()
+                                  : -std::numeric_limits<double>::infinity();
+  }
+
+  double Combine(double a, double b) const {
+    return kind_ == AggKind::kMin ? (a < b ? a : b) : (a > b ? a : b);
+  }
+
+  double BackAgg() const {
+    return back_.empty() ? Identity() : back_.back().agg;
+  }
+
+  /// Moves the whole back stack onto the front stack, recomputing cached
+  /// aggregates in the opposite direction. O(|back|), amortized O(1).
+  void Flip() {
+    double agg = Identity();
+    for (auto it = back_.rbegin(); it != back_.rend(); ++it) {
+      agg = Combine(agg, it->value);
+      front_.push_back({it->ts, it->value, agg});
+    }
+    back_.clear();
+  }
+
+  AggKind kind_;
+  std::vector<Entry> front_;  // FIFO front at back_of_vector
+  std::vector<Entry> back_;   // FIFO back at back_of_vector
+};
+
+/// Monotone interval-window state for non-invertible aggregates: the
+/// counterpart of IncrementalWindowState, backed by a TwoStacksWindow
+/// instead of a subtractable running aggregate. Because the two-stacks
+/// FIFO must hold the window contents, the delta tuples scanned from the
+/// (possibly several, per-team) indexes are collected and sorted before
+/// appending.
+class NonInvertibleWindowState {
+ public:
+  explicit NonInvertibleWindowState(AggKind kind) : window_(kind) {}
+
+  struct SlideStats {
+    uint64_t visited = 0;
+    bool recomputed = false;
+  };
+
+  /// Same contract as IncrementalWindowState::Slide.
+  template <typename Scanner>
+  SlideStats Slide(Timestamp new_start, Timestamp new_end,
+                   Scanner&& scan) {
+    SlideStats stats;
+    const bool can_increment = valid_ && new_start >= prev_start_ &&
+                               new_end >= prev_end_ &&
+                               new_start <= prev_end_ + 1;
+    scratch_.clear();
+    if (!can_increment) {
+      window_.Clear();
+      scan(new_start, new_end, [&](const Tuple& t) {
+        scratch_.push_back({t.ts, t.payload});
+        ++stats.visited;
+      });
+      stats.recomputed = true;
+    } else {
+      window_.EvictBefore(new_start);
+      if (new_end > prev_end_) {
+        scan(prev_end_ + 1, new_end, [&](const Tuple& t) {
+          scratch_.push_back({t.ts, t.payload});
+          ++stats.visited;
+        });
+      }
+    }
+    std::sort(scratch_.begin(), scratch_.end());
+    for (const auto& [ts, value] : scratch_) window_.Append(ts, value);
+    prev_start_ = new_start;
+    prev_end_ = new_end;
+    valid_ = true;
+    return stats;
+  }
+
+  void Invalidate() { valid_ = false; }
+
+  double Result() const { return window_.Query(); }
+  uint64_t count() const { return window_.size(); }
+  bool valid() const { return valid_; }
+
+ private:
+  TwoStacksWindow window_;
+  std::vector<std::pair<Timestamp, double>> scratch_;
+  Timestamp prev_start_ = 0;
+  Timestamp prev_end_ = -1;
+  bool valid_ = false;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_WINDOW_TWO_STACKS_H_

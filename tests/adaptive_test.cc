@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "core/engine_factory.h"
+#include "core/pipeline.h"
+#include "stream/disorder_estimator.h"
+#include "stream/generator.h"
+
+namespace oij {
+namespace {
+
+// -------------------------------------------------------- DisorderEstimator
+
+TEST(DisorderEstimatorTest, InOrderStreamHasZeroDelays) {
+  DisorderEstimator est;
+  for (Timestamp ts = 0; ts < 100; ++ts) {
+    EXPECT_EQ(est.Observe(ts), 0);
+  }
+  EXPECT_EQ(est.MaxDelay(), 0);
+  EXPECT_EQ(est.DelayQuantile(0.999), 0);
+  EXPECT_DOUBLE_EQ(est.CoverageAt(0), 1.0);
+}
+
+TEST(DisorderEstimatorTest, DelaysMeasuredAgainstRunningMax) {
+  DisorderEstimator est;
+  est.Observe(100);
+  EXPECT_EQ(est.Observe(90), 10);   // 10 behind
+  EXPECT_EQ(est.Observe(100), 0);   // equal to max: not late
+  EXPECT_EQ(est.Observe(150), 0);
+  EXPECT_EQ(est.Observe(75), 75);
+  EXPECT_EQ(est.MaxDelay(), 75);
+  EXPECT_EQ(est.observed(), 5u);
+}
+
+TEST(DisorderEstimatorTest, QuantileTracksDistribution) {
+  DisorderEstimator est;
+  Rng rng(5);
+  Timestamp ts = 1'000'000;
+  for (int i = 0; i < 50'000; ++i) {
+    ts += 10;
+    // 1% of tuples are ~1000 us late, the rest up to 100 us.
+    const Timestamp delay = (rng.NextBelow(100) == 0)
+                                ? 900 + rng.NextBelow(200)
+                                : rng.NextBelow(100);
+    est.Observe(ts - delay);
+    est.Observe(ts);
+  }
+  // p90 must sit in the small-delay mass, p999+ must reach the tail.
+  EXPECT_LT(est.DelayQuantile(0.90), 150);
+  EXPECT_GT(est.DelayQuantile(0.9999), 500);
+  EXPECT_GT(est.CoverageAt(150), 0.98);
+}
+
+// ---------------------------------------------- AdaptiveWatermarkTracker
+
+TEST(AdaptiveWatermarkTest, WarmupUsesMaxObservedDelay) {
+  AdaptiveWatermarkTracker::Options opts;
+  opts.warmup_tuples = 1'000'000;  // never leaves warmup
+  opts.min_lag_us = 5;
+  AdaptiveWatermarkTracker tracker(opts);
+  tracker.Observe(100);
+  tracker.Observe(40);  // delay 60
+  EXPECT_GE(tracker.CurrentLag(), 61);
+  EXPECT_LE(tracker.watermark(), 100 - 61);
+}
+
+TEST(AdaptiveWatermarkTest, ViolationsCountedAgainstEmittedWatermark) {
+  AdaptiveWatermarkTracker::Options opts;
+  opts.min_lag_us = 10;
+  opts.warmup_tuples = 1;
+  AdaptiveWatermarkTracker tracker(opts);
+  tracker.Observe(1000);
+  const Timestamp wm = tracker.Emit();
+  EXPECT_LT(wm, 1000);
+  EXPECT_FALSE(tracker.Observe(wm + 1));
+  EXPECT_TRUE(tracker.Observe(wm - 1));
+  EXPECT_EQ(tracker.violations(), 1u);
+}
+
+TEST(AdaptiveWatermarkTest, TighterQuantileMeansSmallerLag) {
+  // Feed the same disordered stream to a strict and a lax tracker: the
+  // lax quantile must settle on a smaller (or equal) lag.
+  WorkloadSpec spec;
+  spec.num_keys = 4;
+  spec.total_tuples = 50'000;
+  spec.lateness_us = 1000;
+  spec.disorder_bound_us = 1000;
+  spec.seed = 11;
+
+  AdaptiveWatermarkTracker::Options strict_opts;
+  strict_opts.quantile = 1.0;
+  AdaptiveWatermarkTracker::Options lax_opts;
+  lax_opts.quantile = 0.9;
+  lax_opts.safety_factor = 1.0;
+  AdaptiveWatermarkTracker strict(strict_opts), lax(lax_opts);
+
+  WorkloadGenerator gen(spec);
+  StreamEvent ev;
+  while (gen.Next(&ev)) {
+    strict.Observe(ev.tuple.ts);
+    lax.Observe(ev.tuple.ts);
+  }
+  EXPECT_LE(lax.CurrentLag(), strict.CurrentLag());
+  EXPECT_LT(lax.CurrentLag(), 1000);
+  // The strict tracker covers everything seen.
+  EXPECT_DOUBLE_EQ(strict.estimator().CoverageAt(strict.CurrentLag()), 1.0);
+}
+
+// ---------------------------------------------- pipeline integration
+
+TEST(AdaptivePipelineTest, AdaptiveRunReportsLagAndViolations) {
+  WorkloadSpec w;
+  w.num_keys = 8;
+  w.total_tuples = 60'000;
+  w.lateness_us = 500;
+  w.disorder_bound_us = 500;
+  w.window = IntervalWindow{400, 0};
+  w.seed = 23;
+
+  QuerySpec q;
+  q.window = w.window;
+  q.lateness_us = w.lateness_us;
+  q.emit_mode = EmitMode::kWatermark;
+
+  PipelineConfig config;
+  config.adaptive_lateness = true;
+  config.adaptive.quantile = 0.99;
+  config.adaptive.safety_factor = 1.5;
+  config.watermark_interval_events = 256;
+
+  NullSink sink;
+  EngineOptions options;
+  options.num_joiners = 2;
+  auto engine = CreateEngine(EngineKind::kScaleOij, q, options, &sink);
+  WorkloadGenerator gen(w);
+  const RunResult run = RunPipeline(engine.get(), &gen, config);
+
+  EXPECT_GT(run.final_adaptive_lag_us, 0);
+  EXPECT_LE(run.final_adaptive_lag_us, 2 * w.lateness_us);
+  // A 99th-percentile policy on uniformly distributed delays loses at
+  // most a small fraction of tuples to the watermark.
+  EXPECT_LT(static_cast<double>(run.watermark_violations) /
+                static_cast<double>(run.tuples),
+            0.05);
+  EXPECT_EQ(run.stats.results + 0, run.stats.results);  // ran to completion
+}
+
+TEST(AdaptivePipelineTest, StrictQuantileHasNoViolationsOnBoundedDisorder) {
+  WorkloadSpec w;
+  w.num_keys = 4;
+  w.total_tuples = 40'000;
+  w.lateness_us = 200;
+  w.disorder_bound_us = 200;
+  w.seed = 29;
+
+  QuerySpec q;
+  q.window = IntervalWindow{400, 0};
+  q.lateness_us = w.lateness_us;
+  q.emit_mode = EmitMode::kWatermark;
+
+  PipelineConfig config;
+  config.adaptive_lateness = true;
+  config.adaptive.quantile = 1.0;
+  config.adaptive.safety_factor = 1.0;
+  // Max-delay tracking can only lag one observation behind; a modest
+  // safety floor absorbs that.
+  config.adaptive.min_lag_us = 250;
+
+  NullSink sink;
+  EngineOptions options;
+  options.num_joiners = 2;
+  auto engine = CreateEngine(EngineKind::kKeyOij, q, options, &sink);
+  WorkloadGenerator gen(w);
+  const RunResult run = RunPipeline(engine.get(), &gen, config);
+  EXPECT_EQ(run.watermark_violations, 0u);
+}
+
+}  // namespace
+}  // namespace oij

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ebr/epoch_manager.h"
+
+namespace oij {
+namespace {
+
+TEST(EpochManagerTest, RegisterHandsOutDistinctSlots) {
+  EpochManager mgr(4);
+  EXPECT_EQ(mgr.RegisterThread(), 0u);
+  EXPECT_EQ(mgr.RegisterThread(), 1u);
+  EXPECT_EQ(mgr.RegisterThread(), 2u);
+}
+
+TEST(EpochManagerTest, RetiredObjectFreedAfterEpochsAdvance) {
+  EpochManager mgr(2);
+  const uint32_t slot = mgr.RegisterThread();
+  bool freed = false;
+  mgr.Retire(slot, [&freed] { freed = true; });
+  EXPECT_EQ(mgr.PendingCount(slot), 1u);
+
+  // With no active readers, a few reclaim passes advance the epoch twice.
+  size_t total = 0;
+  for (int i = 0; i < 4 && total == 0; ++i) total += mgr.ReclaimSome(slot);
+  EXPECT_EQ(total, 1u);
+  EXPECT_TRUE(freed);
+  EXPECT_EQ(mgr.PendingCount(slot), 0u);
+}
+
+TEST(EpochManagerTest, ActiveReaderBlocksReclamation) {
+  EpochManager mgr(4);
+  const uint32_t writer = mgr.RegisterThread();
+  const uint32_t reader = mgr.RegisterThread();
+
+  mgr.Enter(reader);  // reader pins the current epoch
+  bool freed = false;
+  mgr.Retire(writer, [&freed] { freed = true; });
+
+  for (int i = 0; i < 8; ++i) mgr.ReclaimSome(writer);
+  EXPECT_FALSE(freed) << "object freed while a reader was pinned";
+
+  mgr.Exit(reader);
+  size_t total = 0;
+  for (int i = 0; i < 8 && total == 0; ++i) total += mgr.ReclaimSome(writer);
+  EXPECT_TRUE(freed);
+}
+
+TEST(EpochManagerTest, ReaderInNewerEpochDoesNotBlockOldGarbage) {
+  EpochManager mgr(4);
+  const uint32_t writer = mgr.RegisterThread();
+  const uint32_t reader = mgr.RegisterThread();
+
+  bool freed = false;
+  mgr.Retire(writer, [&freed] { freed = true; });
+
+  // Reader enters *after* the retire: it pins the current (or newer)
+  // epoch, so after two advances the old garbage is reclaimable even
+  // while the reader stays active.
+  for (int i = 0; i < 4; ++i) {
+    mgr.Enter(reader);
+    mgr.ReclaimSome(writer);
+    mgr.Exit(reader);
+  }
+  EXPECT_TRUE(freed);
+}
+
+TEST(EpochManagerTest, ReclaimAllUnsafeFreesEverything) {
+  EpochManager mgr(2);
+  const uint32_t slot = mgr.RegisterThread();
+  int freed = 0;
+  for (int i = 0; i < 10; ++i) mgr.Retire(slot, [&freed] { ++freed; });
+  EXPECT_EQ(mgr.ReclaimAllUnsafe(slot), 10u);
+  EXPECT_EQ(freed, 10);
+}
+
+TEST(EpochManagerTest, DestructorDrainsPending) {
+  int freed = 0;
+  {
+    EpochManager mgr(2);
+    const uint32_t slot = mgr.RegisterThread();
+    mgr.Retire(slot, [&freed] { ++freed; });
+  }
+  EXPECT_EQ(freed, 1);
+}
+
+TEST(EpochManagerTest, GuardIsRaii) {
+  EpochManager mgr(2);
+  const uint32_t writer = mgr.RegisterThread();
+  const uint32_t reader = mgr.RegisterThread();
+  bool freed = false;
+  {
+    EpochGuard guard(mgr, reader);
+    mgr.Retire(writer, [&freed] { freed = true; });
+    for (int i = 0; i < 8; ++i) mgr.ReclaimSome(writer);
+    EXPECT_FALSE(freed);
+  }
+  for (int i = 0; i < 8 && !freed; ++i) mgr.ReclaimSome(writer);
+  EXPECT_TRUE(freed);
+}
+
+// Stress: a writer retiring integers while readers enter/exit; every
+// retired object must be freed exactly once and never while any reader
+// that pre-dates its retirement is still pinned.
+TEST(EpochManagerTest, ConcurrentStress) {
+  constexpr int kReaders = 3;
+  constexpr int kObjects = 20000;
+  EpochManager mgr(kReaders + 1);
+  const uint32_t writer = mgr.RegisterThread();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> freed{0};
+
+  std::vector<std::thread> readers;
+  std::vector<uint32_t> slots;
+  for (int r = 0; r < kReaders; ++r) slots.push_back(mgr.RegisterThread());
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EpochGuard guard(mgr, slots[r]);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  for (int i = 0; i < kObjects; ++i) {
+    mgr.Retire(writer, [&freed] {
+      freed.fetch_add(1, std::memory_order_relaxed);
+    });
+    if ((i & 255) == 0) mgr.ReclaimSome(writer);
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  for (int i = 0; i < 16; ++i) mgr.ReclaimSome(writer);
+  // Stragglers are released by the final unsafe reclaim.
+  freed.fetch_add(mgr.ReclaimAllUnsafe(writer));
+  EXPECT_EQ(freed.load(), static_cast<uint64_t>(kObjects));
+}
+
+}  // namespace
+}  // namespace oij

@@ -1,0 +1,500 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/engine_factory.h"
+#include "join/reference_join.h"
+#include "join/watermark.h"
+#include "stream/generator.h"
+
+namespace oij {
+namespace {
+
+std::vector<StreamEvent> Generate(const WorkloadSpec& spec) {
+  WorkloadGenerator gen(spec);
+  std::vector<StreamEvent> events;
+  StreamEvent ev;
+  while (gen.Next(&ev)) events.push_back(ev);
+  return events;
+}
+
+struct EngineRun {
+  std::vector<ReferenceResult> results;
+  EngineStats stats;
+};
+
+/// Feeds a materialized arrival sequence through an engine with periodic
+/// punctuations, exactly as the pipeline would.
+EngineRun RunOverEvents(EngineKind kind, const std::vector<StreamEvent>& events,
+                        const QuerySpec& spec, EngineOptions options,
+                        uint64_t wm_every = 256) {
+  CollectingSink sink;
+  auto engine = CreateEngine(kind, spec, options, &sink);
+  EXPECT_TRUE(engine->Start().ok());
+  WatermarkTracker tracker(spec.lateness_us);
+  uint64_t n = 0;
+  for (const StreamEvent& ev : events) {
+    tracker.Observe(ev.tuple.ts);
+    engine->Push(ev, MonotonicNowUs());
+    if (++n % wm_every == 0) {
+      engine->SignalWatermark(tracker.watermark());
+    }
+  }
+  EngineRun run;
+  run.stats = engine->Finish();
+  for (const JoinResult& r : sink.TakeResults()) {
+    run.results.push_back({r.base, r.aggregate, r.match_count});
+  }
+  SortResults(&run.results);
+  return run;
+}
+
+void ExpectResultsEqual(const std::vector<ReferenceResult>& got,
+                        const std::vector<ReferenceResult>& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label << ": result cardinality";
+  size_t mismatches = 0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].base != want[i].base ||
+        got[i].match_count != want[i].match_count ||
+        (!std::isnan(want[i].aggregate) &&
+         std::abs(got[i].aggregate - want[i].aggregate) > 1e-6)) {
+      if (++mismatches <= 3) {
+        ADD_FAILURE() << label << ": result " << i << " differs: base ts="
+                      << got[i].base.ts << " key=" << got[i].base.key
+                      << " got(count=" << got[i].match_count
+                      << ", agg=" << got[i].aggregate << ") want(count="
+                      << want[i].match_count << ", agg="
+                      << want[i].aggregate << ")";
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << label;
+}
+
+WorkloadSpec TestWorkload(uint64_t seed, uint64_t keys = 8,
+                          Timestamp disorder = 50) {
+  WorkloadSpec w;
+  w.num_keys = keys;
+  w.window = IntervalWindow{400, 0};
+  w.lateness_us = disorder;
+  w.disorder_bound_us = disorder;
+  w.event_rate_per_sec = 1'000'000;  // integer us spacing: unique ts
+  w.total_tuples = 30'000;
+  w.probe_fraction = 0.5;
+  w.seed = seed;
+  return w;
+}
+
+QuerySpec TestQuery(EmitMode mode, AggKind agg = AggKind::kSum,
+                    Timestamp lateness = 50, IntervalWindow window = {400,
+                                                                      0}) {
+  QuerySpec q;
+  q.window = window;
+  q.lateness_us = lateness;
+  q.agg = agg;
+  q.emit_mode = mode;
+  return q;
+}
+
+// ------------------------------------------------ exactness: watermark mode
+
+/// Every engine except the intentionally sloppy OpenMLDB-like baseline
+/// must be exact under bounded disorder in watermark mode. Parameters:
+/// (engine, joiners, seed).
+class WatermarkExactnessTest
+    : public ::testing::TestWithParam<std::tuple<EngineKind, int, int>> {};
+
+TEST_P(WatermarkExactnessTest, MatchesReferenceUnderDisorder) {
+  const auto [kind, joiners, seed] = GetParam();
+  const WorkloadSpec w = TestWorkload(seed);
+  const QuerySpec q = TestQuery(EmitMode::kWatermark);
+  const auto events = Generate(w);
+  auto expected = ReferenceJoin(events, q);
+  SortResults(&expected);
+
+  EngineOptions options;
+  options.num_joiners = static_cast<uint32_t>(joiners);
+  const auto run = RunOverEvents(kind, events, q, options);
+  ExpectResultsEqual(run.results, expected,
+                     std::string(EngineKindName(kind)) + "/j" +
+                         std::to_string(joiners));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, WatermarkExactnessTest,
+    ::testing::Combine(::testing::Values(EngineKind::kKeyOij,
+                                         EngineKind::kScaleOij,
+                                         EngineKind::kSplitJoin,
+                                         EngineKind::kHandshake),
+                       ::testing::Values(1, 3, 4),
+                       ::testing::Values(11, 12)),
+    [](const auto& info) {
+      std::string name(EngineKindName(std::get<0>(info.param)));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_j" + std::to_string(std::get<1>(info.param)) +
+             "_s" + std::to_string(std::get<2>(info.param));
+    });
+
+// --------------------------------------------------- exactness: eager mode
+
+/// With an in-order stream (disorder 0, unique timestamps), eager mode is
+/// exact for every engine, including the OpenMLDB-like baseline on a
+/// single worker.
+class EagerExactnessTest
+    : public ::testing::TestWithParam<std::tuple<EngineKind, int>> {};
+
+TEST_P(EagerExactnessTest, MatchesReferenceInOrder) {
+  const auto [kind, joiners] = GetParam();
+  WorkloadSpec w = TestWorkload(21, /*keys=*/8, /*disorder=*/0);
+  w.lateness_us = 0;
+  const QuerySpec q = TestQuery(EmitMode::kEager, AggKind::kSum, 0);
+  const auto events = Generate(w);
+  auto expected = ReferenceJoin(events, q);
+  SortResults(&expected);
+
+  EngineOptions options;
+  options.num_joiners = static_cast<uint32_t>(joiners);
+  const auto run = RunOverEvents(kind, events, q, options);
+  ExpectResultsEqual(run.results, expected,
+                     std::string(EngineKindName(kind)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EagerExactnessTest,
+    ::testing::Values(std::make_tuple(EngineKind::kKeyOij, 4),
+                      std::make_tuple(EngineKind::kScaleOij, 4),
+                      std::make_tuple(EngineKind::kSplitJoin, 3),
+                      std::make_tuple(EngineKind::kHandshake, 3),
+                      std::make_tuple(EngineKind::kSharedState, 1)),
+    [](const auto& info) {
+      std::string name(EngineKindName(std::get<0>(info.param)));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_j" + std::to_string(std::get<1>(info.param));
+    });
+
+// --------------------------------------------- operators and window shapes
+
+class OperatorExactnessTest : public ::testing::TestWithParam<AggKind> {};
+
+TEST_P(OperatorExactnessTest, ScaleOijExactForEveryOperator) {
+  const AggKind agg = GetParam();
+  const WorkloadSpec w = TestWorkload(31);
+  const QuerySpec q = TestQuery(EmitMode::kWatermark, agg);
+  const auto events = Generate(w);
+  auto expected = ReferenceJoin(events, q);
+  SortResults(&expected);
+
+  EngineOptions options;
+  options.num_joiners = 3;
+  const auto run =
+      RunOverEvents(EngineKind::kScaleOij, events, q, options);
+  ExpectResultsEqual(run.results, expected,
+                     std::string(AggKindName(agg)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAggs, OperatorExactnessTest,
+                         ::testing::Values(AggKind::kSum, AggKind::kCount,
+                                           AggKind::kAvg, AggKind::kMin,
+                                           AggKind::kMax),
+                         [](const auto& info) {
+                           return std::string(AggKindName(info.param));
+                         });
+
+TEST(EngineShapeTest, FollowingWindowExact) {
+  const WorkloadSpec w = TestWorkload(41);
+  QuerySpec q = TestQuery(EmitMode::kWatermark);
+  q.window = IntervalWindow{200, 150};
+  const auto events = Generate(w);
+  auto expected = ReferenceJoin(events, q);
+  SortResults(&expected);
+
+  for (EngineKind kind : {EngineKind::kKeyOij, EngineKind::kScaleOij,
+                          EngineKind::kSplitJoin}) {
+    EngineOptions options;
+    options.num_joiners = 2;
+    const auto run = RunOverEvents(kind, events, q, options);
+    ExpectResultsEqual(run.results, expected,
+                       std::string(EngineKindName(kind)) + "+fol");
+  }
+}
+
+TEST(EngineShapeTest, LargeLatenessExact) {
+  WorkloadSpec w = TestWorkload(51);
+  w.lateness_us = 5000;
+  w.disorder_bound_us = 5000;
+  QuerySpec q = TestQuery(EmitMode::kWatermark, AggKind::kSum, 5000);
+  const auto events = Generate(w);
+  auto expected = ReferenceJoin(events, q);
+  SortResults(&expected);
+
+  for (EngineKind kind : {EngineKind::kKeyOij, EngineKind::kScaleOij}) {
+    EngineOptions options;
+    options.num_joiners = 4;
+    const auto run = RunOverEvents(kind, events, q, options);
+    ExpectResultsEqual(run.results, expected,
+                       std::string(EngineKindName(kind)) + "+lateness");
+  }
+}
+
+TEST(EngineShapeTest, SingleKeyEverythingColocates) {
+  const WorkloadSpec w = TestWorkload(61, /*keys=*/1);
+  const QuerySpec q = TestQuery(EmitMode::kWatermark);
+  const auto events = Generate(w);
+  auto expected = ReferenceJoin(events, q);
+  SortResults(&expected);
+
+  for (EngineKind kind : {EngineKind::kKeyOij, EngineKind::kScaleOij,
+                          EngineKind::kSplitJoin}) {
+    EngineOptions options;
+    options.num_joiners = 4;
+    const auto run = RunOverEvents(kind, events, q, options);
+    ExpectResultsEqual(run.results, expected,
+                       std::string(EngineKindName(kind)) + "+1key");
+  }
+}
+
+// --------------------------------------------- Scale-OIJ ablation variants
+
+class ScaleAblationTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(ScaleAblationTest, ExactWithAnyOptimizationSubset) {
+  const auto [dynamic_schedule, incremental] = GetParam();
+  const WorkloadSpec w = TestWorkload(71, /*keys=*/4);
+  const QuerySpec q = TestQuery(EmitMode::kWatermark);
+  const auto events = Generate(w);
+  auto expected = ReferenceJoin(events, q);
+  SortResults(&expected);
+
+  EngineOptions options;
+  options.num_joiners = 4;
+  options.dynamic_schedule = dynamic_schedule;
+  options.incremental_agg = incremental;
+  options.rebalance_interval_events = 2048;
+  const auto run = RunOverEvents(EngineKind::kScaleOij, events, q, options);
+  ExpectResultsEqual(run.results, expected, "scale-ablation");
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ScaleAblationTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()),
+                         [](const auto& info) {
+                           return std::string(std::get<0>(info.param)
+                                                  ? "dyn"
+                                                  : "static") +
+                                  (std::get<1>(info.param) ? "_inc"
+                                                           : "_full");
+                         });
+
+// ----------------------------------------------------- behavioural checks
+
+TEST(EngineBehaviourTest, SharedStateEmitsPerBaseTuple) {
+  // Multi-worker OpenMLDB-like runs are approximate but must still emit
+  // exactly one result per base tuple.
+  const WorkloadSpec w = TestWorkload(81);
+  const QuerySpec q = TestQuery(EmitMode::kEager);
+  const auto events = Generate(w);
+  size_t bases = 0;
+  for (const auto& e : events) {
+    if (e.stream == StreamId::kBase) ++bases;
+  }
+  EngineOptions options;
+  options.num_joiners = 4;
+  const auto run =
+      RunOverEvents(EngineKind::kSharedState, events, q, options);
+  EXPECT_EQ(run.results.size(), bases);
+}
+
+TEST(EngineBehaviourTest, EvictionBoundsStateGrowth) {
+  // A long run with a small window must evict: peak buffered tuples stay
+  // far below the probe count.
+  WorkloadSpec w = TestWorkload(91);
+  w.total_tuples = 100'000;
+  const QuerySpec q = TestQuery(EmitMode::kWatermark);
+  const auto events = Generate(w);
+
+  for (EngineKind kind : {EngineKind::kKeyOij, EngineKind::kScaleOij}) {
+    EngineOptions options;
+    options.num_joiners = 2;
+    const auto run = RunOverEvents(kind, events, q, options);
+    EXPECT_GT(run.stats.evicted_tuples, 10'000u)
+        << EngineKindName(kind) << ": eviction never ran";
+    EXPECT_LT(run.stats.peak_buffered_tuples, 20'000u)
+        << EngineKindName(kind) << ": state grew unboundedly";
+  }
+}
+
+TEST(EngineBehaviourTest, KeyOijVisitsOutOfWindowDataUnderLateness) {
+  // The defining inefficiency (Fig 7): with large lateness, Key-OIJ's
+  // effectiveness decays while Scale-OIJ's stays at 1.
+  WorkloadSpec w = TestWorkload(101);
+  w.lateness_us = 4000;  // 10x the window
+  w.disorder_bound_us = 4000;
+  const QuerySpec q = TestQuery(EmitMode::kWatermark, AggKind::kSum, 4000);
+  const auto events = Generate(w);
+
+  EngineOptions options;
+  options.num_joiners = 2;
+  const auto key = RunOverEvents(EngineKind::kKeyOij, events, q, options);
+  options.incremental_agg = false;  // isolate the index effect
+  const auto scale =
+      RunOverEvents(EngineKind::kScaleOij, events, q, options);
+
+  EXPECT_LT(key.stats.Effectiveness(), 0.5);
+  EXPECT_GT(scale.stats.Effectiveness(), 0.99);
+  EXPECT_GT(key.stats.visited, 3 * scale.stats.visited);
+}
+
+TEST(EngineBehaviourTest, IncrementalReducesVisitsOnLargeWindows) {
+  WorkloadSpec w = TestWorkload(111, /*keys=*/4);
+  w.window = IntervalWindow{20'000, 0};  // 50x overlap between windows
+  const QuerySpec q =
+      TestQuery(EmitMode::kWatermark, AggKind::kSum, 50, {20'000, 0});
+  const auto events = Generate(w);
+
+  EngineOptions options;
+  options.num_joiners = 2;
+  options.incremental_agg = true;
+  const auto inc = RunOverEvents(EngineKind::kScaleOij, events, q, options);
+  options.incremental_agg = false;
+  const auto full = RunOverEvents(EngineKind::kScaleOij, events, q, options);
+
+  // Same results...
+  ExpectResultsEqual(inc.results, full.results, "inc-vs-full");
+  // ...but far fewer tuples touched.
+  EXPECT_LT(inc.stats.visited, full.stats.visited / 5);
+}
+
+TEST(EngineBehaviourTest, DynamicScheduleBalancesFewKeys) {
+  // 2 keys on 4 joiners: Key-OIJ leaves half the joiners idle; Scale-OIJ's
+  // dynamic schedule spreads the load (Fig 13a/c).
+  WorkloadSpec w = TestWorkload(121, /*keys=*/2);
+  w.total_tuples = 60'000;
+  const QuerySpec q = TestQuery(EmitMode::kWatermark);
+  const auto events = Generate(w);
+
+  EngineOptions options;
+  options.num_joiners = 4;
+  options.rebalance_interval_events = 4096;
+  const auto key = RunOverEvents(EngineKind::kKeyOij, events, q, options);
+  const auto scale =
+      RunOverEvents(EngineKind::kScaleOij, events, q, options);
+
+  EXPECT_GT(key.stats.ActualUnbalancedness(), 0.8)
+      << "key-partitioning should be badly skewed with 2 keys";
+  EXPECT_LT(scale.stats.ActualUnbalancedness(),
+            key.stats.ActualUnbalancedness() / 2);
+  EXPECT_GT(scale.stats.rebalances, 0u);
+}
+
+TEST(EngineBehaviourTest, EagerApproximationIsSandwiched) {
+  // Eager mode under disorder misses only probes that arrive after their
+  // base tuple; the generator bounds those to ts in (end - disorder,
+  // end]. Hence every eager result is sandwiched between the exact
+  // aggregate of the full window and that of the window with its last
+  // `disorder` microseconds removed.
+  const Timestamp disorder = 80;
+  WorkloadSpec w = TestWorkload(141, /*keys=*/4, disorder);
+  QuerySpec q = TestQuery(EmitMode::kEager, AggKind::kCount, disorder);
+  const auto events = Generate(w);
+
+  auto full = ReferenceJoin(events, q);
+  SortResults(&full);
+  // Lower bound: probes in [start, end - disorder - 1] can never be
+  // missed (they cannot arrive after the base tuple).
+  auto lower_ref = [&](const Tuple& base) {
+    uint64_t count = 0;
+    const Timestamp start = q.window.start_for(base.ts);
+    const Timestamp end = q.window.end_for(base.ts) - disorder - 1;
+    for (const auto& e : events) {
+      if (e.stream == StreamId::kProbe && e.tuple.key == base.key &&
+          e.tuple.ts >= start && e.tuple.ts <= end) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  EngineOptions options;
+  options.num_joiners = 2;
+  const auto run = RunOverEvents(EngineKind::kKeyOij, events, q, options);
+  ASSERT_EQ(run.results.size(), full.size());
+  uint64_t got_total = 0;
+  uint64_t full_total = 0;
+  for (size_t i = 0; i < run.results.size(); ++i) {
+    ASSERT_EQ(run.results[i].base, full[i].base);
+    ASSERT_LE(run.results[i].match_count, full[i].match_count)
+        << "eager must never over-count";
+    ASSERT_GE(run.results[i].match_count, lower_ref(run.results[i].base))
+        << "eager missed a probe outside the disorder bound";
+    got_total += run.results[i].match_count;
+    full_total += full[i].match_count;
+  }
+  // The aggregate deficit is a small fraction: only probes inside the
+  // final `disorder` microseconds of a window can be missed, and only
+  // when they actually arrive after the base tuple.
+  ASSERT_GT(full_total, 0u);
+  EXPECT_GT(static_cast<double>(got_total) /
+                static_cast<double>(full_total),
+            0.95);
+}
+
+TEST(EngineBehaviourTest, StartValidatesOptions) {
+  QuerySpec q = TestQuery(EmitMode::kWatermark);
+  EngineOptions options;
+  options.num_joiners = 0;
+  NullSink sink;
+  auto engine = CreateEngine(EngineKind::kKeyOij, q, options, &sink);
+  EXPECT_FALSE(engine->Start().ok());
+}
+
+TEST(EngineBehaviourTest, EmptyStreamFinishesCleanly) {
+  const QuerySpec q = TestQuery(EmitMode::kWatermark);
+  EngineOptions options;
+  options.num_joiners = 2;
+  for (EngineKind kind :
+       {EngineKind::kKeyOij, EngineKind::kScaleOij, EngineKind::kSplitJoin,
+        EngineKind::kSharedState}) {
+    CollectingSink sink;
+    auto engine = CreateEngine(kind, q, options, &sink);
+    ASSERT_TRUE(engine->Start().ok());
+    const EngineStats stats = engine->Finish();
+    EXPECT_EQ(stats.results, 0u) << EngineKindName(kind);
+  }
+}
+
+TEST(EngineBehaviourTest, FactoryNamesRoundTrip) {
+  for (EngineKind kind :
+       {EngineKind::kKeyOij, EngineKind::kScaleOij, EngineKind::kSplitJoin,
+        EngineKind::kSharedState}) {
+    EngineKind parsed;
+    ASSERT_TRUE(EngineKindFromName(EngineKindName(kind), &parsed).ok());
+    EXPECT_EQ(parsed, kind);
+  }
+  EngineKind parsed;
+  EXPECT_FALSE(EngineKindFromName("flink", &parsed).ok());
+}
+
+TEST(EngineBehaviourTest, CacheSimReceivesTraffic) {
+  CacheSim sim;
+  WorkloadSpec w = TestWorkload(131);
+  const QuerySpec q = TestQuery(EmitMode::kWatermark);
+  const auto events = Generate(w);
+  EngineOptions options;
+  options.num_joiners = 2;
+  options.cache_sim = &sim;
+  options.cache_sample_period = 4;
+  RunOverEvents(EngineKind::kKeyOij, events, q, options);
+  EXPECT_GT(sim.accesses(), 1000u);
+}
+
+}  // namespace
+}  // namespace oij

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/clock.h"
+#include "core/engine_factory.h"
+#include "core/feature_set.h"
+#include "join/reference_join.h"
+#include "join/watermark.h"
+#include "stream/generator.h"
+
+namespace oij {
+namespace {
+
+constexpr const char* kMultiSql = R"sql(
+SELECT sum(amt), count(amt), avg(amt), min(amt), max(amt) OVER w FROM S
+WINDOW w AS (
+  UNION R PARTITION BY k ORDER BY ts
+  ROWS_RANGE BETWEEN 500us PRECEDING AND CURRENT ROW
+  LATENESS 50us);
+)sql";
+
+TEST(FeatureSetTest, CompilesMultiSelect) {
+  FeatureSetSpec fs;
+  ASSERT_TRUE(CompileFeatureSet(kMultiSql, &fs).ok());
+  ASSERT_EQ(fs.outputs.size(), 5u);
+  EXPECT_EQ(fs.outputs[0].kind, AggKind::kSum);
+  EXPECT_EQ(fs.outputs[1].kind, AggKind::kCount);
+  EXPECT_EQ(fs.outputs[2].kind, AggKind::kAvg);
+  EXPECT_EQ(fs.outputs[3].kind, AggKind::kMin);
+  EXPECT_EQ(fs.outputs[4].kind, AggKind::kMax);
+  EXPECT_EQ(fs.outputs[0].name, "sum(amt)");
+  EXPECT_EQ(fs.query.agg, AggKind::kSum);
+  EXPECT_EQ(fs.query.window.pre, 500);
+  EXPECT_EQ(fs.query.lateness_us, 50);
+}
+
+TEST(FeatureSetTest, SingleSelectStillWorks) {
+  FeatureSetSpec fs;
+  ASSERT_TRUE(CompileFeatureSet(
+                  "SELECT sum(v) OVER w FROM S WINDOW w AS (UNION R "
+                  "PARTITION BY k ORDER BY ts ROWS_RANGE BETWEEN 1s "
+                  "PRECEDING AND CURRENT ROW)",
+                  &fs)
+                  .ok());
+  EXPECT_EQ(fs.outputs.size(), 1u);
+  EXPECT_FALSE(fs.RequiresFullState());
+}
+
+TEST(FeatureSetTest, RequiresFullStateClassification) {
+  auto make = [](std::initializer_list<AggKind> kinds) {
+    FeatureSetSpec fs;
+    for (AggKind k : kinds) fs.outputs.push_back({k, "v", ""});
+    return fs;
+  };
+  EXPECT_FALSE(make({AggKind::kSum, AggKind::kCount, AggKind::kAvg})
+                   .RequiresFullState());
+  EXPECT_FALSE(make({AggKind::kMax}).RequiresFullState());
+  EXPECT_TRUE(make({AggKind::kMin, AggKind::kMax}).RequiresFullState());
+  EXPECT_TRUE(make({AggKind::kSum, AggKind::kMax}).RequiresFullState());
+}
+
+TEST(FeatureSetTest, RejectsUnknownFunctionInAnyPosition) {
+  FeatureSetSpec fs;
+  EXPECT_FALSE(CompileFeatureSet(
+                   "SELECT sum(v), median(v) OVER w FROM S WINDOW w AS "
+                   "(UNION R PARTITION BY k ORDER BY ts ROWS_RANGE "
+                   "BETWEEN 1s PRECEDING AND CURRENT ROW)",
+                   &fs)
+                   .ok());
+}
+
+TEST(FeatureSetTest, ExtractFromMaterializedResult) {
+  JoinResult r;
+  r.match_count = 4;
+  r.sum = 20.0;
+  r.min = 2.0;
+  r.max = 8.0;
+  EXPECT_DOUBLE_EQ(ExtractFeature(r, AggKind::kSum), 20.0);
+  EXPECT_DOUBLE_EQ(ExtractFeature(r, AggKind::kCount), 4.0);
+  EXPECT_DOUBLE_EQ(ExtractFeature(r, AggKind::kAvg), 5.0);
+  EXPECT_DOUBLE_EQ(ExtractFeature(r, AggKind::kMin), 2.0);
+  EXPECT_DOUBLE_EQ(ExtractFeature(r, AggKind::kMax), 8.0);
+}
+
+TEST(FeatureSetTest, ExtractFromEmptyWindow) {
+  JoinResult r;
+  r.match_count = 0;
+  EXPECT_DOUBLE_EQ(ExtractFeature(r, AggKind::kSum), 0.0);
+  EXPECT_DOUBLE_EQ(ExtractFeature(r, AggKind::kCount), 0.0);
+  EXPECT_TRUE(std::isnan(ExtractFeature(r, AggKind::kAvg)));
+  EXPECT_TRUE(std::isnan(ExtractFeature(r, AggKind::kMin)));
+  EXPECT_TRUE(std::isnan(ExtractFeature(r, AggKind::kMax)));
+}
+
+TEST(FeatureSetTest, ExtractNanWhenNotMaterialized) {
+  JoinResult r;
+  r.match_count = 3;  // incremental path: sum/min/max left NaN
+  EXPECT_TRUE(std::isnan(ExtractFeature(r, AggKind::kSum)) ||
+              r.match_count == 0);
+  EXPECT_TRUE(std::isnan(ExtractFeature(r, AggKind::kAvg)));
+  EXPECT_TRUE(std::isnan(ExtractFeature(r, AggKind::kMin)));
+}
+
+/// End-to-end: one engine run serves all five features exactly, for every
+/// full-materialization engine.
+class FeatureSetEngineTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(FeatureSetEngineTest, AllFeaturesExactInOneRun) {
+  const EngineKind kind = GetParam();
+  FeatureSetSpec fs;
+  ASSERT_TRUE(CompileFeatureSet(kMultiSql, &fs).ok());
+  fs.query.emit_mode = EmitMode::kWatermark;
+
+  WorkloadSpec w;
+  w.num_keys = 6;
+  w.window = fs.query.window;
+  w.lateness_us = fs.query.lateness_us;
+  w.disorder_bound_us = fs.query.lateness_us;
+  w.total_tuples = 20'000;
+  w.seed = 99;
+
+  WorkloadGenerator gen(w);
+  std::vector<StreamEvent> events;
+  StreamEvent ev;
+  while (gen.Next(&ev)) events.push_back(ev);
+
+  CollectingSink sink;
+  EngineOptions options;
+  options.num_joiners = 3;
+  // Feature sets mixing extremes with other aggregates need full window
+  // materialization.
+  options.incremental_agg = !fs.RequiresFullState();
+  auto engine = CreateEngine(kind, fs.query, options, &sink);
+  ASSERT_TRUE(engine->Start().ok());
+  WatermarkTracker tracker(fs.query.lateness_us);
+  uint64_t n = 0;
+  for (const StreamEvent& e : events) {
+    tracker.Observe(e.tuple.ts);
+    engine->Push(e, MonotonicNowUs());
+    if (++n % 256 == 0) engine->SignalWatermark(tracker.watermark());
+  }
+  engine->Finish();
+
+  // Reference per output kind.
+  auto results = sink.TakeResults();
+  std::vector<ReferenceResult> got_sorted;
+  for (const auto& r : results) got_sorted.push_back({r.base, 0, 0});
+  for (const FeatureOutput& out : fs.outputs) {
+    QuerySpec q = fs.query;
+    q.agg = out.kind;
+    auto expected = ReferenceJoin(events, q);
+    SortResults(&expected);
+    std::vector<std::pair<ReferenceResult, double>> got;
+    for (const auto& r : results) {
+      got.push_back({{r.base, 0, r.match_count},
+                     ExtractFeature(r, out.kind)});
+    }
+    std::sort(got.begin(), got.end(), [](const auto& a, const auto& b) {
+      if (a.first.base.ts != b.first.base.ts) {
+        return a.first.base.ts < b.first.base.ts;
+      }
+      return a.first.base.key < b.first.base.key;
+    });
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      if (std::isnan(expected[i].aggregate)) {
+        ASSERT_TRUE(std::isnan(got[i].second))
+            << out.name << " result " << i;
+      } else {
+        ASSERT_NEAR(got[i].second, expected[i].aggregate, 1e-6)
+            << out.name << " result " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, FeatureSetEngineTest,
+                         ::testing::Values(EngineKind::kKeyOij,
+                                           EngineKind::kScaleOij,
+                                           EngineKind::kSplitJoin),
+                         [](const auto& info) {
+                           std::string name(EngineKindName(info.param));
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace oij

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "metrics/breakdown.h"
+#include "metrics/cache_sim.h"
+#include "metrics/cpu_util.h"
+#include "metrics/latency_recorder.h"
+#include "metrics/throughput.h"
+
+namespace oij {
+namespace {
+
+// -------------------------------------------------------- LatencyRecorder
+
+TEST(LatencyRecorderTest, EmptyRecorder) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.Percentile(0.5), 0);
+  EXPECT_DOUBLE_EQ(rec.FractionBelow(100), 1.0);
+  EXPECT_TRUE(rec.CdfPoints().empty());
+}
+
+TEST(LatencyRecorderTest, ExactSmallValues) {
+  LatencyRecorder rec;
+  for (int64_t v : {1, 2, 3, 4, 5}) rec.Record(v);
+  EXPECT_EQ(rec.count(), 5u);
+  EXPECT_EQ(rec.max_us(), 5);
+  EXPECT_DOUBLE_EQ(rec.mean_us(), 3.0);
+  EXPECT_EQ(rec.Percentile(0.0), 1);
+  EXPECT_EQ(rec.Percentile(1.0), 5);
+  EXPECT_EQ(rec.Percentile(0.5), 3);
+}
+
+TEST(LatencyRecorderTest, PercentileWithinRelativeError) {
+  LatencyRecorder rec;
+  Rng rng(3);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBelow(1'000'000));
+    values.push_back(v);
+    rec.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const int64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    const int64_t approx = rec.Percentile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.10 + 16)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyRecorderTest, NegativeClampsToZero) {
+  LatencyRecorder rec;
+  rec.Record(-5);
+  EXPECT_EQ(rec.count(), 1u);
+  EXPECT_EQ(rec.Percentile(1.0), 0);
+}
+
+TEST(LatencyRecorderTest, MergeCombines) {
+  LatencyRecorder a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.max_us(), 1000);
+  EXPECT_LE(a.Percentile(0.0), 10);
+}
+
+TEST(LatencyRecorderTest, FractionBelowThreshold) {
+  LatencyRecorder rec;
+  for (int i = 0; i < 80; ++i) rec.Record(1000);     // 1 ms
+  for (int i = 0; i < 20; ++i) rec.Record(100'000);  // 100 ms
+  EXPECT_NEAR(rec.FractionBelow(20'000), 0.8, 0.01);
+}
+
+TEST(LatencyRecorderTest, CdfIsMonotoneAndEndsAtOne) {
+  LatencyRecorder rec;
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    rec.Record(static_cast<int64_t>(rng.NextBelow(100'000)));
+  }
+  const auto points = rec.CdfPoints();
+  ASSERT_FALSE(points.empty());
+  double prev = 0.0;
+  int64_t prev_v = -1;
+  for (const auto& p : points) {
+    EXPECT_GE(p.cumulative, prev);
+    EXPECT_GT(p.latency_us, prev_v);
+    prev = p.cumulative;
+    prev_v = p.latency_us;
+  }
+  EXPECT_DOUBLE_EQ(points.back().cumulative, 1.0);
+}
+
+TEST(LatencyRecorderTest, LargeValuesDoNotOverflowBuckets) {
+  LatencyRecorder rec;
+  rec.Record(int64_t{1} << 55);
+  rec.Record(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(rec.count(), 2u);
+  EXPECT_GT(rec.Percentile(1.0), 0);
+}
+
+// -------------------------------------------------------- ThroughputMeter
+
+TEST(ThroughputMeterTest, MeasuresRate) {
+  ThroughputMeter meter;
+  meter.Start();
+  meter.AddTuples(500);
+  meter.Stop();
+  EXPECT_EQ(meter.tuples(), 500u);
+  EXPECT_GE(meter.elapsed_seconds(), 0.0);
+  if (meter.elapsed_seconds() > 0) {
+    EXPECT_GT(meter.TuplesPerSecond(), 0.0);
+  }
+}
+
+// ---------------------------------------------------------- TimeBreakdown
+
+TEST(TimeBreakdownTest, FractionsSumToOne) {
+  TimeBreakdown b;
+  b.lookup_ns = 300;
+  b.match_ns = 500;
+  b.busy_ns = 1000;
+  EXPECT_EQ(b.other_ns(), 200);
+  EXPECT_NEAR(b.lookup_fraction() + b.match_fraction() + b.other_fraction(),
+              1.0, 1e-9);
+}
+
+TEST(TimeBreakdownTest, OtherClampsAtZero) {
+  TimeBreakdown b;
+  b.lookup_ns = 900;
+  b.match_ns = 200;
+  b.busy_ns = 1000;  // instrumentation skew: lookup+match > busy
+  EXPECT_EQ(b.other_ns(), 0);
+}
+
+TEST(TimeBreakdownTest, MergeAccumulates) {
+  TimeBreakdown a, b;
+  a.lookup_ns = 10;
+  b.lookup_ns = 20;
+  b.match_ns = 5;
+  b.busy_ns = 50;
+  a.Merge(b);
+  EXPECT_EQ(a.lookup_ns, 30);
+  EXPECT_EQ(a.match_ns, 5);
+  EXPECT_EQ(a.busy_ns, 50);
+}
+
+// --------------------------------------------------------------- CacheSim
+
+TEST(CacheSimTest, RepeatAccessHits) {
+  CacheSim::Config config;
+  config.capacity_bytes = 64 * 1024;
+  config.ways = 4;
+  CacheSim sim(config);
+  EXPECT_FALSE(sim.Access(0x1000));  // cold miss
+  EXPECT_TRUE(sim.Access(0x1000));   // hit
+  EXPECT_TRUE(sim.Access(0x1010));   // same 64B line
+  EXPECT_EQ(sim.hits(), 2u);
+  EXPECT_EQ(sim.misses(), 1u);
+}
+
+TEST(CacheSimTest, CapacityEvictsLru) {
+  // Working set larger than capacity -> second pass still misses;
+  // working set smaller than capacity -> second pass hits.
+  CacheSim::Config config;
+  config.capacity_bytes = 4096;  // 64 lines
+  config.ways = 4;
+  CacheSim small(config);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uintptr_t a = 0; a < 64 * 1024; a += 64) small.Access(a);
+  }
+  EXPECT_GT(small.MissRatio(), 0.9);
+
+  CacheSim big(CacheSim::Config{.capacity_bytes = 1 << 20, .ways = 8,
+                                .line_bytes = 64});
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uintptr_t a = 0; a < 16 * 1024; a += 64) big.Access(a);
+  }
+  EXPECT_LT(big.MissRatio(), 0.6);  // second pass all hits
+}
+
+TEST(CacheSimTest, MissRatioGrowsWithFootprint) {
+  // The Fig 8b/13d mechanism: larger working sets -> more LLC misses.
+  auto run = [](uint64_t footprint) {
+    CacheSim sim(CacheSim::Config{.capacity_bytes = 256 * 1024, .ways = 8,
+                                  .line_bytes = 64});
+    Rng rng(9);
+    for (int i = 0; i < 200000; ++i) {
+      sim.Access(rng.NextBelow(footprint));
+    }
+    return sim.MissRatio();
+  };
+  const double small = run(64 * 1024);    // fits
+  const double large = run(8 * 1024 * 1024);  // 32x capacity
+  EXPECT_LT(small, 0.2);
+  EXPECT_GT(large, 0.8);
+}
+
+TEST(CacheSimTest, ResetCountersKeepsContents) {
+  CacheSim sim;
+  sim.Access(0x40);
+  sim.ResetCounters();
+  EXPECT_EQ(sim.accesses(), 0u);
+  EXPECT_TRUE(sim.Access(0x40)) << "contents survive counter reset";
+}
+
+TEST(SampledCacheProbeTest, SamplesEveryNth) {
+  CacheSim sim;
+  SampledCacheProbe probe(&sim, 4);
+  int dummy[64];
+  for (int i = 0; i < 64; ++i) probe.Touch(&dummy[i]);
+  EXPECT_EQ(sim.accesses(), 16u);
+  SampledCacheProbe disabled;
+  disabled.Touch(&dummy[0]);  // no sim attached: no-op
+  EXPECT_FALSE(disabled.enabled());
+}
+
+// ----------------------------------------------------------- CpuUtilTracker
+
+TEST(CpuUtilTrackerTest, ApportionsAcrossIntervals) {
+  CpuUtilTracker tracker(/*origin_ns=*/0, /*interval_ns=*/100);
+  tracker.AddBusy(50, 150);  // half of interval 0, half of interval 1
+  const auto series = tracker.UtilizationSeries(200);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 0.5);
+  EXPECT_DOUBLE_EQ(series[1], 0.5);
+}
+
+TEST(CpuUtilTrackerTest, TrailingIdleIntervalsIncluded) {
+  CpuUtilTracker tracker(0, 100);
+  tracker.AddBusy(0, 100);
+  const auto series = tracker.UtilizationSeries(500);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[4], 0.0);
+}
+
+TEST(CpuUtilTrackerTest, ClampsToOne) {
+  CpuUtilTracker tracker(0, 100);
+  tracker.AddBusy(0, 100);
+  tracker.AddBusy(0, 100);  // double-counted span
+  EXPECT_DOUBLE_EQ(tracker.UtilizationSeries(100)[0], 1.0);
+}
+
+TEST(CpuUtilTrackerTest, IgnoresPreOriginSpans) {
+  CpuUtilTracker tracker(1000, 100);
+  tracker.AddBusy(0, 500);  // entirely before origin
+  tracker.AddBusy(900, 1100);  // half clipped
+  const auto series = tracker.UtilizationSeries(1100);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+}
+
+TEST(StdDevTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0, 5.0}), 0.0);
+  EXPECT_NEAR(StdDev({0.0, 1.0}), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace oij

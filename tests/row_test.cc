@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "row/row.h"
+#include "row/schema.h"
+#include "row/stream_binding.h"
+#include "sql/parser.h"
+
+namespace oij {
+namespace {
+
+Schema OrderSchema() {
+  return Schema({{"ts", FieldType::kTimestamp},
+                 {"user_id", FieldType::kInt64},
+                 {"amount", FieldType::kDouble},
+                 {"item_count", FieldType::kInt64}});
+}
+
+// ------------------------------------------------------------------ Schema
+
+TEST(SchemaTest, IndexLookup) {
+  const Schema s = OrderSchema();
+  EXPECT_EQ(s.num_fields(), 4u);
+  EXPECT_EQ(s.IndexOf("ts"), 0);
+  EXPECT_EQ(s.IndexOf("amount"), 2);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+  EXPECT_EQ(s.row_bytes(), 32u);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidationCatchesDuplicatesAndEmpty) {
+  EXPECT_FALSE(Schema(std::vector<Field>{}).Validate().ok());
+  EXPECT_FALSE(Schema({{"a", FieldType::kInt64}, {"a", FieldType::kDouble}})
+                   .Validate()
+                   .ok());
+  EXPECT_FALSE(Schema({{"", FieldType::kInt64}}).Validate().ok());
+}
+
+TEST(SchemaTest, TypeNames) {
+  EXPECT_EQ(FieldTypeName(FieldType::kInt64), "int64");
+  EXPECT_EQ(FieldTypeName(FieldType::kDouble), "double");
+  EXPECT_EQ(FieldTypeName(FieldType::kTimestamp), "timestamp");
+}
+
+// --------------------------------------------------------------- Row codec
+
+TEST(RowTest, BuildAndReadBack) {
+  const Schema schema = OrderSchema();
+  RowBuilder builder(&schema);
+  builder.SetTimestamp(0, 123456789)
+      .SetInt64(1, 42)
+      .SetDouble(2, 99.5)
+      .SetInt64(3, -7);
+  RowView view(&schema, builder.row().data());
+  EXPECT_EQ(view.GetTimestamp(0), 123456789);
+  EXPECT_EQ(view.GetInt64(1), 42);
+  EXPECT_DOUBLE_EQ(view.GetDouble(2), 99.5);
+  EXPECT_EQ(view.GetInt64(3), -7);
+}
+
+TEST(RowTest, ResetZeroes) {
+  const Schema schema = OrderSchema();
+  RowBuilder builder(&schema);
+  builder.SetDouble(2, 1.0);
+  builder.Reset();
+  RowView view(&schema, builder.row().data());
+  EXPECT_DOUBLE_EQ(view.GetDouble(2), 0.0);
+}
+
+TEST(RowTest, NegativeAndExtremeValuesSurvive) {
+  const Schema schema = OrderSchema();
+  RowBuilder builder(&schema);
+  builder.SetInt64(1, std::numeric_limits<int64_t>::min())
+      .SetDouble(2, -0.0)
+      .SetTimestamp(0, std::numeric_limits<int64_t>::max());
+  RowView view(&schema, builder.row().data());
+  EXPECT_EQ(view.GetInt64(1), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(view.GetTimestamp(0), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(view.GetDouble(2), 0.0);
+  EXPECT_TRUE(std::signbit(view.GetDouble(2)));
+}
+
+// ---------------------------------------------------------- StreamBinding
+
+TEST(StreamBindingTest, ResolvesColumns) {
+  const Schema schema = OrderSchema();
+  StreamBinding binding;
+  ASSERT_TRUE(
+      ResolveBinding(schema, "ts", "user_id", "amount", &binding).ok());
+  EXPECT_EQ(binding.ts_index, 0);
+  EXPECT_EQ(binding.key_index, 1);
+  EXPECT_EQ(binding.value_index, 2);
+}
+
+TEST(StreamBindingTest, EmptyValueColumnSkipsResolution) {
+  const Schema schema = OrderSchema();
+  StreamBinding binding;
+  ASSERT_TRUE(ResolveBinding(schema, "ts", "user_id", "", &binding).ok());
+  EXPECT_EQ(binding.value_index, -1);
+}
+
+TEST(StreamBindingTest, RejectsMissingAndMistypedColumns) {
+  const Schema schema = OrderSchema();
+  StreamBinding binding;
+  EXPECT_EQ(
+      ResolveBinding(schema, "nope", "user_id", "amount", &binding).code(),
+      Status::Code::kNotFound);
+  // Key must be int64, not double.
+  EXPECT_EQ(
+      ResolveBinding(schema, "ts", "amount", "amount", &binding).code(),
+      Status::Code::kInvalidArgument);
+  // Timestamp must not be a double column.
+  EXPECT_FALSE(
+      ResolveBinding(schema, "amount", "user_id", "amount", &binding)
+          .ok());
+  // Int64 is an acceptable value column (cast to double).
+  EXPECT_TRUE(
+      ResolveBinding(schema, "ts", "user_id", "item_count", &binding)
+          .ok());
+}
+
+TEST(StreamBindingTest, RowToTupleUsesBinding) {
+  const Schema schema = OrderSchema();
+  StreamBinding binding;
+  ASSERT_TRUE(
+      ResolveBinding(schema, "ts", "user_id", "amount", &binding).ok());
+  RowBuilder builder(&schema);
+  builder.SetTimestamp(0, 777).SetInt64(1, 5).SetDouble(2, 12.25);
+  const Tuple t = RowToTuple(binding, RowView(&schema, builder.row().data()));
+  EXPECT_EQ(t.ts, 777);
+  EXPECT_EQ(t.key, 5u);
+  EXPECT_DOUBLE_EQ(t.payload, 12.25);
+}
+
+TEST(StreamBindingTest, Int64ValueColumnCastsToDouble) {
+  const Schema schema = OrderSchema();
+  StreamBinding binding;
+  ASSERT_TRUE(
+      ResolveBinding(schema, "ts", "user_id", "item_count", &binding).ok());
+  RowBuilder builder(&schema);
+  builder.SetTimestamp(0, 1).SetInt64(1, 2).SetInt64(3, 9);
+  const Tuple t = RowToTuple(binding, RowView(&schema, builder.row().data()));
+  EXPECT_DOUBLE_EQ(t.payload, 9.0);
+}
+
+TEST(StreamBindingTest, BindQueryToSchemasEndToEnd) {
+  ParsedQuery parsed;
+  ASSERT_TRUE(ParseQuery(
+                  "SELECT sum(amount) OVER w FROM actions WINDOW w AS "
+                  "(UNION orders PARTITION BY user_id ORDER BY ts "
+                  "ROWS_RANGE BETWEEN 1s PRECEDING AND CURRENT ROW)",
+                  &parsed)
+                  .ok());
+  const Schema actions({{"ts", FieldType::kTimestamp},
+                        {"user_id", FieldType::kInt64},
+                        {"page", FieldType::kInt64}});
+  const Schema orders = OrderSchema();
+  StreamBinding base, probe;
+  ASSERT_TRUE(
+      BindQueryToSchemas(parsed, actions, orders, &base, &probe).ok());
+  EXPECT_EQ(base.value_index, -1);
+  EXPECT_EQ(probe.value_index, 2);
+
+  // The aggregated column must exist in the probe schema, not the base.
+  StreamBinding b2, p2;
+  const Status s = BindQueryToSchemas(parsed, orders, actions, &b2, &p2);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("orders"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oij

@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "stream/generator.h"
+#include "stream/presets.h"
+#include "stream/workload.h"
+
+namespace oij {
+namespace {
+
+std::vector<StreamEvent> Drain(WorkloadGenerator* gen) {
+  std::vector<StreamEvent> events;
+  StreamEvent ev;
+  while (gen->Next(&ev)) events.push_back(ev);
+  return events;
+}
+
+WorkloadSpec SmallSpec() {
+  WorkloadSpec spec;
+  spec.num_keys = 7;
+  spec.window = IntervalWindow{500, 0};
+  spec.lateness_us = 50;
+  spec.disorder_bound_us = 50;
+  spec.event_rate_per_sec = 1'000'000;
+  spec.total_tuples = 20'000;
+  spec.seed = 9;
+  return spec;
+}
+
+// -------------------------------------------------------------- validate
+
+TEST(WorkloadSpecTest, DefaultValidates) {
+  EXPECT_TRUE(WorkloadSpec{}.Validate().ok());
+}
+
+TEST(WorkloadSpecTest, RejectsBadParameters) {
+  WorkloadSpec spec;
+  spec.num_keys = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = WorkloadSpec{};
+  spec.disorder_bound_us = 200;
+  spec.lateness_us = 100;
+  EXPECT_FALSE(spec.Validate().ok()) << "disorder > lateness is inexact";
+
+  spec = WorkloadSpec{};
+  spec.probe_fraction = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = WorkloadSpec{};
+  spec.event_rate_per_sec = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = WorkloadSpec{};
+  spec.key_distribution = KeyDistribution::kRotatingHotSet;
+  spec.hot_set_size = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(WorkloadSpecTest, ExpectedMatchesPerWindow) {
+  WorkloadSpec spec;
+  spec.event_rate_per_sec = 1'000'000;
+  spec.probe_fraction = 0.5;
+  spec.num_keys = 100;
+  spec.window = IntervalWindow{1000, 0};  // 1000 us
+  // 500K probe/s / 100 keys * 1ms = 5 matches.
+  EXPECT_NEAR(spec.ExpectedMatchesPerWindow(), 5.0, 1e-9);
+}
+
+// ------------------------------------------------------------- generator
+
+TEST(GeneratorTest, ProducesExactlyTotalTuples) {
+  WorkloadSpec spec = SmallSpec();
+  WorkloadGenerator gen(spec);
+  const auto events = Drain(&gen);
+  EXPECT_EQ(events.size(), spec.total_tuples);
+  EXPECT_EQ(gen.emitted(), spec.total_tuples);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  WorkloadSpec spec = SmallSpec();
+  WorkloadGenerator a(spec), b(spec);
+  StreamEvent ea, eb;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(a.Next(&ea));
+    ASSERT_TRUE(b.Next(&eb));
+    ASSERT_EQ(ea.tuple.ts, eb.tuple.ts);
+    ASSERT_EQ(ea.tuple.key, eb.tuple.key);
+    ASSERT_EQ(ea.tuple.payload, eb.tuple.payload);
+    ASSERT_EQ(ea.stream, eb.stream);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  WorkloadSpec spec = SmallSpec();
+  WorkloadGenerator a(spec);
+  spec.seed = 10;
+  WorkloadGenerator b(spec);
+  const auto ea = Drain(&a);
+  const auto eb = Drain(&b);
+  size_t diffs = 0;
+  for (size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i].tuple.key != eb[i].tuple.key) ++diffs;
+  }
+  EXPECT_GT(diffs, 100u);
+}
+
+TEST(GeneratorTest, DisorderBoundedByConfig) {
+  WorkloadSpec spec = SmallSpec();
+  WorkloadGenerator gen(spec);
+  Timestamp max_seen = kMinTimestamp;
+  Timestamp worst = 0;
+  StreamEvent ev;
+  while (gen.Next(&ev)) {
+    if (max_seen != kMinTimestamp) {
+      worst = std::max(worst, max_seen - ev.tuple.ts);
+    }
+    max_seen = std::max(max_seen, ev.tuple.ts);
+  }
+  EXPECT_LE(worst, spec.disorder_bound_us);
+  EXPECT_GT(worst, 0) << "disorder injection produced a fully sorted stream";
+}
+
+TEST(GeneratorTest, ZeroDisorderIsSorted) {
+  WorkloadSpec spec = SmallSpec();
+  spec.disorder_bound_us = 0;
+  spec.lateness_us = 0;
+  WorkloadGenerator gen(spec);
+  const auto events = Drain(&gen);
+  for (size_t i = 1; i < events.size(); ++i) {
+    ASSERT_GE(events[i].tuple.ts, events[i - 1].tuple.ts);
+  }
+}
+
+TEST(GeneratorTest, WatermarkNeverViolated) {
+  // The watermark after each emission must never exceed the timestamp of
+  // any later-emitted tuple — the exactness contract for lateness l.
+  WorkloadSpec spec = SmallSpec();
+  WorkloadGenerator gen(spec);
+  StreamEvent ev;
+  Timestamp wm = kMinTimestamp;
+  while (gen.Next(&ev)) {
+    ASSERT_GE(ev.tuple.ts, wm) << "tuple later than the watermark";
+    wm = gen.watermark();
+  }
+}
+
+TEST(GeneratorTest, KeysStayInRange) {
+  WorkloadSpec spec = SmallSpec();
+  WorkloadGenerator gen(spec);
+  StreamEvent ev;
+  while (gen.Next(&ev)) {
+    ASSERT_LT(ev.tuple.key, spec.num_keys);
+  }
+}
+
+TEST(GeneratorTest, ProbeFractionApproximatelyHonored) {
+  WorkloadSpec spec = SmallSpec();
+  spec.probe_fraction = 0.25;
+  WorkloadGenerator gen(spec);
+  const auto events = Drain(&gen);
+  const auto probes = std::count_if(
+      events.begin(), events.end(), [](const StreamEvent& e) {
+        return e.stream == StreamId::kProbe;
+      });
+  const double frac =
+      static_cast<double>(probes) / static_cast<double>(events.size());
+  EXPECT_NEAR(frac, 0.25, 0.02);
+}
+
+TEST(GeneratorTest, EventRateSetsDensity) {
+  WorkloadSpec spec = SmallSpec();
+  spec.event_rate_per_sec = 100'000;  // 10 us between tuples
+  spec.total_tuples = 10'000;
+  WorkloadGenerator gen(spec);
+  const auto events = Drain(&gen);
+  Timestamp max_ts = 0;
+  for (const auto& e : events) max_ts = std::max(max_ts, e.tuple.ts);
+  // 10K tuples at 100K/s spans ~100 ms of event time.
+  EXPECT_NEAR(static_cast<double>(max_ts), 100'000.0, 5'000.0);
+}
+
+TEST(GeneratorTest, RotatingHotSetShiftsKeys) {
+  WorkloadSpec spec = SmallSpec();
+  spec.num_keys = 10'000;
+  spec.key_distribution = KeyDistribution::kRotatingHotSet;
+  spec.hot_set_size = 4;
+  spec.hot_fraction = 0.95;
+  spec.hot_rotation_period_us = 2'000;  // rotate every 2 ms of event time
+  spec.total_tuples = 40'000;
+  WorkloadGenerator gen(spec);
+
+  // Bucket keys per rotation epoch; the dominant key set must change.
+  std::map<int64_t, std::map<Key, int>> per_epoch;
+  StreamEvent ev;
+  while (gen.Next(&ev)) {
+    per_epoch[ev.tuple.ts / spec.hot_rotation_period_us][ev.tuple.key]++;
+  }
+  ASSERT_GE(per_epoch.size(), 3u);
+  std::vector<std::set<Key>> tops;
+  for (const auto& [epoch, counts] : per_epoch) {
+    std::vector<std::pair<int, Key>> sorted;
+    for (const auto& [k, c] : counts) sorted.push_back({c, k});
+    std::sort(sorted.rbegin(), sorted.rend());
+    std::set<Key> top;
+    for (size_t i = 0; i < 4 && i < sorted.size(); ++i) {
+      top.insert(sorted[i].second);
+    }
+    tops.push_back(top);
+  }
+  size_t changed = 0;
+  for (size_t i = 1; i < tops.size(); ++i) {
+    if (tops[i] != tops[i - 1]) ++changed;
+  }
+  EXPECT_GT(changed, tops.size() / 2);
+}
+
+TEST(GeneratorTest, ZipfConcentratesTraffic) {
+  WorkloadSpec spec = SmallSpec();
+  spec.num_keys = 1000;
+  spec.key_distribution = KeyDistribution::kZipf;
+  spec.zipf_theta = 0.99;
+  WorkloadGenerator gen(spec);
+  std::map<Key, int> counts;
+  StreamEvent ev;
+  while (gen.Next(&ev)) counts[ev.tuple.key]++;
+  std::vector<int> sorted;
+  for (const auto& [k, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  // Top key should dwarf the median key.
+  EXPECT_GT(sorted.front(), 20 * sorted[sorted.size() / 2]);
+}
+
+// --------------------------------------------------------------- presets
+
+TEST(PresetsTest, AllPresetsValidate) {
+  for (const auto& w : RealWorkloads()) {
+    EXPECT_TRUE(w.Validate().ok()) << "workload " << w.name;
+  }
+  EXPECT_TRUE(DefaultSynthetic().Validate().ok());
+  EXPECT_TRUE(AdversarialSynthetic().Validate().ok());
+  EXPECT_TRUE(SkewedRotating().Validate().ok());
+}
+
+TEST(PresetsTest, TableIIParameters) {
+  const WorkloadSpec a = WorkloadA();
+  EXPECT_EQ(a.num_keys, 5u);
+  EXPECT_EQ(a.window.length(), 1'000'000);
+  EXPECT_EQ(a.lateness_us, 1'000'000);
+  EXPECT_EQ(a.pace_rate_per_sec, 120'000u);
+
+  const WorkloadSpec b = WorkloadB();
+  EXPECT_EQ(b.num_keys, 111u);
+  EXPECT_EQ(b.window.length(), 150'000'000);
+  EXPECT_EQ(b.lateness_us, 10'000'000);
+
+  const WorkloadSpec c = WorkloadC();
+  EXPECT_EQ(c.num_keys, 45u);
+  EXPECT_EQ(c.pace_rate_per_sec, 0u) << "Workload C is unthrottled";
+  EXPECT_EQ(c.lateness_us, 100'000'000);
+
+  const WorkloadSpec d = WorkloadD();
+  EXPECT_EQ(d.num_keys, 5u);
+  EXPECT_EQ(d.pace_rate_per_sec, 15'000u);
+}
+
+TEST(PresetsTest, MatchDensitiesApproximateProse) {
+  // Section III-C: ~4000 (A), ~6000 (B), a few hundred (C) matches/window.
+  EXPECT_NEAR(WorkloadA().ExpectedMatchesPerWindow(), 4000, 400);
+  EXPECT_NEAR(WorkloadB().ExpectedMatchesPerWindow(), 6000, 600);
+  EXPECT_NEAR(WorkloadC().ExpectedMatchesPerWindow(), 400, 100);
+}
+
+TEST(PresetsTest, TableIVAndTableV) {
+  const WorkloadSpec d = DefaultSynthetic();
+  EXPECT_EQ(d.num_keys, 100u);
+  EXPECT_EQ(d.window.length(), 1000);
+  EXPECT_EQ(d.lateness_us, 100);
+
+  const WorkloadSpec adv = AdversarialSynthetic();
+  EXPECT_EQ(adv.num_keys, 1000u);
+  EXPECT_EQ(adv.window.length(), 100);
+  EXPECT_EQ(adv.lateness_us, 10);
+}
+
+// --------------------------------------------------------- config strings
+
+TEST(WorkloadConfigTest, RoundTripsEveryField) {
+  WorkloadSpec w = SkewedRotating();
+  w.probe_fraction = 0.37;
+  w.zipf_theta = 1.25;
+  w.seed = 987654321;
+  w.disorder_bound_us = 55;
+  w.lateness_us = 60;
+  const std::string config = WorkloadSpecToConfig(w);
+  WorkloadSpec parsed;
+  ASSERT_TRUE(WorkloadSpecFromConfig(config, &parsed).ok()) << config;
+  EXPECT_EQ(parsed.name, w.name);
+  EXPECT_EQ(parsed.num_keys, w.num_keys);
+  EXPECT_EQ(parsed.window, w.window);
+  EXPECT_EQ(parsed.lateness_us, w.lateness_us);
+  EXPECT_EQ(parsed.disorder_bound_us, w.disorder_bound_us);
+  EXPECT_EQ(parsed.event_rate_per_sec, w.event_rate_per_sec);
+  EXPECT_EQ(parsed.pace_rate_per_sec, w.pace_rate_per_sec);
+  EXPECT_DOUBLE_EQ(parsed.probe_fraction, w.probe_fraction);
+  EXPECT_EQ(parsed.total_tuples, w.total_tuples);
+  EXPECT_EQ(parsed.key_distribution, w.key_distribution);
+  EXPECT_DOUBLE_EQ(parsed.zipf_theta, w.zipf_theta);
+  EXPECT_EQ(parsed.hot_set_size, w.hot_set_size);
+  EXPECT_DOUBLE_EQ(parsed.hot_fraction, w.hot_fraction);
+  EXPECT_EQ(parsed.hot_rotation_period_us, w.hot_rotation_period_us);
+  EXPECT_EQ(parsed.seed, w.seed);
+}
+
+TEST(WorkloadConfigTest, CommentsAndBlanksIgnored) {
+  WorkloadSpec parsed;
+  ASSERT_TRUE(WorkloadSpecFromConfig(
+                  "# a comment\n\nnum_keys=7\n  seed = 3  \n", &parsed)
+                  .ok());
+  EXPECT_EQ(parsed.num_keys, 7u);
+  EXPECT_EQ(parsed.seed, 3u);
+}
+
+TEST(WorkloadConfigTest, UnknownKeysAndBadLinesRejected) {
+  WorkloadSpec parsed;
+  EXPECT_EQ(WorkloadSpecFromConfig("numkeys=7\n", &parsed).code(),
+            Status::Code::kParseError);
+  EXPECT_EQ(WorkloadSpecFromConfig("just a line\n", &parsed).code(),
+            Status::Code::kParseError);
+  // Parsed configs are validated like any other spec.
+  EXPECT_FALSE(
+      WorkloadSpecFromConfig("num_keys=0\n", &parsed).ok());
+}
+
+TEST(PresetsTest, FindPresetByName) {
+  WorkloadSpec w;
+  EXPECT_TRUE(FindPreset("A", &w));
+  EXPECT_EQ(w.name, "A");
+  EXPECT_TRUE(FindPreset("b", &w));
+  EXPECT_EQ(w.name, "B");
+  EXPECT_TRUE(FindPreset("default", &w));
+  EXPECT_TRUE(FindPreset("adversarial", &w));
+  EXPECT_TRUE(FindPreset("skewed", &w));
+  EXPECT_FALSE(FindPreset("nope", &w));
+}
+
+}  // namespace
+}  // namespace oij

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine_factory.h"
+#include "core/pipeline.h"
+#include "join/reference_join.h"
+#include "stream/generator.h"
+#include "stream/trace.h"
+
+namespace oij {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/oij_trace_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".trace";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+std::vector<StreamEvent> SomeEvents(uint64_t n = 5000, uint64_t seed = 3) {
+  WorkloadSpec spec;
+  spec.num_keys = 6;
+  spec.total_tuples = n;
+  spec.lateness_us = 40;
+  spec.disorder_bound_us = 40;
+  spec.seed = seed;
+  WorkloadGenerator gen(spec);
+  std::vector<StreamEvent> events;
+  StreamEvent ev;
+  while (gen.Next(&ev)) events.push_back(ev);
+  return events;
+}
+
+TEST_F(TraceTest, RoundTripPreservesEverything) {
+  const auto events = SomeEvents();
+  ASSERT_TRUE(WriteTrace(path_, events).ok());
+
+  std::vector<StreamEvent> loaded;
+  ASSERT_TRUE(ReadTrace(path_, &loaded).ok());
+  ASSERT_EQ(loaded.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    ASSERT_EQ(loaded[i].stream, events[i].stream) << i;
+    ASSERT_EQ(loaded[i].tuple.ts, events[i].tuple.ts) << i;
+    ASSERT_EQ(loaded[i].tuple.key, events[i].tuple.key) << i;
+    ASSERT_EQ(loaded[i].tuple.payload, events[i].tuple.payload) << i;
+  }
+}
+
+TEST_F(TraceTest, EmptyTraceRoundTrips) {
+  ASSERT_TRUE(WriteTrace(path_, {}).ok());
+  std::vector<StreamEvent> loaded = {{StreamId::kBase, Tuple{}}};
+  ASSERT_TRUE(ReadTrace(path_, &loaded).ok());
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(TraceTest, MissingFileIsNotFound) {
+  std::vector<StreamEvent> loaded;
+  const Status s = ReadTrace(path_ + ".does-not-exist", &loaded);
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+}
+
+TEST_F(TraceTest, BadMagicRejected) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTATRACE-AT-ALL-0000000000000000", f);
+  std::fclose(f);
+  std::vector<StreamEvent> loaded;
+  const Status s = ReadTrace(path_, &loaded);
+  EXPECT_EQ(s.code(), Status::Code::kParseError);
+}
+
+TEST_F(TraceTest, TruncatedTraceRejected) {
+  const auto events = SomeEvents(100);
+  ASSERT_TRUE(WriteTrace(path_, events).ok());
+  // Chop the last record in half.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path_.c_str(), size - 10), 0);
+
+  std::vector<StreamEvent> loaded;
+  const Status s = ReadTrace(path_, &loaded);
+  EXPECT_EQ(s.code(), Status::Code::kParseError);
+}
+
+TEST_F(TraceTest, CsvRoundTripPreservesEverything) {
+  const auto events = SomeEvents(2000);
+  ASSERT_TRUE(WriteTraceCsv(path_, events).ok());
+  std::vector<StreamEvent> loaded;
+  ASSERT_TRUE(ReadTraceCsv(path_, &loaded).ok());
+  ASSERT_EQ(loaded.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    ASSERT_EQ(loaded[i].stream, events[i].stream) << i;
+    ASSERT_EQ(loaded[i].tuple.ts, events[i].tuple.ts) << i;
+    ASSERT_EQ(loaded[i].tuple.key, events[i].tuple.key) << i;
+    ASSERT_EQ(loaded[i].tuple.payload, events[i].tuple.payload)
+        << i << " (payloads must round-trip exactly through %.17g)";
+  }
+}
+
+TEST_F(TraceTest, CsvRejectsBadHeaderAndRecords) {
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    std::fputs("wrong,header\n", f);
+    std::fclose(f);
+  }
+  std::vector<StreamEvent> loaded;
+  EXPECT_EQ(ReadTraceCsv(path_, &loaded).code(),
+            Status::Code::kParseError);
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    std::fputs("stream,ts,key,payload\nX,1,2,3.0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(ReadTraceCsv(path_, &loaded).code(),
+            Status::Code::kParseError);
+}
+
+TEST_F(TraceTest, MeasureDisorderMatchesGeneratorBound) {
+  const auto events = SomeEvents();
+  const Timestamp disorder = MeasureDisorder(events);
+  EXPECT_GT(disorder, 0);
+  EXPECT_LE(disorder, 40);
+
+  // A sorted trace has zero disorder.
+  std::vector<StreamEvent> sorted = events;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const StreamEvent& a, const StreamEvent& b) {
+              return a.tuple.ts < b.tuple.ts;
+            });
+  EXPECT_EQ(MeasureDisorder(sorted), 0);
+}
+
+TEST_F(TraceTest, ReplayThroughEngineMatchesReference) {
+  // The full loop: record -> load -> replay through an engine; results
+  // must equal the reference on the same events.
+  const auto events = SomeEvents(20'000, 17);
+  ASSERT_TRUE(WriteTrace(path_, events).ok());
+
+  std::vector<StreamEvent> loaded;
+  ASSERT_TRUE(ReadTrace(path_, &loaded).ok());
+  const Timestamp lateness = MeasureDisorder(loaded);
+
+  QuerySpec q;
+  q.window = IntervalWindow{400, 0};
+  q.lateness_us = lateness;
+  q.emit_mode = EmitMode::kWatermark;
+
+  CollectingSink sink;
+  EngineOptions options;
+  options.num_joiners = 3;
+  auto engine = CreateEngine(EngineKind::kScaleOij, q, options, &sink);
+  TraceSource source(loaded, lateness);
+  const RunResult run =
+      RunPipelineFrom(engine.get(), &source, /*pace_rate_per_sec=*/0);
+  EXPECT_EQ(run.tuples, loaded.size());
+
+  auto expected = ReferenceJoin(events, q);
+  SortResults(&expected);
+  auto results = sink.TakeResults();
+  ASSERT_EQ(results.size(), expected.size());
+  std::vector<ReferenceResult> got;
+  for (const auto& r : results) {
+    got.push_back({r.base, r.aggregate, r.match_count});
+  }
+  SortResults(&got);
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].match_count, expected[i].match_count) << i;
+    ASSERT_NEAR(got[i].aggregate, expected[i].aggregate, 1e-6) << i;
+  }
+}
+
+}  // namespace
+}  // namespace oij

@@ -1,0 +1,263 @@
+// Command-line front end for the library's operational tasks:
+//
+//   oij_cli run <workload.conf|preset> <engine> [joiners] [tuples]
+//       Run a workload (a WorkloadSpecToConfig file or a preset name)
+//       through an engine and print the run summary.
+//   oij_cli config <preset>
+//       Print a preset as an editable workload config file.
+//   oij_cli trace-gen <workload.conf|preset> <out.trace[.csv]>
+//       Materialize a workload's arrival sequence to a trace file
+//       (binary, or CSV when the path ends in .csv).
+//   oij_cli trace-info <trace[.csv]>
+//       Inspect a trace: counts, event-time span, key cardinality,
+//       measured disorder (= minimum exact lateness).
+//   oij_cli trace-convert <in> <out>
+//       Convert between binary and CSV traces (by file extension).
+//   oij_cli trace-run <trace[.csv]> <engine> [joiners]
+//       Replay a trace through an engine with the measured disorder as
+//       lateness.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "core/engine_factory.h"
+#include "core/pipeline.h"
+#include "core/run_summary.h"
+#include "stream/presets.h"
+#include "stream/trace.h"
+
+namespace {
+
+using namespace oij;
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+/// Resolves a workload argument: preset name first, then a config file.
+bool LoadWorkload(const std::string& arg, WorkloadSpec* out) {
+  if (FindPreset(arg, out)) return true;
+  const std::string text = ReadFileOrEmpty(arg);
+  if (text.empty()) {
+    std::fprintf(stderr, "no such preset or config file: %s\n",
+                 arg.c_str());
+    return false;
+  }
+  const Status s = WorkloadSpecFromConfig(text, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "bad config %s: %s\n", arg.c_str(),
+                 s.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+Status LoadTrace(const std::string& path, std::vector<StreamEvent>* out) {
+  return EndsWith(path, ".csv") ? ReadTraceCsv(path, out)
+                                : ReadTrace(path, out);
+}
+
+Status StoreTrace(const std::string& path,
+                  const std::vector<StreamEvent>& events) {
+  return EndsWith(path, ".csv") ? WriteTraceCsv(path, events)
+                                : WriteTrace(path, events);
+}
+
+std::vector<StreamEvent> Materialize(const WorkloadSpec& spec) {
+  WorkloadGenerator gen(spec);
+  std::vector<StreamEvent> events;
+  StreamEvent ev;
+  while (gen.Next(&ev)) events.push_back(ev);
+  return events;
+}
+
+int CmdRun(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: oij_cli run <workload> <engine> [joiners] "
+                 "[tuples]\n");
+    return 2;
+  }
+  WorkloadSpec workload;
+  if (!LoadWorkload(argv[0], &workload)) return 1;
+  EngineKind kind;
+  Status s = EngineKindFromName(argv[1], &kind);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  EngineOptions options;
+  options.num_joiners = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2]))
+                                 : 4;
+  if (argc > 3) {
+    workload.total_tuples = static_cast<uint64_t>(std::atoll(argv[3]));
+  }
+  QuerySpec query;
+  query.window = workload.window;
+  query.lateness_us = workload.lateness_us;
+
+  NullSink sink;
+  auto engine = CreateEngine(kind, query, options, &sink);
+  WorkloadGenerator gen(workload);
+  const RunResult run = RunPipeline(engine.get(), &gen);
+  std::printf("%s", SummarizeRun(argv[1], run).c_str());
+  return 0;
+}
+
+int CmdConfig(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: oij_cli config <preset>\n");
+    return 2;
+  }
+  WorkloadSpec workload;
+  if (!FindPreset(argv[0], &workload)) {
+    std::fprintf(stderr, "unknown preset: %s\n", argv[0]);
+    return 1;
+  }
+  std::printf("%s", WorkloadSpecToConfig(workload).c_str());
+  return 0;
+}
+
+int CmdTraceGen(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: oij_cli trace-gen <workload> <out>\n");
+    return 2;
+  }
+  WorkloadSpec workload;
+  if (!LoadWorkload(argv[0], &workload)) return 1;
+  const auto events = Materialize(workload);
+  const Status s = StoreTrace(argv[1], events);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu arrivals to %s\n", events.size(), argv[1]);
+  return 0;
+}
+
+int CmdTraceInfo(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: oij_cli trace-info <trace>\n");
+    return 2;
+  }
+  std::vector<StreamEvent> events;
+  const Status s = LoadTrace(argv[0], &events);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  uint64_t bases = 0;
+  Timestamp min_ts = kMaxTimestamp, max_ts = kMinTimestamp;
+  std::set<Key> keys;
+  for (const auto& e : events) {
+    if (e.stream == StreamId::kBase) ++bases;
+    min_ts = std::min(min_ts, e.tuple.ts);
+    max_ts = std::max(max_ts, e.tuple.ts);
+    keys.insert(e.tuple.key);
+  }
+  std::printf("arrivals:        %zu (%llu base / %zu probe)\n",
+              events.size(), static_cast<unsigned long long>(bases),
+              events.size() - bases);
+  std::printf("event-time span: %s\n",
+              events.empty()
+                  ? "n/a"
+                  : HumanDurationUs(static_cast<double>(max_ts - min_ts))
+                        .c_str());
+  std::printf("distinct keys:   %zu\n", keys.size());
+  std::printf("disorder:        %lld us (minimum exact lateness)\n",
+              static_cast<long long>(MeasureDisorder(events)));
+  return 0;
+}
+
+int CmdTraceConvert(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: oij_cli trace-convert <in> <out>\n");
+    return 2;
+  }
+  std::vector<StreamEvent> events;
+  Status s = LoadTrace(argv[0], &events);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  s = StoreTrace(argv[1], events);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("converted %zu arrivals: %s -> %s\n", events.size(),
+              argv[0], argv[1]);
+  return 0;
+}
+
+int CmdTraceRun(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: oij_cli trace-run <trace> <engine> [joiners]\n");
+    return 2;
+  }
+  std::vector<StreamEvent> events;
+  Status s = LoadTrace(argv[0], &events);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  EngineKind kind;
+  s = EngineKindFromName(argv[1], &kind);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const Timestamp disorder = MeasureDisorder(events);
+  QuerySpec query;
+  query.window = IntervalWindow{1'000'000, 0};  // 1 s window default
+  query.lateness_us = disorder;
+  EngineOptions options;
+  options.num_joiners = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2]))
+                                 : 4;
+  NullSink sink;
+  auto engine = CreateEngine(kind, query, options, &sink);
+  TraceSource source(std::move(events), disorder);
+  const RunResult run =
+      RunPipelineFrom(engine.get(), &source, /*pace=*/0);
+  std::printf("%s", SummarizeRun(argv[1], run).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: oij_cli "
+                 "<run|config|trace-gen|trace-info|trace-convert|trace-run> "
+                 "...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  argc -= 2;
+  argv += 2;
+  if (cmd == "run") return CmdRun(argc, argv);
+  if (cmd == "config") return CmdConfig(argc, argv);
+  if (cmd == "trace-gen") return CmdTraceGen(argc, argv);
+  if (cmd == "trace-info") return CmdTraceInfo(argc, argv);
+  if (cmd == "trace-convert") return CmdTraceConvert(argc, argv);
+  if (cmd == "trace-run") return CmdTraceRun(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}
