@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_adaptive_lateness.dir/bench_ext_adaptive_lateness.cc.o"
+  "CMakeFiles/bench_ext_adaptive_lateness.dir/bench_ext_adaptive_lateness.cc.o.d"
+  "bench_ext_adaptive_lateness"
+  "bench_ext_adaptive_lateness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_adaptive_lateness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_emit_modes.dir/bench_ext_emit_modes.cc.o"
+  "CMakeFiles/bench_ext_emit_modes.dir/bench_ext_emit_modes.cc.o.d"
+  "bench_ext_emit_modes"
+  "bench_ext_emit_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_emit_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_handshake.dir/bench_ext_handshake.cc.o"
+  "CMakeFiles/bench_ext_handshake.dir/bench_ext_handshake.cc.o.d"
+  "bench_ext_handshake"
+  "bench_ext_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

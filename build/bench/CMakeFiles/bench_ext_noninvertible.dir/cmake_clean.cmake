@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_noninvertible.dir/bench_ext_noninvertible.cc.o"
+  "CMakeFiles/bench_ext_noninvertible.dir/bench_ext_noninvertible.cc.o.d"
+  "bench_ext_noninvertible"
+  "bench_ext_noninvertible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_noninvertible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

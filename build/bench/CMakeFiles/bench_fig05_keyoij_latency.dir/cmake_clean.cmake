@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_keyoij_latency.dir/bench_fig05_keyoij_latency.cc.o"
+  "CMakeFiles/bench_fig05_keyoij_latency.dir/bench_fig05_keyoij_latency.cc.o.d"
+  "bench_fig05_keyoij_latency"
+  "bench_fig05_keyoij_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_keyoij_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

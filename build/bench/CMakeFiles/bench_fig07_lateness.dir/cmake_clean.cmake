@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_lateness.dir/bench_fig07_lateness.cc.o"
+  "CMakeFiles/bench_fig07_lateness.dir/bench_fig07_lateness.cc.o.d"
+  "bench_fig07_lateness"
+  "bench_fig07_lateness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_lateness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_keys_keyoij.dir/bench_fig08_keys_keyoij.cc.o"
+  "CMakeFiles/bench_fig08_keys_keyoij.dir/bench_fig08_keys_keyoij.cc.o.d"
+  "bench_fig08_keys_keyoij"
+  "bench_fig08_keys_keyoij.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_keys_keyoij.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

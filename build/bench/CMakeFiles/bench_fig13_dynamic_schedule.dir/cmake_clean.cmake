@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_dynamic_schedule.dir/bench_fig13_dynamic_schedule.cc.o"
+  "CMakeFiles/bench_fig13_dynamic_schedule.dir/bench_fig13_dynamic_schedule.cc.o.d"
+  "bench_fig13_dynamic_schedule"
+  "bench_fig13_dynamic_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_dynamic_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_limitations.dir/bench_fig21_limitations.cc.o"
+  "CMakeFiles/bench_fig21_limitations.dir/bench_fig21_limitations.cc.o.d"
+  "bench_fig21_limitations"
+  "bench_fig21_limitations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_limitations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

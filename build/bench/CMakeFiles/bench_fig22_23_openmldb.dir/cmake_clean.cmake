@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_23_openmldb.dir/bench_fig22_23_openmldb.cc.o"
+  "CMakeFiles/bench_fig22_23_openmldb.dir/bench_fig22_23_openmldb.cc.o.d"
+  "bench_fig22_23_openmldb"
+  "bench_fig22_23_openmldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_23_openmldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_explorer.dir/engine_explorer.cpp.o"
+  "CMakeFiles/engine_explorer.dir/engine_explorer.cpp.o.d"
+  "engine_explorer"
+  "engine_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_store.dir/feature_store.cpp.o"
+  "CMakeFiles/feature_store.dir/feature_store.cpp.o.d"
+  "feature_store"
+  "feature_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/aggregate.cc" "src/CMakeFiles/oij.dir/agg/aggregate.cc.o" "gcc" "src/CMakeFiles/oij.dir/agg/aggregate.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/oij.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/oij.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/oij.dir/common/random.cc.o" "gcc" "src/CMakeFiles/oij.dir/common/random.cc.o.d"
+  "/root/repo/src/common/rate_limiter.cc" "src/CMakeFiles/oij.dir/common/rate_limiter.cc.o" "gcc" "src/CMakeFiles/oij.dir/common/rate_limiter.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/oij.dir/common/status.cc.o" "gcc" "src/CMakeFiles/oij.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_util.cc" "src/CMakeFiles/oij.dir/common/thread_util.cc.o" "gcc" "src/CMakeFiles/oij.dir/common/thread_util.cc.o.d"
+  "/root/repo/src/core/engine_factory.cc" "src/CMakeFiles/oij.dir/core/engine_factory.cc.o" "gcc" "src/CMakeFiles/oij.dir/core/engine_factory.cc.o.d"
+  "/root/repo/src/core/feature_set.cc" "src/CMakeFiles/oij.dir/core/feature_set.cc.o" "gcc" "src/CMakeFiles/oij.dir/core/feature_set.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/oij.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/oij.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/query_spec.cc" "src/CMakeFiles/oij.dir/core/query_spec.cc.o" "gcc" "src/CMakeFiles/oij.dir/core/query_spec.cc.o.d"
+  "/root/repo/src/core/run_summary.cc" "src/CMakeFiles/oij.dir/core/run_summary.cc.o" "gcc" "src/CMakeFiles/oij.dir/core/run_summary.cc.o.d"
+  "/root/repo/src/ebr/epoch_manager.cc" "src/CMakeFiles/oij.dir/ebr/epoch_manager.cc.o" "gcc" "src/CMakeFiles/oij.dir/ebr/epoch_manager.cc.o.d"
+  "/root/repo/src/join/engine.cc" "src/CMakeFiles/oij.dir/join/engine.cc.o" "gcc" "src/CMakeFiles/oij.dir/join/engine.cc.o.d"
+  "/root/repo/src/join/handshake.cc" "src/CMakeFiles/oij.dir/join/handshake.cc.o" "gcc" "src/CMakeFiles/oij.dir/join/handshake.cc.o.d"
+  "/root/repo/src/join/key_oij.cc" "src/CMakeFiles/oij.dir/join/key_oij.cc.o" "gcc" "src/CMakeFiles/oij.dir/join/key_oij.cc.o.d"
+  "/root/repo/src/join/reference_join.cc" "src/CMakeFiles/oij.dir/join/reference_join.cc.o" "gcc" "src/CMakeFiles/oij.dir/join/reference_join.cc.o.d"
+  "/root/repo/src/join/scale_oij.cc" "src/CMakeFiles/oij.dir/join/scale_oij.cc.o" "gcc" "src/CMakeFiles/oij.dir/join/scale_oij.cc.o.d"
+  "/root/repo/src/join/shared_state.cc" "src/CMakeFiles/oij.dir/join/shared_state.cc.o" "gcc" "src/CMakeFiles/oij.dir/join/shared_state.cc.o.d"
+  "/root/repo/src/join/split_join.cc" "src/CMakeFiles/oij.dir/join/split_join.cc.o" "gcc" "src/CMakeFiles/oij.dir/join/split_join.cc.o.d"
+  "/root/repo/src/metrics/cache_sim.cc" "src/CMakeFiles/oij.dir/metrics/cache_sim.cc.o" "gcc" "src/CMakeFiles/oij.dir/metrics/cache_sim.cc.o.d"
+  "/root/repo/src/metrics/cpu_util.cc" "src/CMakeFiles/oij.dir/metrics/cpu_util.cc.o" "gcc" "src/CMakeFiles/oij.dir/metrics/cpu_util.cc.o.d"
+  "/root/repo/src/metrics/latency_recorder.cc" "src/CMakeFiles/oij.dir/metrics/latency_recorder.cc.o" "gcc" "src/CMakeFiles/oij.dir/metrics/latency_recorder.cc.o.d"
+  "/root/repo/src/metrics/throughput.cc" "src/CMakeFiles/oij.dir/metrics/throughput.cc.o" "gcc" "src/CMakeFiles/oij.dir/metrics/throughput.cc.o.d"
+  "/root/repo/src/row/schema.cc" "src/CMakeFiles/oij.dir/row/schema.cc.o" "gcc" "src/CMakeFiles/oij.dir/row/schema.cc.o.d"
+  "/root/repo/src/row/stream_binding.cc" "src/CMakeFiles/oij.dir/row/stream_binding.cc.o" "gcc" "src/CMakeFiles/oij.dir/row/stream_binding.cc.o.d"
+  "/root/repo/src/sched/partition_table.cc" "src/CMakeFiles/oij.dir/sched/partition_table.cc.o" "gcc" "src/CMakeFiles/oij.dir/sched/partition_table.cc.o.d"
+  "/root/repo/src/sched/rebalancer.cc" "src/CMakeFiles/oij.dir/sched/rebalancer.cc.o" "gcc" "src/CMakeFiles/oij.dir/sched/rebalancer.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/oij.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/oij.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/oij.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/oij.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/oij.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/oij.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/CMakeFiles/oij.dir/sql/token.cc.o" "gcc" "src/CMakeFiles/oij.dir/sql/token.cc.o.d"
+  "/root/repo/src/stream/generator.cc" "src/CMakeFiles/oij.dir/stream/generator.cc.o" "gcc" "src/CMakeFiles/oij.dir/stream/generator.cc.o.d"
+  "/root/repo/src/stream/presets.cc" "src/CMakeFiles/oij.dir/stream/presets.cc.o" "gcc" "src/CMakeFiles/oij.dir/stream/presets.cc.o.d"
+  "/root/repo/src/stream/trace.cc" "src/CMakeFiles/oij.dir/stream/trace.cc.o" "gcc" "src/CMakeFiles/oij.dir/stream/trace.cc.o.d"
+  "/root/repo/src/stream/workload.cc" "src/CMakeFiles/oij.dir/stream/workload.cc.o" "gcc" "src/CMakeFiles/oij.dir/stream/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

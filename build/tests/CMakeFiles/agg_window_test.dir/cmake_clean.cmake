@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_window_test.dir/agg_window_test.cc.o"
+  "CMakeFiles/agg_window_test.dir/agg_window_test.cc.o.d"
+  "agg_window_test"
+  "agg_window_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oij_cli.dir/oij_cli.cc.o"
+  "CMakeFiles/oij_cli.dir/oij_cli.cc.o.d"
+  "oij_cli"
+  "oij_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oij_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
