@@ -1,0 +1,47 @@
+#ifndef OIJ_COMMON_FAULT_INJECTOR_H_
+#define OIJ_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+namespace oij {
+
+/// Deterministic fault hooks for exercising the engine's degradation
+/// paths (tests/fault_injection_test.cc). An engine given a FaultInjector
+/// via EngineOptions consults it at well-defined points; all fields
+/// default to "no fault". The struct is read-only once the engine starts,
+/// so it is safe to share across joiner threads.
+struct FaultInjector {
+  static constexpr uint32_t kNoJoiner = UINT32_MAX;
+
+  /// Joiner that sleeps `slow_delay_us` before processing each event
+  /// (models one overloaded core; drives the backpressure policies).
+  uint32_t slow_joiner = kNoJoiner;
+  int64_t slow_delay_us = 0;
+
+  /// Joiner that stops consuming entirely after it has processed
+  /// `stall_after_events` events (models a dead consumer; drives the
+  /// watchdog and the bounded Finish path). The stalled thread parks on
+  /// the engine's stop token rather than exiting, exactly like a thread
+  /// wedged in a downstream call.
+  uint32_t stalled_joiner = kNoJoiner;
+  uint64_t stall_after_events = 0;
+
+  /// Suppress every SignalWatermark call after this many attempts
+  /// (models a frozen upstream source; drives watermark-freeze
+  /// detection).
+  uint64_t freeze_watermarks_after = UINT64_MAX;
+
+  bool SlowsJoiner(uint32_t joiner) const {
+    return joiner == slow_joiner && slow_delay_us > 0;
+  }
+  bool StallsJoiner(uint32_t joiner, uint64_t events_seen) const {
+    return joiner == stalled_joiner && events_seen >= stall_after_events;
+  }
+  bool WatermarkFrozen(uint64_t attempts_so_far) const {
+    return attempts_so_far >= freeze_watermarks_after;
+  }
+};
+
+}  // namespace oij
+
+#endif  // OIJ_COMMON_FAULT_INJECTOR_H_

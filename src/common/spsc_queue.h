@@ -7,7 +7,16 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
+
 namespace oij {
+
+/// Outcome of a bounded/stoppable push attempt.
+enum class PushResult : uint8_t {
+  kOk = 0,
+  kTimedOut,  ///< ring stayed full until the deadline
+  kStopped,   ///< the stop token was raised while waiting
+};
 
 /// Bounded single-producer single-consumer ring buffer.
 ///
@@ -46,9 +55,30 @@ class SpscQueue {
     return true;
   }
 
-  /// Blocking push; yields while full.
-  void Push(const T& value) {
-    while (!TryPush(value)) std::this_thread::yield();
+  /// Blocking push; yields while full. Prefer PushBounded in any path
+  /// where the consumer may have died (see ParallelEngineBase::Finish).
+  void Push(const T& value) { PushBounded(value); }
+
+  /// Push with an optional absolute deadline and an optional stop token.
+  ///
+  /// `deadline_ns` (MonotonicNowNs timeline): < 0 waits indefinitely,
+  /// 0 is a single attempt, > 0 retries until that instant. `stop`, when
+  /// non-null, is polled while waiting and aborts the push as soon as it
+  /// reads true — this is how a dead consumer stops deadlocking the
+  /// router during shutdown.
+  PushResult PushBounded(const T& value, int64_t deadline_ns = -1,
+                         const std::atomic<bool>* stop = nullptr) {
+    if (TryPush(value)) return PushResult::kOk;
+    while (true) {
+      if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+        return PushResult::kStopped;
+      }
+      if (deadline_ns >= 0 && MonotonicNowNs() >= deadline_ns) {
+        return PushResult::kTimedOut;
+      }
+      std::this_thread::yield();
+      if (TryPush(value)) return PushResult::kOk;
+    }
   }
 
   /// Non-blocking pop. Returns false when the ring is empty.

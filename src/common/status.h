@@ -19,6 +19,8 @@ class Status {
     kFailedPrecondition,
     kParseError,
     kInternal,
+    kResourceExhausted,
+    kDeadlineExceeded,
   };
 
   Status() = default;
@@ -38,6 +40,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

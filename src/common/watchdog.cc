@@ -1,0 +1,140 @@
+#include "common/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/thread_util.h"
+
+namespace oij {
+
+void EngineWatchdog::Start(const WatchdogConfig& config, Sampler sampler,
+                           EscalateFn escalate) {
+  Stop();
+  config_ = config;
+  sampler_ = std::move(sampler);
+  escalate_ = std::move(escalate);
+  {
+    std::lock_guard<std::mutex> lock(cv_mu_);
+    stop_requested_ = false;
+  }
+  fired_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Main(); });
+}
+
+void EngineWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(cv_mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<std::string> EngineWatchdog::TakeWarnings() {
+  std::lock_guard<std::mutex> lock(warnings_mu_);
+  return std::move(warnings_);
+}
+
+void EngineWatchdog::Warn(std::string message) {
+  std::lock_guard<std::mutex> lock(warnings_mu_);
+  warnings_.push_back(std::move(message));
+}
+
+void EngineWatchdog::Main() {
+  SetCurrentThreadName("oij-watchdog");
+
+  std::vector<uint64_t> last_consumed;
+  std::vector<uint32_t> stall_ticks;
+  std::vector<bool> stall_warned;
+  uint64_t last_pushed = 0;
+  uint64_t last_watermarks = 0;
+  uint32_t freeze_ticks = 0;
+  bool freeze_warned = false;
+  bool first_sample = true;
+
+  const uint32_t warn_at = std::max(1u, config_.stall_intervals / 2);
+
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(cv_mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(config_.interval_ms),
+                   [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+
+    WatchdogSample sample = sampler_();
+    const size_t n = sample.consumed.size();
+    if (first_sample) {
+      last_consumed = sample.consumed;
+      last_pushed = sample.pushed;
+      last_watermarks = sample.watermarks;
+      stall_ticks.assign(n, 0);
+      stall_warned.assign(n, false);
+      first_sample = false;
+      continue;
+    }
+    if (last_consumed.size() != n) {
+      last_consumed.assign(n, 0);
+      stall_ticks.assign(n, 0);
+      stall_warned.assign(n, false);
+    }
+
+    // Stalled joiner: backlog present, consumed counter frozen.
+    for (size_t j = 0; j < n; ++j) {
+      const bool backlog =
+          j < sample.queue_depths.size() && sample.queue_depths[j] > 0;
+      if (backlog && sample.consumed[j] == last_consumed[j]) {
+        ++stall_ticks[j];
+      } else {
+        stall_ticks[j] = 0;
+        stall_warned[j] = false;
+      }
+      last_consumed[j] = sample.consumed[j];
+
+      if (stall_ticks[j] >= warn_at && !stall_warned[j]) {
+        stall_warned[j] = true;
+        Warn("watchdog: joiner " + std::to_string(j) +
+             " has a backlog but made no progress for " +
+             std::to_string(stall_ticks[j] * config_.interval_ms) + " ms");
+      }
+      if (stall_ticks[j] >= config_.stall_intervals) {
+        fired_.store(true, std::memory_order_release);
+        escalate_(Status::ResourceExhausted(
+            "joiner " + std::to_string(j) + " stalled with backlog for " +
+            std::to_string(stall_ticks[j] * config_.interval_ms) +
+            " ms; aborting run"));
+        return;
+      }
+    }
+
+    // Frozen watermarks: input advancing, punctuation not.
+    const bool input_advanced = sample.pushed != last_pushed;
+    const bool wm_frozen = sample.watermarks == last_watermarks;
+    last_pushed = sample.pushed;
+    last_watermarks = sample.watermarks;
+    if (input_advanced && wm_frozen) {
+      ++freeze_ticks;
+    } else if (!wm_frozen) {
+      freeze_ticks = 0;
+      freeze_warned = false;
+    }
+    if (freeze_ticks >= config_.watermark_freeze_intervals) {
+      if (!freeze_warned) {
+        freeze_warned = true;
+        Warn("watchdog: input advancing but watermark frozen for " +
+             std::to_string(freeze_ticks * config_.interval_ms) + " ms");
+      }
+      if (config_.abort_on_watermark_freeze) {
+        fired_.store(true, std::memory_order_release);
+        escalate_(Status::DeadlineExceeded(
+            "watermark frozen while input advanced for " +
+            std::to_string(freeze_ticks * config_.interval_ms) +
+            " ms; aborting run"));
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace oij

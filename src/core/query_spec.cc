@@ -2,6 +2,18 @@
 
 namespace oij {
 
+std::string_view LatePolicyName(LatePolicy policy) {
+  switch (policy) {
+    case LatePolicy::kBestEffortJoin:
+      return "best_effort_join";
+    case LatePolicy::kDropAndCount:
+      return "drop_and_count";
+    case LatePolicy::kSideChannel:
+      return "side_channel";
+  }
+  return "unknown";
+}
+
 Status QuerySpec::Validate() const {
   if (window.pre < 0 || window.fol < 0) {
     return Status::InvalidArgument("window offsets must be non-negative");

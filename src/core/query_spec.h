@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "agg/aggregate.h"
 #include "common/status.h"
@@ -27,6 +28,24 @@ enum class EmitMode : uint8_t {
   kWatermark,
 };
 
+/// What to do with a tuple that arrives after the watermark has already
+/// passed its timestamp — i.e. the arrival violates the lateness bound
+/// and the exactness guarantee no longer covers it.
+enum class LatePolicy : uint8_t {
+  /// Feed the tuple into the join anyway (seed behavior), but count it so
+  /// the violation is observable. Results for already-finalized windows
+  /// may still be missing the tuple; nothing is retracted.
+  kBestEffortJoin = 0,
+  /// Drop the tuple and count it. The surviving result set is exactly
+  /// the reference join over the on-time subset of the input.
+  kDropAndCount,
+  /// Drop the tuple from the join but hand it to a LateSink side channel
+  /// (dead-letter queue) for out-of-band reconciliation.
+  kSideChannel,
+};
+
+std::string_view LatePolicyName(LatePolicy policy);
+
 /// The online interval join query (Definition 2): join base stream S with
 /// probe stream R on key equality and relative window containment, then
 /// aggregate per base tuple.
@@ -40,6 +59,10 @@ struct QuerySpec {
   AggKind agg = AggKind::kSum;
 
   EmitMode emit_mode = EmitMode::kEager;
+
+  /// Handling of tuples that violate the lateness bound. The default
+  /// preserves seed behavior (join them best-effort, but count).
+  LatePolicy late_policy = LatePolicy::kBestEffortJoin;
 
   Status Validate() const;
 };

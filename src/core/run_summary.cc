@@ -64,6 +64,26 @@ std::string SummarizeRun(const std::string& label, const RunResult& run) {
       st.ActualUnbalancedness(),
       static_cast<unsigned long long>(st.rebalances));
   out += buf;
+
+  // Delivery & degradation: only printed when a run was not pristine.
+  if (!st.health.ok() || st.late.tuples > 0 || st.overload_dropped > 0 ||
+      !st.warnings.empty()) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  degradation health=%s  late=%llu (dropped=%llu side=%llu "
+        "joined=%llu)  overload_dropped=%llu shed=%llu\n",
+        st.health.ok() ? "OK" : st.health.ToString().c_str(),
+        static_cast<unsigned long long>(st.late.tuples),
+        static_cast<unsigned long long>(st.late.dropped),
+        static_cast<unsigned long long>(st.late.side_channel),
+        static_cast<unsigned long long>(st.late.joined),
+        static_cast<unsigned long long>(st.overload_dropped),
+        static_cast<unsigned long long>(st.overload_shed));
+    out += buf;
+    for (const std::string& w : st.warnings) {
+      out += "  warning: " + w + "\n";
+    }
+  }
   return out;
 }
 

@@ -1,11 +1,25 @@
 #include "join/engine.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/clock.h"
 #include "common/thread_util.h"
 
 namespace oij {
+
+std::string_view OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kDropNewest:
+      return "drop_newest";
+    case OverloadPolicy::kShedOldest:
+      return "shed_oldest";
+  }
+  return "unknown";
+}
 
 Status EngineOptions::Validate() const {
   if (num_joiners == 0) {
@@ -16,6 +30,22 @@ Status EngineOptions::Validate() const {
   }
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
+  }
+  if (drop_wait_us < 0) {
+    return Status::InvalidArgument("drop_wait_us must be non-negative");
+  }
+  if (finish_timeout_us <= 0) {
+    return Status::InvalidArgument("finish_timeout_us must be positive");
+  }
+  if (enable_watchdog) {
+    if (watchdog.interval_ms <= 0) {
+      return Status::InvalidArgument("watchdog.interval_ms must be positive");
+    }
+    if (watchdog.stall_intervals == 0 ||
+        watchdog.watermark_freeze_intervals == 0) {
+      return Status::InvalidArgument(
+          "watchdog escalation thresholds must be positive");
+    }
   }
   return Status::OK();
 }
@@ -44,6 +74,8 @@ ParallelEngineBase::ParallelEngineBase(const QuerySpec& spec,
     queues_.push_back(
         std::make_unique<SpscQueue<Event>>(options_.queue_capacity));
   }
+  spill_.resize(options_.num_joiners);
+  dropped_per_joiner_.assign(options_.num_joiners, 0);
 }
 
 ParallelEngineBase::~ParallelEngineBase() {
@@ -69,34 +101,139 @@ Status ParallelEngineBase::Start() {
     }
   }
 
+  late_gate_.Configure(spec_.late_policy, options_.late_sink);
+  consumed_ = std::make_unique<PaddedCounter[]>(options_.num_joiners);
+  stop_.store(false, std::memory_order_release);
+  exited_.store(0, std::memory_order_release);
+
   started_ = true;
   threads_.reserve(options_.num_joiners);
   for (uint32_t j = 0; j < options_.num_joiners; ++j) {
     threads_.emplace_back([this, j] { JoinerMain(j); });
   }
   StartAuxiliary();
+  if (options_.enable_watchdog) StartWatchdog();
   return Status::OK();
 }
 
 void ParallelEngineBase::Push(const StreamEvent& event, int64_t arrival_us) {
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  if (stop_requested()) {
+    // Aborted run: everything after the abort is shed at the door.
+    ++overload_dropped_;
+    return;
+  }
+  if (!late_gate_.Admit(event)) return;
+
   Event ev;
   ev.kind = Event::Kind::kTuple;
   ev.stream = event.stream;
   ev.tuple = event.tuple;
   ev.arrival_us = arrival_us;
   ev.seq = NextSeq();
-  ++pushed_;
   Route(ev);
 }
 
 void ParallelEngineBase::SignalWatermark(Timestamp watermark) {
+  const uint64_t attempt = watermark_attempts_++;
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->WatermarkFrozen(attempt)) {
+    return;  // injected frozen source: punctuation silently swallowed
+  }
+  late_gate_.ObserveWatermark(watermark);
+  watermarks_signaled_.fetch_add(1, std::memory_order_relaxed);
+
   Event ev;
   ev.kind = Event::Kind::kWatermark;
   ev.watermark = watermark;
   ev.seq = NextSeq();
   for (uint32_t j = 0; j < options_.num_joiners; ++j) {
-    EnqueueTo(j, ev);
+    EnqueueControl(j, ev, -1);
   }
+}
+
+void ParallelEngineBase::EnqueueTo(uint32_t joiner, const Event& event) {
+  if (event.kind != Event::Kind::kTuple) {
+    EnqueueControl(joiner, event, -1);
+    return;
+  }
+  switch (options_.overload_policy) {
+    case OverloadPolicy::kBlock: {
+      const PushResult r =
+          queues_[joiner]->PushBounded(event, /*deadline_ns=*/-1, &stop_);
+      if (r != PushResult::kOk) {
+        ++dropped_per_joiner_[joiner];
+        ++overload_dropped_;
+      }
+      break;
+    }
+    case OverloadPolicy::kDropNewest: {
+      const int64_t deadline =
+          options_.drop_wait_us > 0
+              ? MonotonicNowNs() + options_.drop_wait_us * 1000
+              : 0;
+      const PushResult r = queues_[joiner]->PushBounded(event, deadline,
+                                                        &stop_);
+      if (r != PushResult::kOk) {
+        ++dropped_per_joiner_[joiner];
+        ++overload_dropped_;
+      }
+      break;
+    }
+    case OverloadPolicy::kShedOldest:
+      EnqueueShedding(joiner, event);
+      break;
+  }
+}
+
+void ParallelEngineBase::EnqueueShedding(uint32_t joiner, const Event& event) {
+  auto& spill = spill_[joiner];
+  if (spill.empty() && queues_[joiner]->TryPush(event)) return;
+
+  spill.push_back(event);
+  // Opportunistic drain: move whatever fits right now.
+  while (!spill.empty() && queues_[joiner]->TryPush(spill.front())) {
+    spill.pop_front();
+  }
+  const size_t cap = options_.shed_spill_capacity > 0
+                         ? options_.shed_spill_capacity
+                         : options_.queue_capacity;
+  while (spill.size() > cap) {
+    // Shed the oldest staged *tuple*; watermarks/flushes are load-bearing
+    // and must survive.
+    auto it = std::find_if(spill.begin(), spill.end(), [](const Event& e) {
+      return e.kind == Event::Kind::kTuple;
+    });
+    if (it == spill.end()) break;
+    spill.erase(it);
+    ++overload_shed_;
+    ++dropped_per_joiner_[joiner];
+    ++overload_dropped_;
+  }
+}
+
+bool ParallelEngineBase::DrainSpill(uint32_t joiner, int64_t deadline_ns) {
+  auto& spill = spill_[joiner];
+  while (!spill.empty()) {
+    const PushResult r =
+        queues_[joiner]->PushBounded(spill.front(), deadline_ns, &stop_);
+    if (r != PushResult::kOk) return false;
+    spill.pop_front();
+  }
+  return true;
+}
+
+bool ParallelEngineBase::EnqueueControl(uint32_t joiner, const Event& event,
+                                        int64_t deadline_ns) {
+  if (options_.overload_policy == OverloadPolicy::kShedOldest &&
+      !spill_[joiner].empty()) {
+    // Keep FIFO order with staged tuples: route the control event through
+    // the spill too. It is never shed (EnqueueShedding skips non-tuples).
+    spill_[joiner].push_back(event);
+    return DrainSpill(joiner, deadline_ns);
+  }
+  return queues_[joiner]->PushBounded(event, deadline_ns, &stop_) ==
+         PushResult::kOk;
 }
 
 EngineStats ParallelEngineBase::Finish() {
@@ -104,17 +241,50 @@ EngineStats ParallelEngineBase::Finish() {
   if (!started_ || finished_) return stats;
   finished_ = true;
 
+  const int64_t deadline =
+      MonotonicNowNs() + options_.finish_timeout_us * 1000;
+
   Event flush;
   flush.kind = Event::Kind::kFlush;
   flush.watermark = kMaxTimestamp;
+  bool flush_ok = true;
   for (uint32_t j = 0; j < options_.num_joiners; ++j) {
-    EnqueueTo(j, flush);
+    if (!EnqueueControl(j, flush, deadline)) flush_ok = false;
   }
+  if (!flush_ok) {
+    RecordUnhealthy(Status::DeadlineExceeded(
+        "Finish could not deliver flush before its deadline"));
+    stop_.store(true, std::memory_order_release);
+  }
+
+  // Joiners exit on flush (or on the stop token). Bound the wait so a
+  // wedged joiner cannot hang Finish: on expiry, raise the stop token —
+  // every blocking path under engine control polls it.
+  while (exited_.load(std::memory_order_acquire) < options_.num_joiners) {
+    if (MonotonicNowNs() >= deadline) {
+      RecordUnhealthy(Status::DeadlineExceeded(
+          "joiners did not exit before the finish deadline"));
+      stop_.store(true, std::memory_order_release);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
   for (auto& t : threads_) t.join();
   threads_.clear();
+  watchdog_.Stop();
   StopAuxiliary();
 
-  stats.input_tuples = pushed_;
+  stats.input_tuples = pushed_.load(std::memory_order_relaxed);
+  stats.overload_dropped = overload_dropped_;
+  stats.overload_shed = overload_shed_;
+  stats.per_joiner_overload_dropped = dropped_per_joiner_;
+  stats.late = late_gate_.stats();
+  stats.warnings = watchdog_.TakeWarnings();
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    stats.health = health_;
+  }
   CollectStats(&stats);
   if (options_.collect_breakdown) {
     for (int64_t b : busy_ns_) stats.breakdown.busy_ns += b;
@@ -136,9 +306,12 @@ void ParallelEngineBase::JoinerMain(uint32_t joiner) {
 
   const bool track_util = options_.collect_cpu_util;
   const bool track_busy = track_util || options_.collect_breakdown;
+  const bool inject = options_.fault_injector != nullptr;
+  uint64_t events_seen = 0;
   Backoff backoff;
   Event ev;
-  while (true) {
+  bool flushed = false;
+  while (!flushed && !stop_requested()) {
     if (!queues_[joiner]->TryPop(&ev)) {
       OnIdle(joiner);
       backoff.Pause();
@@ -147,9 +320,11 @@ void ParallelEngineBase::JoinerMain(uint32_t joiner) {
     backoff.Reset();
 
     const int64_t busy_start = track_busy ? MonotonicNowNs() : 0;
-    bool stop = false;
     // Drain a burst: everything currently queued plus the event in hand.
     do {
+      if (inject && !InjectFaults(joiner, events_seen)) break;
+      ++events_seen;
+      consumed_[joiner].value.fetch_add(1, std::memory_order_relaxed);
       switch (ev.kind) {
         case Event::Kind::kTuple:
           OnTuple(joiner, ev);
@@ -160,18 +335,63 @@ void ParallelEngineBase::JoinerMain(uint32_t joiner) {
         case Event::Kind::kFlush:
           OnWatermark(joiner, kMaxTimestamp);
           OnFlush(joiner);
-          stop = true;
+          flushed = true;
           break;
       }
-    } while (!stop && queues_[joiner]->TryPop(&ev));
+    } while (!flushed && !stop_requested() && queues_[joiner]->TryPop(&ev));
 
     if (track_busy) {
       const int64_t busy_end = MonotonicNowNs();
       busy_ns_[joiner] += busy_end - busy_start;
       if (track_util) util_trackers_[joiner].AddBusy(busy_start, busy_end);
     }
-    if (stop) break;
   }
+  exited_.fetch_add(1, std::memory_order_release);
+}
+
+bool ParallelEngineBase::InjectFaults(uint32_t joiner, uint64_t events_seen) {
+  const FaultInjector* f = options_.fault_injector;
+  if (f->SlowsJoiner(joiner)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(f->slow_delay_us));
+  }
+  if (f->StallsJoiner(joiner, events_seen)) {
+    // Park like a thread wedged in a downstream call: releases only when
+    // the watchdog or Finish raises the stop token.
+    while (!stop_requested()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    return false;
+  }
+  return true;
+}
+
+void ParallelEngineBase::StartWatchdog() {
+  watchdog_.Start(
+      options_.watchdog,
+      [this] {
+        WatchdogSample sample;
+        const uint32_t n = options_.num_joiners;
+        sample.queue_depths.reserve(n);
+        sample.consumed.reserve(n);
+        for (uint32_t j = 0; j < n; ++j) {
+          sample.queue_depths.push_back(queues_[j]->SizeApprox());
+          sample.consumed.push_back(
+              consumed_[j].value.load(std::memory_order_relaxed));
+        }
+        sample.pushed = pushed_.load(std::memory_order_relaxed);
+        sample.watermarks =
+            watermarks_signaled_.load(std::memory_order_relaxed);
+        return sample;
+      },
+      [this](const Status& status) {
+        RecordUnhealthy(status);
+        stop_.store(true, std::memory_order_release);
+      });
+}
+
+void ParallelEngineBase::RecordUnhealthy(const Status& status) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  if (health_.ok()) health_ = status;
 }
 
 }  // namespace oij

@@ -2,6 +2,7 @@
 #define OIJ_JOIN_ENGINE_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -9,10 +10,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/spsc_queue.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "common/watchdog.h"
 #include "core/query_spec.h"
+#include "join/late_gate.h"
 #include "metrics/breakdown.h"
 #include "metrics/cache_sim.h"
 #include "metrics/cpu_util.h"
@@ -98,6 +102,23 @@ class CountingSink : public ResultSink {
   std::atomic<uint64_t> matches_{0};
 };
 
+/// What the router does with a tuple when a joiner's ring is full.
+enum class OverloadPolicy : uint8_t {
+  /// Wait (stop-token aware) until the ring drains: lossless, but a slow
+  /// joiner backpressures the whole input. Seed behavior.
+  kBlock = 0,
+  /// Wait up to EngineOptions::drop_wait_us, then drop the incoming
+  /// tuple. Bounds router latency; sheds the newest data first.
+  kDropNewest,
+  /// Stage overflow in a router-side spill buffer and shed the *oldest*
+  /// buffered tuples beyond its capacity. Keeps the freshest data (the
+  /// usual preference for real-time analytics); FIFO order and control
+  /// events are preserved.
+  kShedOldest,
+};
+
+std::string_view OverloadPolicyName(OverloadPolicy policy);
+
 /// Engine construction knobs shared by all parallel engines. The Scale-OIJ
 /// optimizations are individually switchable so the ablation benches can
 /// isolate each one (time-travel indexing is what distinguishes Scale-OIJ
@@ -137,6 +158,36 @@ struct EngineOptions {
   CacheSim* cache_sim = nullptr;
   uint32_t cache_sample_period = 16;
 
+  /// --- Overload & fault tolerance (see DESIGN.md, "Delivery &
+  /// degradation semantics") ---
+
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+
+  /// kDropNewest: how long the router waits on a full ring before
+  /// dropping the tuple. 0 = drop immediately.
+  int64_t drop_wait_us = 0;
+
+  /// kShedOldest: max tuples staged per joiner before the oldest staged
+  /// tuples are shed. 0 defaults to queue_capacity.
+  uint32_t shed_spill_capacity = 0;
+
+  /// Receives tuples diverted by LatePolicy::kSideChannel (driver
+  /// thread). Not owned.
+  LateSink* late_sink = nullptr;
+
+  /// Test-only deterministic fault hooks. Not owned; must outlive the
+  /// engine. nullptr in production.
+  const FaultInjector* fault_injector = nullptr;
+
+  /// Monitor thread detecting stalled joiners / frozen watermarks.
+  bool enable_watchdog = true;
+  WatchdogConfig watchdog;
+
+  /// Upper bound on how long Finish() may block flushing and joining.
+  /// On expiry the engine raises its stop token, reports
+  /// DeadlineExceeded in EngineStats::health, and still returns.
+  int64_t finish_timeout_us = 30'000'000;
+
   Status Validate() const;
 };
 
@@ -165,6 +216,20 @@ struct EngineStats {
   uint64_t final_schedule_version = 0;
   uint64_t evicted_tuples = 0;
   uint64_t peak_buffered_tuples = 0;
+
+  /// Tuples lost to backpressure (kDropNewest + kShedOldest combined;
+  /// `overload_shed` is the kShedOldest share).
+  uint64_t overload_dropped = 0;
+  uint64_t overload_shed = 0;
+  std::vector<uint64_t> per_joiner_overload_dropped;
+
+  /// Lateness-bound violations and their disposition.
+  LateStats late;
+
+  /// OK on a clean run; ResourceExhausted / DeadlineExceeded when the
+  /// watchdog or the Finish deadline aborted it.
+  Status health;
+  std::vector<std::string> warnings;
 
   double Effectiveness() const {
     return join_ops == 0 ? 1.0
@@ -238,9 +303,17 @@ class ParallelEngineBase : public JoinEngine {
   /// Subclass contribution to the merged stats (joiner-local counters).
   virtual void CollectStats(EngineStats* stats) = 0;
 
-  void EnqueueTo(uint32_t joiner, const Event& event) {
-    queues_[joiner]->Push(event);
+  /// Sends an event to a joiner, applying the overload policy for tuple
+  /// events. Control events (watermark/flush) are never dropped.
+  void EnqueueTo(uint32_t joiner, const Event& event);
+
+  /// True once the watchdog or Finish() has raised the stop token.
+  /// Subclass loops that can spin (OnFlush drains, auxiliary threads)
+  /// must poll this.
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
   }
+  const std::atomic<bool>* stop_token() const { return &stop_; }
 
   uint32_t num_joiners() const { return options_.num_joiners; }
   const QuerySpec& spec() const { return spec_; }
@@ -257,6 +330,27 @@ class ParallelEngineBase : public JoinEngine {
  private:
   void JoinerMain(uint32_t joiner);
 
+  /// Tuple enqueue under OverloadPolicy::kShedOldest: stage in spill_,
+  /// drain opportunistically, shed the oldest staged tuples past
+  /// capacity.
+  void EnqueueShedding(uint32_t joiner, const Event& event);
+
+  /// Moves staged spill events into the ring. `deadline_ns` as in
+  /// SpscQueue::PushBounded. Returns true when the spill emptied.
+  bool DrainSpill(uint32_t joiner, int64_t deadline_ns);
+
+  /// Blocking, stop-aware enqueue for control events.
+  /// Returns false only if the stop token / deadline cut the wait short.
+  bool EnqueueControl(uint32_t joiner, const Event& event,
+                      int64_t deadline_ns);
+
+  /// Fault-injection hooks for joiner `j`; returns false when the joiner
+  /// should exit (injected stall released by the stop token).
+  bool InjectFaults(uint32_t joiner, uint64_t events_seen);
+
+  void StartWatchdog();
+  void RecordUnhealthy(const Status& status);
+
   QuerySpec spec_;
   EngineOptions options_;
   ResultSink* sink_;
@@ -266,8 +360,25 @@ class ParallelEngineBase : public JoinEngine {
   bool started_ = false;
   bool finished_ = false;
   uint64_t seq_ = 0;
-  uint64_t pushed_ = 0;
   int64_t run_origin_ns_ = 0;
+
+  // --- overload & fault tolerance ---
+  LatenessGate late_gate_;                 // driver thread only
+  std::vector<std::deque<Event>> spill_;   // driver thread only
+  std::vector<uint64_t> dropped_per_joiner_;
+  uint64_t overload_dropped_ = 0;
+  uint64_t overload_shed_ = 0;
+  uint64_t watermark_attempts_ = 0;  // incl. injector-suppressed ones
+
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> pushed_{0};
+  std::atomic<uint64_t> watermarks_signaled_{0};
+  std::unique_ptr<PaddedCounter[]> consumed_;  // per joiner
+  std::atomic<uint32_t> exited_{0};
+
+  EngineWatchdog watchdog_;
+  std::mutex health_mu_;
+  Status health_;  // guarded by health_mu_
 };
 
 }  // namespace oij

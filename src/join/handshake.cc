@@ -1,6 +1,7 @@
 #include "join/handshake.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "common/clock.h"
@@ -40,25 +41,37 @@ Status HandshakeOijEngine::Start() {
   if (!s.ok()) return s;
   started_ = true;
   busy_ns_.assign(options_.num_joiners, 0);
+  late_gate_.Configure(spec_.late_policy, options_.late_sink);
+  dropped_per_joiner_.assign(options_.num_joiners, 0);
+  consumed_ = std::make_unique<PaddedCounter[]>(options_.num_joiners);
+  stop_.store(false, std::memory_order_release);
+  exited_.store(0, std::memory_order_release);
   for (uint32_t j = 0; j < options_.num_joiners; ++j) {
     threads_.emplace_back([this, j] { JoinerMain(j); });
   }
+  if (options_.enable_watchdog) StartWatchdog();
   return Status::OK();
 }
 
 void HandshakeOijEngine::InjectBase(const Tuple& base, int64_t arrival_us,
-                                    Timestamp required_wm) {
+                                    Timestamp required_wm,
+                                    int64_t deadline_ns) {
   ChainMsg msg;
   msg.base = base;
   msg.arrival_us = arrival_us;
   msg.required_wm = required_wm;
   msg.min = std::numeric_limits<double>::infinity();
   msg.max = -std::numeric_limits<double>::infinity();
-  chain_queues_[0]->Push(msg);
+  chain_queues_[0]->PushBounded(msg, deadline_ns, &stop_);
 }
 
 void HandshakeOijEngine::Push(const StreamEvent& event, int64_t arrival_us) {
-  ++pushed_;
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  if (stop_requested()) {
+    ++overload_dropped_;
+    return;
+  }
+  if (!late_gate_.Admit(event)) return;
   if (event.stream == StreamId::kProbe) {
     // Storage is spread round-robin across the chain.
     Event ev;
@@ -66,7 +79,28 @@ void HandshakeOijEngine::Push(const StreamEvent& event, int64_t arrival_us) {
     ev.stream = StreamId::kProbe;
     ev.tuple = event.tuple;
     ev.arrival_us = arrival_us;
-    direct_queues_[store_rr_++ % options_.num_joiners]->Push(ev);
+    const uint32_t j =
+        static_cast<uint32_t>(store_rr_++ % options_.num_joiners);
+    if (options_.overload_policy == OverloadPolicy::kBlock) {
+      if (direct_queues_[j]->PushBounded(ev, /*deadline_ns=*/-1, &stop_) !=
+          PushResult::kOk) {
+        ++dropped_per_joiner_[j];
+        ++overload_dropped_;
+      }
+    } else {
+      // The chain topology has no router-side reorder point, so
+      // kShedOldest degrades to kDropNewest here: bounded wait, then
+      // shed the incoming probe.
+      const int64_t deadline =
+          options_.drop_wait_us > 0
+              ? MonotonicNowNs() + options_.drop_wait_us * 1000
+              : 0;
+      if (direct_queues_[j]->PushBounded(ev, deadline, &stop_) !=
+          PushResult::kOk) {
+        ++dropped_per_joiner_[j];
+        ++overload_dropped_;
+      }
+    }
   } else if (spec_.emit_mode == EmitMode::kEager) {
     // Eager: straight into the chain; hops gate on their local horizon.
     InjectBase(event.tuple, arrival_us, kMinTimestamp);
@@ -77,22 +111,33 @@ void HandshakeOijEngine::Push(const StreamEvent& event, int64_t arrival_us) {
 }
 
 void HandshakeOijEngine::ReleaseRouterPending(Timestamp up_to,
-                                              Timestamp required_wm) {
+                                              Timestamp required_wm,
+                                              int64_t deadline_ns) {
   while (!router_pending_.empty() &&
          router_pending_.top().base.ts + spec_.window.fol <= up_to) {
     const RouterPending& p = router_pending_.top();
-    InjectBase(p.base, p.arrival_us, required_wm);
+    InjectBase(p.base, p.arrival_us, required_wm, deadline_ns);
     router_pending_.pop();
   }
 }
 
 void HandshakeOijEngine::SignalWatermark(Timestamp watermark) {
+  const uint64_t attempt = watermark_attempts_++;
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->WatermarkFrozen(attempt)) {
+    return;
+  }
+  late_gate_.ObserveWatermark(watermark);
+  watermarks_signaled_.fetch_add(1, std::memory_order_relaxed);
   Event ev;
   ev.kind = Event::Kind::kWatermark;
   ev.watermark = watermark;
   // Punctuations first: a base released against watermark W must find W's
   // punctuation (and every earlier probe) ahead of it in each hop's FIFO.
-  for (auto& q : direct_queues_) q->Push(ev);
+  // Punctuation is never dropped, whatever the overload policy.
+  for (auto& q : direct_queues_) {
+    q->PushBounded(ev, /*deadline_ns=*/-1, &stop_);
+  }
   if (spec_.emit_mode == EmitMode::kWatermark && watermark > router_wm_) {
     router_wm_ = watermark;
     // Completeness holds strictly below the watermark.
@@ -168,7 +213,7 @@ void HandshakeOijEngine::ProcessBase(uint32_t joiner, JoinerState& s,
   ++s.join_ops;
 
   if (joiner + 1 < options_.num_joiners) {
-    chain_queues_[joiner + 1]->Push(msg);
+    chain_queues_[joiner + 1]->PushBounded(msg, /*deadline_ns=*/-1, &stop_);
   } else {
     Emit(s, msg);
   }
@@ -226,6 +271,7 @@ void HandshakeOijEngine::JoinerMain(uint32_t joiner) {
     while (direct_queues_[joiner]->TryPop(&ev)) {
       any = true;
       ++s.processed;
+      consumed_[joiner].value.fetch_add(1, std::memory_order_relaxed);
       switch (ev.kind) {
         case Event::Kind::kTuple:
           if (ev.tuple.ts > s.max_seen) s.max_seen = ev.tuple.ts;
@@ -250,7 +296,9 @@ void HandshakeOijEngine::JoinerMain(uint32_t joiner) {
     return any;
   };
 
-  while (true) {
+  const bool inject = options_.fault_injector != nullptr;
+  while (!stop_requested()) {
+    if (inject && !InjectFaults(joiner, s.processed)) break;
     const int64_t busy_start = MonotonicNowNs();
     bool any = drain_direct();
     // Chain input: base tuples in flight (and, eventually, the sentinel).
@@ -258,6 +306,7 @@ void HandshakeOijEngine::JoinerMain(uint32_t joiner) {
     while (!chain_done && chain_queues_[joiner]->TryPop(&msg)) {
       any = chain_any = true;
       ++s.processed;
+      consumed_[joiner].value.fetch_add(1, std::memory_order_relaxed);
       if (msg.base.ts == kSentinelTs) {
         chain_done = true;
         break;
@@ -282,12 +331,58 @@ void HandshakeOijEngine::JoinerMain(uint32_t joiner) {
       if (joiner + 1 < options_.num_joiners) {
         ChainMsg sentinel;
         sentinel.base.ts = kSentinelTs;
-        chain_queues_[joiner + 1]->Push(sentinel);
+        chain_queues_[joiner + 1]->PushBounded(sentinel, /*deadline_ns=*/-1,
+                                               &stop_);
       }
-      return;
+      break;
     }
     if (!any) backoff.Pause();
   }
+  exited_.fetch_add(1, std::memory_order_release);
+}
+
+bool HandshakeOijEngine::InjectFaults(uint32_t joiner, uint64_t events_seen) {
+  const FaultInjector* f = options_.fault_injector;
+  if (f->SlowsJoiner(joiner)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(f->slow_delay_us));
+  }
+  if (f->StallsJoiner(joiner, events_seen)) {
+    while (!stop_requested()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    return false;
+  }
+  return true;
+}
+
+void HandshakeOijEngine::StartWatchdog() {
+  watchdog_.Start(
+      options_.watchdog,
+      [this] {
+        WatchdogSample sample;
+        const uint32_t n = options_.num_joiners;
+        sample.queue_depths.reserve(n);
+        sample.consumed.reserve(n);
+        for (uint32_t j = 0; j < n; ++j) {
+          sample.queue_depths.push_back(direct_queues_[j]->SizeApprox() +
+                                        chain_queues_[j]->SizeApprox());
+          sample.consumed.push_back(
+              consumed_[j].value.load(std::memory_order_relaxed));
+        }
+        sample.pushed = pushed_.load(std::memory_order_relaxed);
+        sample.watermarks =
+            watermarks_signaled_.load(std::memory_order_relaxed);
+        return sample;
+      },
+      [this](const Status& status) {
+        RecordUnhealthy(status);
+        stop_.store(true, std::memory_order_release);
+      });
+}
+
+void HandshakeOijEngine::RecordUnhealthy(const Status& status) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  if (health_.ok()) health_ = status;
 }
 
 EngineStats HandshakeOijEngine::Finish() {
@@ -295,20 +390,57 @@ EngineStats HandshakeOijEngine::Finish() {
   if (!started_ || finished_) return stats;
   finished_ = true;
 
+  const int64_t deadline =
+      MonotonicNowNs() + options_.finish_timeout_us * 1000;
+
   Event flush;
   flush.kind = Event::Kind::kFlush;
   flush.watermark = kMaxTimestamp;
-  for (auto& q : direct_queues_) q->Push(flush);
+  bool flush_ok = true;
+  for (auto& q : direct_queues_) {
+    if (q->PushBounded(flush, deadline, &stop_) != PushResult::kOk) {
+      flush_ok = false;
+    }
+  }
   // Stragglers the watermark never reached, then the sentinel.
-  ReleaseRouterPending(kMaxTimestamp - 1, kMaxTimestamp);
+  ReleaseRouterPending(kMaxTimestamp - 1, kMaxTimestamp, deadline);
   ChainMsg sentinel;
   sentinel.base.ts = kSentinelTs;
-  chain_queues_[0]->Push(sentinel);
+  if (chain_queues_[0]->PushBounded(sentinel, deadline, &stop_) !=
+      PushResult::kOk) {
+    flush_ok = false;
+  }
+  if (!flush_ok) {
+    RecordUnhealthy(Status::DeadlineExceeded(
+        "Finish could not deliver flush before its deadline"));
+    stop_.store(true, std::memory_order_release);
+  }
+
+  // Bounded wait for the chain to unwind; a wedged hop is released by the
+  // stop token on deadline expiry so the joins below cannot hang.
+  while (exited_.load(std::memory_order_acquire) < options_.num_joiners) {
+    if (MonotonicNowNs() >= deadline) {
+      RecordUnhealthy(Status::DeadlineExceeded(
+          "joiners did not exit before the finish deadline"));
+      stop_.store(true, std::memory_order_release);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 
   for (auto& t : threads_) t.join();
   threads_.clear();
+  watchdog_.Stop();
 
-  stats.input_tuples = pushed_;
+  stats.input_tuples = pushed_.load(std::memory_order_relaxed);
+  stats.overload_dropped = overload_dropped_;
+  stats.per_joiner_overload_dropped = dropped_per_joiner_;
+  stats.late = late_gate_.stats();
+  stats.warnings = watchdog_.TakeWarnings();
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    stats.health = health_;
+  }
   stats.per_joiner_processed.resize(states_.size());
   for (size_t j = 0; j < states_.size(); ++j) {
     JoinerState& s = *states_[j];

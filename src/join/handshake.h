@@ -1,8 +1,10 @@
 #ifndef OIJ_JOIN_HANDSHAKE_H_
 #define OIJ_JOIN_HANDSHAKE_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_map>
@@ -105,8 +107,16 @@ class HandshakeOijEngine : public JoinEngine {
   void Evict(JoinerState& s);
   void Emit(JoinerState& s, const ChainMsg& msg);
   void InjectBase(const Tuple& base, int64_t arrival_us,
-                  Timestamp required_wm);
-  void ReleaseRouterPending(Timestamp up_to, Timestamp required_wm);
+                  Timestamp required_wm, int64_t deadline_ns = -1);
+  void ReleaseRouterPending(Timestamp up_to, Timestamp required_wm,
+                            int64_t deadline_ns = -1);
+
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+  bool InjectFaults(uint32_t joiner, uint64_t events_seen);
+  void StartWatchdog();
+  void RecordUnhealthy(const Status& status);
 
   QuerySpec spec_;
   EngineOptions options_;
@@ -130,8 +140,23 @@ class HandshakeOijEngine : public JoinEngine {
 
   bool started_ = false;
   bool finished_ = false;
-  uint64_t pushed_ = 0;
   uint64_t store_rr_ = 0;
+
+  // --- overload & fault tolerance (mirrors ParallelEngineBase) ---
+  LatenessGate late_gate_;  // driver thread only
+  std::vector<uint64_t> dropped_per_joiner_;
+  uint64_t overload_dropped_ = 0;
+  uint64_t watermark_attempts_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> pushed_{0};
+  std::atomic<uint64_t> watermarks_signaled_{0};
+  std::unique_ptr<PaddedCounter[]> consumed_;
+  std::atomic<uint32_t> exited_{0};
+
+  EngineWatchdog watchdog_;
+  std::mutex health_mu_;
+  Status health_;  // guarded by health_mu_
 };
 
 }  // namespace oij

@@ -1,0 +1,115 @@
+#ifndef OIJ_JOIN_LATE_GATE_H_
+#define OIJ_JOIN_LATE_GATE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/query_spec.h"
+#include "stream/generator.h"
+
+namespace oij {
+
+/// Counters for tuples that arrived after the watermark had passed their
+/// timestamp (lateness-bound violations). Merged into EngineStats.
+struct LateStats {
+  uint64_t tuples = 0;        ///< total violations observed
+  uint64_t dropped = 0;       ///< removed from the join (kDropAndCount)
+  uint64_t side_channel = 0;  ///< handed to the LateSink (kSideChannel)
+  uint64_t joined = 0;        ///< joined best-effort (kBestEffortJoin)
+  uint64_t base = 0;          ///< violations on the base stream
+  uint64_t probe = 0;         ///< violations on the probe stream
+};
+
+/// Receives tuples diverted by LatePolicy::kSideChannel. Called from the
+/// engine's driver thread, synchronously with Push.
+class LateSink {
+ public:
+  virtual ~LateSink() = default;
+
+  /// `watermark` is the watermark the tuple violated.
+  virtual void OnLateTuple(const StreamEvent& event, Timestamp watermark) = 0;
+};
+
+/// Collects diverted tuples under a mutex (tests, dead-letter replay).
+class CollectingLateSink : public LateSink {
+ public:
+  void OnLateTuple(const StreamEvent& event, Timestamp /*watermark*/) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+
+  std::vector<StreamEvent> TakeEvents() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(events_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<StreamEvent> events_;
+};
+
+/// Router-side lateness check shared by every engine.
+///
+/// A tuple is late iff its timestamp is below the last watermark the
+/// driver has signaled — at that point downstream state for the tuple's
+/// windows may already be finalized/evicted, so the exactness guarantee
+/// cannot cover it. Detecting at the router (single driver thread, no
+/// synchronization) gives every engine identical late semantics, so their
+/// counters agree with each other and with the reference replay.
+class LatenessGate {
+ public:
+  void Configure(LatePolicy policy, LateSink* sink) {
+    policy_ = policy;
+    sink_ = sink;
+  }
+
+  /// Watermarks are taken monotonically (a regressing source never
+  /// widens the late window).
+  void ObserveWatermark(Timestamp watermark) {
+    if (watermark > last_watermark_) last_watermark_ = watermark;
+  }
+
+  /// Returns true when the event should proceed into the join. Counts
+  /// the violation either way.
+  bool Admit(const StreamEvent& event) {
+    if (last_watermark_ == kMinTimestamp ||
+        event.tuple.ts >= last_watermark_) {
+      return true;
+    }
+    ++stats_.tuples;
+    if (event.stream == StreamId::kBase) {
+      ++stats_.base;
+    } else {
+      ++stats_.probe;
+    }
+    switch (policy_) {
+      case LatePolicy::kBestEffortJoin:
+        ++stats_.joined;
+        return true;
+      case LatePolicy::kDropAndCount:
+        ++stats_.dropped;
+        return false;
+      case LatePolicy::kSideChannel:
+        ++stats_.side_channel;
+        if (sink_ != nullptr) sink_->OnLateTuple(event, last_watermark_);
+        return false;
+    }
+    return true;
+  }
+
+  const LateStats& stats() const { return stats_; }
+  Timestamp last_watermark() const { return last_watermark_; }
+
+ private:
+  LatePolicy policy_ = LatePolicy::kBestEffortJoin;
+  LateSink* sink_ = nullptr;
+  Timestamp last_watermark_ = kMinTimestamp;
+  LateStats stats_;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_JOIN_LATE_GATE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "join/watermark.h"
+
 namespace oij {
 
 std::vector<ReferenceResult> ReferenceJoin(
@@ -61,6 +63,34 @@ std::vector<ReferenceResult> ReferenceJoinBrute(
     out.push_back({s, agg.Result(spec.agg), agg.count});
   }
   return out;
+}
+
+std::vector<ReferenceResult> ReferenceJoinWithPolicy(
+    const std::vector<StreamEvent>& events, const QuerySpec& spec,
+    uint64_t wm_every, ReferenceRunStats* stats, LateSink* late_sink) {
+  WatermarkTracker tracker(spec.lateness_us);
+  LatenessGate gate;
+  gate.Configure(spec.late_policy, late_sink);
+  ReferenceRunStats local;
+
+  std::vector<StreamEvent> kept;
+  kept.reserve(events.size());
+  uint64_t count = 0;
+  for (const StreamEvent& ev : events) {
+    // Mirror the driver loop: a tuple is admitted against the watermark
+    // in force when it is *pushed*; punctuation follows the push.
+    const bool admit = gate.Admit(ev);
+    tracker.Observe(ev.tuple.ts);
+    if (admit) kept.push_back(ev);
+    if (wm_every > 0 && (++count % wm_every) == 0) {
+      gate.ObserveWatermark(tracker.watermark());
+      ++local.watermarks_emitted;
+    }
+  }
+
+  local.late = gate.stats();
+  if (stats != nullptr) *stats = local;
+  return ReferenceJoin(kept, spec);
 }
 
 void SortResults(std::vector<ReferenceResult>* results) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/query_spec.h"
+#include "join/late_gate.h"
 #include "stream/generator.h"
 
 namespace oij {
@@ -32,6 +33,25 @@ std::vector<ReferenceResult> ReferenceJoinBrute(
 
 /// Canonical ordering for comparisons: by (ts, key, payload).
 void SortResults(std::vector<ReferenceResult>* results);
+
+/// Counters from a policy-aware reference replay.
+struct ReferenceRunStats {
+  LateStats late;
+  uint64_t watermarks_emitted = 0;
+};
+
+/// Replays the arrival sequence through the same lateness gate the
+/// parallel engines use — a watermark is (re)computed and observed every
+/// `wm_every` arrivals, mirroring the driver loop's push-then-punctuate
+/// cadence — applies `spec.late_policy` to each violating tuple, then
+/// runs ReferenceJoin over the surviving events. This is the oracle for
+/// the degraded regimes: its LateStats must match every engine's, and
+/// under kDropAndCount its results are exactly what a correct engine may
+/// emit.
+std::vector<ReferenceResult> ReferenceJoinWithPolicy(
+    const std::vector<StreamEvent>& events, const QuerySpec& spec,
+    uint64_t wm_every, ReferenceRunStats* stats = nullptr,
+    LateSink* late_sink = nullptr);
 
 }  // namespace oij
 

@@ -154,8 +154,10 @@ void ScaleOijEngine::OnIdle(uint32_t joiner) {
 void ScaleOijEngine::OnFlush(uint32_t joiner) {
   JoinerState& s = *states_[joiner];
   // All joiners have published kMaxTimestamp progress by the time they
-  // process their own flush; spin until ours drains.
-  while (!s.pending.empty()) {
+  // process their own flush; spin until ours drains. A teammate that died
+  // before publishing would wedge this wait, so it also honors the stop
+  // token.
+  while (!s.pending.empty() && !stop_requested()) {
     DrainPending(joiner, s);
     if (!s.pending.empty()) std::this_thread::yield();
   }

@@ -83,7 +83,8 @@ void SplitJoinEngine::OnWatermark(uint32_t joiner, Timestamp watermark) {
 void SplitJoinEngine::OnFlush(uint32_t joiner) {
   Partial done;
   done.kind = Partial::Kind::kDone;
-  partial_queues_[joiner]->Push(done);
+  partial_queues_[joiner]->PushBounded(done, /*deadline_ns=*/-1,
+                                       stop_token());
 }
 
 void SplitJoinEngine::DrainPending(uint32_t joiner, JoinerState& s) {
@@ -147,7 +148,8 @@ void SplitJoinEngine::ProcessBase(uint32_t joiner, JoinerState& s,
   partial.min = agg.min;
   partial.max = agg.max;
   partial.visited = op_visited;
-  partial_queues_[joiner]->Push(partial);
+  partial_queues_[joiner]->PushBounded(partial, /*deadline_ns=*/-1,
+                                       stop_token());
 }
 
 void SplitJoinEngine::Evict(JoinerState& s) {
@@ -183,8 +185,9 @@ void SplitJoinEngine::CollectorMain() {
   Backoff backoff;
   Partial partial;
   // Every joiner pushes its done marker after its last partial (FIFO), so
-  // once all markers are seen every mergeable slot has completed.
-  while (done_count < num_joiners()) {
+  // once all markers are seen every mergeable slot has completed. On an
+  // aborted run a marker may never come; the stop token ends the wait.
+  while (done_count < num_joiners() && !stop_requested()) {
     bool any = false;
     for (uint32_t j = 0; j < num_joiners(); ++j) {
       while (partial_queues_[j]->TryPop(&partial)) {

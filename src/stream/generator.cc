@@ -51,11 +51,18 @@ void WorkloadGenerator::GenerateOne() {
   event_cursor_us_ += interval_us_;
   ++generated_;
 
-  const Timestamp delay =
+  Timestamp delay =
       disorder_bound_ > 0
           ? static_cast<Timestamp>(rng_.NextBelow(
                 static_cast<uint64_t>(disorder_bound_) + 1))
           : 0;
+  if (spec_.late_flood_fraction > 0.0 &&
+      rng_.NextDouble() < spec_.late_flood_fraction) {
+    // Deliberate lateness-bound violation: hold the tuple back beyond
+    // what any watermark computed under `lateness_us` can tolerate.
+    delay = spec_.lateness_us + spec_.late_flood_extra_us;
+    ++late_flood_generated_;
+  }
   delay_heap_.push(Pending{ev.tuple.ts + delay, generated_, ev});
 }
 

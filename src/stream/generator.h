@@ -46,6 +46,13 @@ class WorkloadGenerator {
   /// Number of arrivals emitted so far.
   uint64_t emitted() const { return emitted_; }
 
+  /// Tuples the late-flood knob delayed past the lateness bound. Note
+  /// this counts *potential* violations: whether a flooded tuple is
+  /// actually late on arrival depends on the watermark cadence in force
+  /// downstream (a tuple near the end of the stream may never see a
+  /// watermark pass it).
+  uint64_t late_flood_generated() const { return late_flood_generated_; }
+
   const WorkloadSpec& spec() const { return spec_; }
 
  private:
@@ -73,6 +80,7 @@ class WorkloadGenerator {
   double event_cursor_us_ = 0;  // next in-order event timestamp
   uint64_t generated_ = 0;
   uint64_t emitted_ = 0;
+  uint64_t late_flood_generated_ = 0;
   Timestamp max_emitted_ts_ = kMinTimestamp;
   Timestamp disorder_bound_;
 

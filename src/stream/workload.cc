@@ -64,6 +64,12 @@ Status WorkloadSpec::Validate() const {
   if (event_rate_per_sec == 0) {
     return Status::InvalidArgument("event_rate_per_sec must be positive");
   }
+  if (late_flood_fraction < 0.0 || late_flood_fraction > 1.0) {
+    return Status::InvalidArgument("late_flood_fraction must be in [0, 1]");
+  }
+  if (late_flood_extra_us < 0) {
+    return Status::InvalidArgument("late_flood_extra_us must be non-negative");
+  }
   if (probe_fraction < 0.0 || probe_fraction > 1.0) {
     return Status::InvalidArgument("probe_fraction must be in [0, 1]");
   }
@@ -102,6 +108,8 @@ std::string WorkloadSpecToConfig(const WorkloadSpec& spec) {
      << "hot_set_size=" << spec.hot_set_size << "\n"
      << "hot_fraction=" << spec.hot_fraction << "\n"
      << "hot_rotation_period_us=" << spec.hot_rotation_period_us << "\n"
+     << "late_flood_fraction=" << spec.late_flood_fraction << "\n"
+     << "late_flood_extra_us=" << spec.late_flood_extra_us << "\n"
      << "seed=" << spec.seed << "\n";
   return os.str();
 }
@@ -161,6 +169,10 @@ Status WorkloadSpecFromConfig(std::string_view config, WorkloadSpec* out) {
       spec.hot_fraction = as_f64();
     } else if (key == "hot_rotation_period_us") {
       spec.hot_rotation_period_us = as_i64();
+    } else if (key == "late_flood_fraction") {
+      spec.late_flood_fraction = as_f64();
+    } else if (key == "late_flood_extra_us") {
+      spec.late_flood_extra_us = as_i64();
     } else if (key == "seed") {
       spec.seed = as_u64();
     } else {

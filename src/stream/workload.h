@@ -62,6 +62,15 @@ struct WorkloadSpec {
   double hot_fraction = 0.9;         ///< used when kRotatingHotSet
   Timestamp hot_rotation_period_us = 1'000'000;
 
+  /// Fault-injection knob: fraction of tuples delayed *past* the lateness
+  /// bound — each flooded tuple's arrival delay is lateness_us +
+  /// late_flood_extra_us, deliberately violating the exactness contract.
+  /// 0 disables the flood entirely (no extra rng draw, so a seed
+  /// reproduces the exact same arrival sequence as before the knob
+  /// existed). Exercises the engines' LatePolicy paths.
+  double late_flood_fraction = 0.0;
+  Timestamp late_flood_extra_us = 1;
+
   uint64_t seed = 42;
 
   /// Derived: expected probe tuples per key per window (match density).

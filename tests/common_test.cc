@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 #include <vector>
@@ -218,6 +219,64 @@ TEST(SpscQueueTest, CrossThreadTransfersEverythingInOrder) {
   }
   producer.join();
   EXPECT_FALSE(q.TryPop(&v));
+}
+
+TEST(SpscQueueTest, PushBoundedSucceedsWhenSpaceAvailable) {
+  SpscQueue<int> q(4);
+  EXPECT_EQ(q.PushBounded(7, /*deadline_ns=*/0), PushResult::kOk);
+  int v;
+  ASSERT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 7);
+}
+
+TEST(SpscQueueTest, PushBoundedZeroDeadlineIsSingleAttempt) {
+  SpscQueue<int> q(2);
+  while (q.TryPush(1)) {
+  }
+  const int64_t t0 = MonotonicNowUs();
+  EXPECT_EQ(q.PushBounded(9, /*deadline_ns=*/0), PushResult::kTimedOut);
+  EXPECT_LT(MonotonicNowUs() - t0, 100'000) << "deadline 0 must not spin";
+}
+
+TEST(SpscQueueTest, PushBoundedTimesOutAtDeadline) {
+  SpscQueue<int> q(2);
+  while (q.TryPush(1)) {
+  }
+  const int64_t t0 = MonotonicNowNs();
+  const int64_t deadline = t0 + 20'000'000;  // 20 ms
+  EXPECT_EQ(q.PushBounded(9, deadline), PushResult::kTimedOut);
+  const int64_t elapsed = MonotonicNowNs() - t0;
+  EXPECT_GE(elapsed, 15'000'000) << "returned well before the deadline";
+  EXPECT_LT(elapsed, 2'000'000'000) << "spun far past the deadline";
+}
+
+TEST(SpscQueueTest, PushBoundedObservesStopToken) {
+  SpscQueue<int> q(2);
+  while (q.TryPush(1)) {
+  }
+  std::atomic<bool> stop{false};
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stop.store(true, std::memory_order_release);
+  });
+  // Infinite deadline: only the stop token can release the producer.
+  EXPECT_EQ(q.PushBounded(9, /*deadline_ns=*/-1, &stop),
+            PushResult::kStopped);
+  stopper.join();
+}
+
+TEST(SpscQueueTest, PushBoundedSucceedsOnceConsumerDrains) {
+  SpscQueue<int> q(2);
+  while (q.TryPush(1)) {
+  }
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    int v;
+    ASSERT_TRUE(q.TryPop(&v));
+  });
+  const int64_t deadline = MonotonicNowNs() + 5'000'000'000;  // generous
+  EXPECT_EQ(q.PushBounded(42, deadline), PushResult::kOk);
+  consumer.join();
 }
 
 // ----------------------------------------------------------- RateLimiter

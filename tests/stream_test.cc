@@ -5,6 +5,8 @@
 #include <set>
 #include <vector>
 
+#include "join/watermark.h"
+#include "stream/disorder_estimator.h"
 #include "stream/generator.h"
 #include "stream/presets.h"
 #include "stream/workload.h"
@@ -346,6 +348,130 @@ TEST(PresetsTest, FindPresetByName) {
   EXPECT_TRUE(FindPreset("adversarial", &w));
   EXPECT_TRUE(FindPreset("skewed", &w));
   EXPECT_FALSE(FindPreset("nope", &w));
+}
+
+// ------------------------------------------- watermark tracker edge cases
+
+TEST(WatermarkTrackerTest, EmptyStreamStaysAtMinimum) {
+  WatermarkTracker t(60);
+  EXPECT_EQ(t.watermark(), kMinTimestamp);
+  EXPECT_EQ(t.max_seen(), kMinTimestamp);
+}
+
+TEST(WatermarkTrackerTest, SingleTupleAdvancesWatermark) {
+  WatermarkTracker t(60);
+  t.Observe(1000);
+  EXPECT_EQ(t.max_seen(), 1000);
+  EXPECT_EQ(t.watermark(), 940);
+}
+
+TEST(WatermarkTrackerTest, ZeroLatenessTracksMaxExactly) {
+  WatermarkTracker t(0);
+  t.Observe(500);
+  EXPECT_EQ(t.watermark(), 500);
+  t.Observe(400);  // out-of-order arrival must not regress the watermark
+  EXPECT_EQ(t.watermark(), 500);
+  t.Observe(501);
+  EXPECT_EQ(t.watermark(), 501);
+}
+
+// ------------------------------------------ disorder estimator edge cases
+
+TEST(DisorderEstimatorTest, EmptyStreamReportsNothing) {
+  DisorderEstimator est;
+  EXPECT_EQ(est.observed(), 0u);
+  EXPECT_EQ(est.max_seen(), kMinTimestamp);
+  EXPECT_EQ(est.MaxDelay(), 0);
+}
+
+TEST(DisorderEstimatorTest, SingleTupleHasZeroDelay) {
+  DisorderEstimator est;
+  EXPECT_EQ(est.Observe(123), 0);
+  EXPECT_EQ(est.observed(), 1u);
+  EXPECT_EQ(est.MaxDelay(), 0);
+  EXPECT_DOUBLE_EQ(est.CoverageAt(0), 1.0);
+}
+
+TEST(DisorderEstimatorTest, DisorderExactlyAtBoundIsCovered) {
+  DisorderEstimator est;
+  est.Observe(1000);
+  EXPECT_EQ(est.Observe(940), 60);  // delay exactly at the bound
+  EXPECT_EQ(est.MaxDelay(), 60);
+  // The histogram is log-bucketed (~6% resolution), so probe with a
+  // threshold one octave boundary above/below the recorded delay.
+  EXPECT_DOUBLE_EQ(est.CoverageAt(64), 1.0);
+  EXPECT_LT(est.CoverageAt(16), 1.0);
+}
+
+// ------------------------------------------------------------ late flood
+
+TEST(WorkloadSpecTest, RejectsBadLateFlood) {
+  WorkloadSpec spec = SmallSpec();
+  spec.late_flood_fraction = -0.1;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = SmallSpec();
+  spec.late_flood_fraction = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = SmallSpec();
+  spec.late_flood_fraction = 0.1;
+  spec.late_flood_extra_us = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(GeneratorTest, LateFloodOffGeneratesNoViolations) {
+  WorkloadSpec spec = SmallSpec();
+  ASSERT_EQ(spec.late_flood_fraction, 0.0);  // default: off
+  WorkloadGenerator gen(spec);
+  DisorderEstimator est;
+  StreamEvent ev;
+  while (gen.Next(&ev)) est.Observe(ev.tuple.ts);
+  EXPECT_EQ(gen.late_flood_generated(), 0u);
+  EXPECT_LE(est.MaxDelay(), spec.lateness_us);
+}
+
+TEST(GeneratorTest, LateFloodPushesDelaysPastTheLatenessBound) {
+  WorkloadSpec spec = SmallSpec();
+  spec.late_flood_fraction = 0.2;
+  spec.late_flood_extra_us = 25;
+  WorkloadGenerator gen(spec);
+  DisorderEstimator est;
+  StreamEvent ev;
+  while (gen.Next(&ev)) est.Observe(ev.tuple.ts);
+
+  // Roughly fraction * total tuples get the lateness-violating delay.
+  EXPECT_GT(gen.late_flood_generated(), spec.total_tuples / 10);
+  EXPECT_LT(gen.late_flood_generated(), spec.total_tuples / 3);
+  // The flood is what breaks the normal disorder <= lateness contract.
+  EXPECT_GT(est.MaxDelay(), spec.lateness_us);
+}
+
+TEST(GeneratorTest, LateFloodDeterministicForSameSeed) {
+  WorkloadSpec spec = SmallSpec();
+  spec.late_flood_fraction = 0.15;
+  spec.late_flood_extra_us = 40;
+  WorkloadGenerator a(spec);
+  WorkloadGenerator b(spec);
+  const auto ea = Drain(&a);
+  const auto eb = Drain(&b);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].tuple.ts, eb[i].tuple.ts);
+    EXPECT_EQ(ea[i].tuple.key, eb[i].tuple.key);
+  }
+  EXPECT_EQ(a.late_flood_generated(), b.late_flood_generated());
+}
+
+TEST(WorkloadConfigTest, LateFloodRoundTrips) {
+  WorkloadSpec w = SmallSpec();
+  w.late_flood_fraction = 0.25;
+  w.late_flood_extra_us = 33;
+  const std::string config = WorkloadSpecToConfig(w);
+  WorkloadSpec parsed;
+  ASSERT_TRUE(WorkloadSpecFromConfig(config, &parsed).ok()) << config;
+  EXPECT_DOUBLE_EQ(parsed.late_flood_fraction, w.late_flood_fraction);
+  EXPECT_EQ(parsed.late_flood_extra_us, w.late_flood_extra_us);
 }
 
 }  // namespace

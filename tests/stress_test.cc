@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <tuple>
 
 #include "common/clock.h"
+#include "common/fault_injector.h"
 #include "core/engine_factory.h"
 #include "join/reference_join.h"
 #include "join/watermark.h"
@@ -197,6 +200,65 @@ TEST(StressTest, ManyKeysManyPartitions) {
   options.num_partitions = 32;
   ExpectExact(EngineKind::kScaleOij, events, StressQuery(), options, 256,
               "many-keys-few-partitions");
+}
+
+TEST(StressTest, OverloadPoliciesStayLiveAndSubset) {
+  // Degraded delivery under sustained overload: a deliberately slow
+  // joiner plus tiny queues keeps the drop/shed paths hot for the whole
+  // run. The engines must stay live (healthy bounded Finish) and must
+  // never emit a result the lossless reference would not have produced —
+  // lossy policies may only *remove* probe matches, never invent them.
+  WorkloadSpec w = StressWorkload(508);
+  w.total_tuples = 12'000;
+  const auto events = Generate(w);
+  const QuerySpec q = StressQuery();
+  auto reference = ReferenceJoin(events, q);
+
+  using BaseKey = std::tuple<Timestamp, Key, double>;
+  std::map<BaseKey, ReferenceResult> index;
+  for (const ReferenceResult& r : reference) {
+    index.emplace(BaseKey{r.base.ts, r.base.key, r.base.payload}, r);
+  }
+
+  for (OverloadPolicy policy :
+       {OverloadPolicy::kDropNewest, OverloadPolicy::kShedOldest}) {
+    for (EngineKind kind : {EngineKind::kKeyOij, EngineKind::kScaleOij}) {
+      const std::string label = std::string(OverloadPolicyName(policy)) +
+                                "/" + std::string(EngineKindName(kind));
+      FaultInjector faults;
+      faults.slow_joiner = 0;
+      faults.slow_delay_us = 40;
+
+      CollectingSink sink;
+      EngineOptions options;
+      options.num_joiners = 3;
+      options.queue_capacity = 8;
+      options.overload_policy = policy;
+      options.shed_spill_capacity = 16;
+      options.fault_injector = &faults;
+      auto engine = CreateEngine(kind, q, options, &sink);
+      ASSERT_TRUE(engine->Start().ok()) << label;
+      WatermarkTracker tracker(q.lateness_us);
+      uint64_t n = 0;
+      for (const StreamEvent& ev : events) {
+        tracker.Observe(ev.tuple.ts);
+        engine->Push(ev, MonotonicNowUs());
+        if (++n % 64 == 0) engine->SignalWatermark(tracker.watermark());
+      }
+      const EngineStats stats = engine->Finish();
+
+      EXPECT_TRUE(stats.health.ok()) << label << ": " << stats.health.ToString();
+      EXPECT_GT(stats.overload_dropped, 0u)
+          << label << ": overload never engaged, stress is miscalibrated";
+      for (const JoinResult& r : sink.TakeResults()) {
+        const auto it =
+            index.find(BaseKey{r.base.ts, r.base.key, r.base.payload});
+        ASSERT_NE(it, index.end()) << label << ": unknown base tuple";
+        EXPECT_LE(r.match_count, it->second.match_count) << label;
+        EXPECT_LE(r.aggregate, it->second.aggregate + 1e-6) << label;
+      }
+    }
+  }
 }
 
 TEST(StressTest, SingleJoinerDegeneratesGracefully) {
