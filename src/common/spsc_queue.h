@@ -1,6 +1,7 @@
 #ifndef OIJ_COMMON_SPSC_QUEUE_H_
 #define OIJ_COMMON_SPSC_QUEUE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
@@ -93,10 +94,57 @@ class SpscQueue {
     return true;
   }
 
-  /// Approximate size (exact if called from producer or consumer).
+  /// Non-blocking batch push: enqueues up to `n` items from `items` and
+  /// publishes them with a single release store of `tail_` — one shared
+  /// cache-line update per batch instead of per element. Returns how many
+  /// items were enqueued (0 when the ring is full; may be < n when it is
+  /// nearly full).
+  size_t PushBatch(const T* items, size_t n) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t free = mask_ + 1 - (tail - head_cache_);
+    if (free < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = mask_ + 1 - (tail - head_cache_);
+      if (free == 0) return 0;
+    }
+    const size_t count = std::min(n, free);
+    for (size_t i = 0; i < count; ++i) {
+      buffer_[(tail + i) & mask_] = items[i];
+    }
+    tail_.store(tail + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Non-blocking batch pop: dequeues up to `max_n` items into `out` and
+  /// releases the slots with a single store of `head_`. Returns how many
+  /// items were dequeued (0 when the ring is empty).
+  size_t PopBatch(T* out, size_t max_n) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    size_t avail = tail_cache_ - head;
+    if (avail == 0) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+      if (avail == 0) return 0;
+    }
+    const size_t count = std::min(max_n, avail);
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = buffer_[(head + i) & mask_];
+    }
+    head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Approximate size (exact if called from producer or consumer). Safe
+  /// to call from a third thread (the watchdog): `head_` is loaded first,
+  /// so a pop landing between the two loads can only make the result
+  /// stale, never make `head > tail` and underflow the subtraction; the
+  /// result is additionally clamped to capacity against pushes landing in
+  /// the same window.
   size_t SizeApprox() const {
-    return tail_.load(std::memory_order_acquire) -
-           head_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t depth = tail >= head ? tail - head : 0;
+    return std::min(depth, mask_ + 1);
   }
 
   size_t capacity() const { return mask_ + 1; }

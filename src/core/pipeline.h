@@ -44,7 +44,9 @@ struct RunResult {
 /// Feeds a whole workload through an engine: starts it, paces the source
 /// per the workload's arrival rate, injects punctuations, drains, and
 /// returns merged stats. The single-call harness used by the examples,
-/// the benches, and the integration tests.
+/// the benches, and the integration tests. Paced runs flush the engine's
+/// staged transport batches (JoinEngine::FlushPending) before each pacing
+/// wait, so micro-batching never delays delivery across an idle gap.
 RunResult RunPipeline(JoinEngine* engine, WorkloadGenerator* generator,
                       const PipelineConfig& config = PipelineConfig());
 

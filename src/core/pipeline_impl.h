@@ -39,7 +39,13 @@ RunResult DrivePipeline(JoinEngine* engine, Source* source,
   uint64_t since_wm = 0;
   int64_t last_wm_check_us = MonotonicNowUs();
   while (source->Next(&ev)) {
-    if (paced) limiter.Acquire();
+    if (paced) {
+      // Don't hold a partially filled transport batch across a pacing
+      // gap: the joiners should see everything pushed so far while the
+      // driver sleeps in the limiter.
+      engine->FlushPending();
+      limiter.Acquire();
+    }
     if (config.adaptive_lateness) adaptive.Observe(ev.tuple.ts);
     engine->Push(ev, MonotonicNowUs());
     ++result.tuples;

@@ -31,6 +31,12 @@ Status EngineOptions::Validate() const {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
   }
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (batch_flush_us < 0) {
+    return Status::InvalidArgument("batch_flush_us must be non-negative");
+  }
   if (drop_wait_us < 0) {
     return Status::InvalidArgument("drop_wait_us must be non-negative");
   }
@@ -76,6 +82,14 @@ ParallelEngineBase::ParallelEngineBase(const QuerySpec& spec,
   }
   spill_.resize(options_.num_joiners);
   dropped_per_joiner_.assign(options_.num_joiners, 0);
+  control_lost_per_joiner_.assign(options_.num_joiners, 0);
+
+  // Staging deeper than the ring only adds latency, never throughput.
+  batch_size_ = std::min(options_.batch_size, options_.queue_capacity);
+  staged_.resize(options_.num_joiners);
+  if (batch_size_ > 1) {
+    for (auto& stage : staged_) stage.reserve(batch_size_);
+  }
 }
 
 ParallelEngineBase::~ParallelEngineBase() {
@@ -130,8 +144,15 @@ void ParallelEngineBase::Push(const StreamEvent& event, int64_t arrival_us) {
   ev.stream = event.stream;
   ev.tuple = event.tuple;
   ev.arrival_us = arrival_us;
-  ev.seq = NextSeq();
+  ev.seq = seq_++;
   Route(ev);
+
+  // Time-bound flush: reuse the caller's arrival stamp as "now" so the
+  // bound costs no clock read on the hot path.
+  if (staged_total_ > 0 && options_.batch_flush_us > 0 &&
+      arrival_us - earliest_staged_us_ >= options_.batch_flush_us) {
+    FlushAllStaged(/*deadline_ns=*/-1);
+  }
 }
 
 void ParallelEngineBase::SignalWatermark(Timestamp watermark) {
@@ -146,15 +167,32 @@ void ParallelEngineBase::SignalWatermark(Timestamp watermark) {
   Event ev;
   ev.kind = Event::Kind::kWatermark;
   ev.watermark = watermark;
-  ev.seq = NextSeq();
+  ev.seq = seq_++;
   for (uint32_t j = 0; j < options_.num_joiners; ++j) {
-    EnqueueControl(j, ev, -1);
+    if (!EnqueueControl(j, ev, -1)) {
+      // A watermark lost here (stop token raised while the ring stayed
+      // full) would silently freeze this joiner's eviction and
+      // finalization — account it so the run is marked non-pristine.
+      ++control_lost_per_joiner_[j];
+    }
   }
 }
 
+void ParallelEngineBase::FlushPending() { FlushAllStaged(/*deadline_ns=*/-1); }
+
 void ParallelEngineBase::EnqueueTo(uint32_t joiner, const Event& event) {
   if (event.kind != Event::Kind::kTuple) {
-    EnqueueControl(joiner, event, -1);
+    if (!EnqueueControl(joiner, event, -1)) {
+      ++control_lost_per_joiner_[joiner];
+    }
+    return;
+  }
+  if (batch_size_ > 1) {
+    auto& stage = staged_[joiner];
+    if (staged_total_ == 0) earliest_staged_us_ = event.arrival_us;
+    stage.push_back(event);
+    ++staged_total_;
+    if (stage.size() >= batch_size_) FlushStaged(joiner, /*deadline_ns=*/-1);
     return;
   }
   switch (options_.overload_policy) {
@@ -186,6 +224,85 @@ void ParallelEngineBase::EnqueueTo(uint32_t joiner, const Event& event) {
   }
 }
 
+void ParallelEngineBase::FlushStaged(uint32_t joiner, int64_t deadline_ns) {
+  auto& stage = staged_[joiner];
+  if (stage.empty()) return;
+  staged_total_ -= stage.size();
+  PushTupleBatch(joiner, stage.data(), stage.size(), deadline_ns);
+  stage.clear();
+}
+
+void ParallelEngineBase::FlushAllStaged(int64_t deadline_ns) {
+  if (staged_total_ == 0) return;
+  for (uint32_t j = 0; j < options_.num_joiners; ++j) {
+    FlushStaged(j, deadline_ns);
+  }
+}
+
+void ParallelEngineBase::PushTupleBatch(uint32_t joiner, const Event* events,
+                                        size_t n, int64_t deadline_ns) {
+  SpscQueue<Event>& queue = *queues_[joiner];
+  switch (options_.overload_policy) {
+    case OverloadPolicy::kBlock: {
+      // Lossless backpressure: wait (stop-token aware) for the consumer.
+      // `deadline_ns` is -1 except when Finish flushes with its bound.
+      size_t i = 0;
+      while (i < n) {
+        i += queue.PushBatch(events + i, n - i);
+        if (i >= n) break;
+        if (stop_.load(std::memory_order_acquire) ||
+            (deadline_ns >= 0 && MonotonicNowNs() >= deadline_ns)) {
+          dropped_per_joiner_[joiner] += n - i;
+          overload_dropped_ += n - i;
+          return;
+        }
+        std::this_thread::yield();
+      }
+      break;
+    }
+    case OverloadPolicy::kDropNewest: {
+      int64_t deadline = deadline_ns;
+      if (deadline < 0) {
+        deadline = options_.drop_wait_us > 0
+                       ? MonotonicNowNs() + options_.drop_wait_us * 1000
+                       : 0;
+      }
+      size_t i = 0;
+      while (i < n) {
+        i += queue.PushBatch(events + i, n - i);
+        if (i >= n) break;
+        if (stop_.load(std::memory_order_acquire) || deadline == 0 ||
+            MonotonicNowNs() >= deadline) {
+          dropped_per_joiner_[joiner] += n - i;
+          overload_dropped_ += n - i;
+          return;
+        }
+        std::this_thread::yield();
+      }
+      break;
+    }
+    case OverloadPolicy::kShedOldest: {
+      // FIFO with the spill: ring-push directly only while the spill is
+      // empty, then stage the remainder behind it and shed the oldest.
+      auto& spill = spill_[joiner];
+      size_t i = 0;
+      if (spill.empty()) {
+        while (i < n) {
+          const size_t pushed = queue.PushBatch(events + i, n - i);
+          if (pushed == 0) break;
+          i += pushed;
+        }
+      }
+      for (; i < n; ++i) spill.push_back(events[i]);
+      while (!spill.empty() && queue.TryPush(spill.front())) {
+        spill.pop_front();
+      }
+      ShedSpillOverflow(joiner);
+      break;
+    }
+  }
+}
+
 void ParallelEngineBase::EnqueueShedding(uint32_t joiner, const Event& event) {
   auto& spill = spill_[joiner];
   if (spill.empty() && queues_[joiner]->TryPush(event)) return;
@@ -195,6 +312,11 @@ void ParallelEngineBase::EnqueueShedding(uint32_t joiner, const Event& event) {
   while (!spill.empty() && queues_[joiner]->TryPush(spill.front())) {
     spill.pop_front();
   }
+  ShedSpillOverflow(joiner);
+}
+
+void ParallelEngineBase::ShedSpillOverflow(uint32_t joiner) {
+  auto& spill = spill_[joiner];
   const size_t cap = options_.shed_spill_capacity > 0
                          ? options_.shed_spill_capacity
                          : options_.queue_capacity;
@@ -225,6 +347,9 @@ bool ParallelEngineBase::DrainSpill(uint32_t joiner, int64_t deadline_ns) {
 
 bool ParallelEngineBase::EnqueueControl(uint32_t joiner, const Event& event,
                                         int64_t deadline_ns) {
+  // A control event must never pass the tuples it gates: flush this
+  // joiner's staged batch first so per-queue FIFO order is preserved.
+  FlushStaged(joiner, deadline_ns);
   if (options_.overload_policy == OverloadPolicy::kShedOldest &&
       !spill_[joiner].empty()) {
     // Keep FIFO order with staged tuples: route the control event through
@@ -249,7 +374,10 @@ EngineStats ParallelEngineBase::Finish() {
   flush.watermark = kMaxTimestamp;
   bool flush_ok = true;
   for (uint32_t j = 0; j < options_.num_joiners; ++j) {
-    if (!EnqueueControl(j, flush, deadline)) flush_ok = false;
+    if (!EnqueueControl(j, flush, deadline)) {
+      flush_ok = false;
+      ++control_lost_per_joiner_[j];
+    }
   }
   if (!flush_ok) {
     RecordUnhealthy(Status::DeadlineExceeded(
@@ -279,8 +407,16 @@ EngineStats ParallelEngineBase::Finish() {
   stats.overload_dropped = overload_dropped_;
   stats.overload_shed = overload_shed_;
   stats.per_joiner_overload_dropped = dropped_per_joiner_;
+  stats.per_joiner_control_lost = control_lost_per_joiner_;
+  for (uint64_t lost : control_lost_per_joiner_) stats.control_lost += lost;
   stats.late = late_gate_.stats();
   stats.warnings = watchdog_.TakeWarnings();
+  if (stats.control_lost > 0) {
+    stats.warnings.push_back(
+        "lost " + std::to_string(stats.control_lost) +
+        " control event(s) (watermark/flush) to the stop token or a "
+        "deadline; downstream eviction/finalization may be stale");
+  }
   {
     std::lock_guard<std::mutex> lock(health_mu_);
     stats.health = health_;
@@ -309,10 +445,15 @@ void ParallelEngineBase::JoinerMain(uint32_t joiner) {
   const bool inject = options_.fault_injector != nullptr;
   uint64_t events_seen = 0;
   Backoff backoff;
-  Event ev;
+  // Drain in batches: one shared head update (PopBatch) and one consumed
+  // counter bump per batch rather than per event.
+  const size_t drain_batch = std::max<size_t>(batch_size_, 64);
+  std::vector<Event> batch(drain_batch);
   bool flushed = false;
-  while (!flushed && !stop_requested()) {
-    if (!queues_[joiner]->TryPop(&ev)) {
+  bool aborted = false;
+  while (!flushed && !aborted && !stop_requested()) {
+    size_t got = queues_[joiner]->PopBatch(batch.data(), drain_batch);
+    if (got == 0) {
       OnIdle(joiner);
       backoff.Pause();
       continue;
@@ -320,25 +461,37 @@ void ParallelEngineBase::JoinerMain(uint32_t joiner) {
     backoff.Reset();
 
     const int64_t busy_start = track_busy ? MonotonicNowNs() : 0;
-    // Drain a burst: everything currently queued plus the event in hand.
+    // Drain a burst: everything currently queued plus the batch in hand.
     do {
-      if (inject && !InjectFaults(joiner, events_seen)) break;
-      ++events_seen;
-      consumed_[joiner].value.fetch_add(1, std::memory_order_relaxed);
-      switch (ev.kind) {
-        case Event::Kind::kTuple:
-          OnTuple(joiner, ev);
+      uint64_t processed = 0;
+      for (size_t i = 0; i < got; ++i) {
+        if (inject && !InjectFaults(joiner, events_seen)) {
+          aborted = true;
           break;
-        case Event::Kind::kWatermark:
-          OnWatermark(joiner, ev.watermark);
-          break;
-        case Event::Kind::kFlush:
-          OnWatermark(joiner, kMaxTimestamp);
-          OnFlush(joiner);
-          flushed = true;
-          break;
+        }
+        ++events_seen;
+        ++processed;
+        const Event& ev = batch[i];
+        switch (ev.kind) {
+          case Event::Kind::kTuple:
+            OnTuple(joiner, ev);
+            break;
+          case Event::Kind::kWatermark:
+            OnWatermark(joiner, ev.watermark);
+            break;
+          case Event::Kind::kFlush:
+            OnWatermark(joiner, kMaxTimestamp);
+            OnFlush(joiner);
+            flushed = true;
+            break;
+        }
+        if (flushed) break;
       }
-    } while (!flushed && !stop_requested() && queues_[joiner]->TryPop(&ev));
+      consumed_[joiner].value.fetch_add(processed,
+                                        std::memory_order_relaxed);
+      if (flushed || aborted || stop_requested()) break;
+      got = queues_[joiner]->PopBatch(batch.data(), drain_batch);
+    } while (got > 0);
 
     if (track_busy) {
       const int64_t busy_end = MonotonicNowNs();

@@ -129,6 +129,23 @@ struct EngineOptions {
   /// Capacity of each router->joiner ring (events).
   uint32_t queue_capacity = 8192;
 
+  /// --- Micro-batched router->joiner transport (DESIGN.md §5) ---
+
+  /// Tuple events staged per joiner before the router flushes them into
+  /// the ring with a single PushBatch (one shared cache-line update per
+  /// batch instead of per tuple). 1 restores the per-tuple transport.
+  /// Exactness is unaffected: staging preserves per-queue FIFO order and
+  /// control events (watermark/flush) always flush the stage first, so
+  /// punctuations still trail every tuple they gate. Internally capped at
+  /// queue_capacity.
+  uint32_t batch_size = 32;
+
+  /// Upper bound on how long a staged tuple may wait for its batch to
+  /// fill (checked against the driver's arrival stamps, so it costs no
+  /// extra clock reads). 0 disables the timer; punctuations and
+  /// FlushPending() still flush immediately.
+  int64_t batch_flush_us = 500;
+
   /// Scale-OIJ: number of key hash-range partitions for scheduling.
   uint32_t num_partitions = 256;
 
@@ -223,6 +240,14 @@ struct EngineStats {
   uint64_t overload_shed = 0;
   std::vector<uint64_t> per_joiner_overload_dropped;
 
+  /// Control events (watermark/flush punctuations) that could not be
+  /// delivered to a joiner because the stop token was raised or a
+  /// deadline expired. A lost watermark silently freezes downstream
+  /// eviction and finalization, so any loss also surfaces a warning,
+  /// marking the run non-pristine.
+  uint64_t control_lost = 0;
+  std::vector<uint64_t> per_joiner_control_lost;
+
   /// Lateness-bound violations and their disposition.
   LateStats late;
 
@@ -259,6 +284,12 @@ class JoinEngine {
   /// Injects a watermark punctuation (driver thread).
   virtual void SignalWatermark(Timestamp watermark) = 0;
 
+  /// Flushes any router-side staged batches into the joiner rings
+  /// (driver thread). The pipeline calls this before blocking on the
+  /// pacer so staged tuples are never held across an idle gap; no-op for
+  /// engines without staging.
+  virtual void FlushPending() {}
+
   virtual EngineStats Finish() = 0;
 
   virtual std::string_view name() const = 0;
@@ -277,6 +308,7 @@ class ParallelEngineBase : public JoinEngine {
   Status Start() final;
   void Push(const StreamEvent& event, int64_t arrival_us) final;
   void SignalWatermark(Timestamp watermark) final;
+  void FlushPending() final;
   EngineStats Finish() final;
 
  protected:
@@ -319,7 +351,6 @@ class ParallelEngineBase : public JoinEngine {
   const QuerySpec& spec() const { return spec_; }
   const EngineOptions& options() const { return options_; }
   ResultSink* sink() const { return sink_; }
-  uint64_t NextSeq() { return seq_++; }
 
   /// Per-joiner utilization trackers (populated when collect_cpu_util).
   std::vector<CpuUtilTracker> util_trackers_;
@@ -330,10 +361,25 @@ class ParallelEngineBase : public JoinEngine {
  private:
   void JoinerMain(uint32_t joiner);
 
+  /// Moves one joiner's staged batch into its ring (applying the
+  /// overload policy batch-wise). `deadline_ns` as in PushBounded.
+  void FlushStaged(uint32_t joiner, int64_t deadline_ns);
+  void FlushAllStaged(int64_t deadline_ns);
+
+  /// Pushes `n` FIFO-ordered tuple events into a joiner's ring under the
+  /// configured overload policy, using PushBatch so the shared tail is
+  /// updated once per batch, not once per tuple.
+  void PushTupleBatch(uint32_t joiner, const Event* events, size_t n,
+                      int64_t deadline_ns);
+
   /// Tuple enqueue under OverloadPolicy::kShedOldest: stage in spill_,
   /// drain opportunistically, shed the oldest staged tuples past
   /// capacity.
   void EnqueueShedding(uint32_t joiner, const Event& event);
+
+  /// Sheds the oldest staged *tuples* beyond the spill capacity
+  /// (watermarks/flushes are load-bearing and always survive).
+  void ShedSpillOverflow(uint32_t joiner);
 
   /// Moves staged spill events into the ring. `deadline_ns` as in
   /// SpscQueue::PushBounded. Returns true when the spill emptied.
@@ -359,13 +405,25 @@ class ParallelEngineBase : public JoinEngine {
   std::vector<std::thread> threads_;
   bool started_ = false;
   bool finished_ = false;
+
+  /// Router-assigned sequence counter. Single driver thread, so a plain
+  /// increment — never an atomic — and staging keeps the numbers of one
+  /// flushed batch contiguous (SplitJoin derives its storage designation
+  /// from `seq`, so it must be assigned before routing/staging).
   uint64_t seq_ = 0;
   int64_t run_origin_ns_ = 0;
+
+  // --- micro-batched transport (driver thread only) ---
+  uint32_t batch_size_ = 1;  ///< effective size (capped at ring capacity)
+  std::vector<std::vector<Event>> staged_;
+  size_t staged_total_ = 0;
+  int64_t earliest_staged_us_ = 0;  ///< arrival stamp of oldest staged
 
   // --- overload & fault tolerance ---
   LatenessGate late_gate_;                 // driver thread only
   std::vector<std::deque<Event>> spill_;   // driver thread only
   std::vector<uint64_t> dropped_per_joiner_;
+  std::vector<uint64_t> control_lost_per_joiner_;
   uint64_t overload_dropped_ = 0;
   uint64_t overload_shed_ = 0;
   uint64_t watermark_attempts_ = 0;  // incl. injector-suppressed ones

@@ -49,7 +49,12 @@ int64_t LatencyRecorder::Percentile(double q) const {
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
-    if (seen >= target) return BucketValue(static_cast<int>(i));
+    if (seen >= target) {
+      // BucketValue is the bucket's *upper edge*, which can exceed the
+      // largest recorded value — clamp so no percentile ever reports a
+      // latency above the observed maximum.
+      return std::min(BucketValue(static_cast<int>(i)), max_us_);
+    }
   }
   return max_us_;
 }

@@ -95,6 +95,25 @@ TEST(LatencyRecorderTest, CdfIsMonotoneAndEndsAtOne) {
   EXPECT_DOUBLE_EQ(points.back().cumulative, 1.0);
 }
 
+TEST(LatencyRecorderTest, PercentileNeverExceedsObservedMax) {
+  // Regression: Percentile used to return the bucket's *upper edge*,
+  // which for log-spaced buckets can exceed every recorded value — a
+  // reported p99 above the reported max. Any percentile must stay within
+  // the observed range.
+  LatencyRecorder rec;
+  rec.Record(3);
+  rec.Record(1'000'000);  // lands mid-bucket: upper edge > 1'000'000
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_LE(rec.Percentile(q), rec.max_us()) << "q=" << q;
+  }
+  EXPECT_EQ(rec.Percentile(1.0), rec.max_us());
+
+  LatencyRecorder merged;
+  merged.Record(999'983);  // prime, certainly not a bucket edge
+  merged.Merge(rec);
+  EXPECT_LE(merged.Percentile(1.0), merged.max_us());
+}
+
 TEST(LatencyRecorderTest, LargeValuesDoNotOverflowBuckets) {
   LatencyRecorder rec;
   rec.Record(int64_t{1} << 55);

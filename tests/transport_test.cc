@@ -1,0 +1,446 @@
+// Tests for the micro-batched router -> joiner transport: SpscQueue batch
+// operations (single head/tail publication per batch), FIFO preservation
+// across mixed single/batch operations and interleaved control events,
+// the SizeApprox sampling race (regression: loading tail before head let
+// a concurrent pop underflow the subtraction to ~2^64), exactness of the
+// batched engines against the reference join, and the control-loss
+// accounting when a watermark cannot be delivered.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/fault_injector.h"
+#include "common/spsc_queue.h"
+#include "core/engine_factory.h"
+#include "join/reference_join.h"
+#include "join/watermark.h"
+#include "stream/generator.h"
+
+namespace oij {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SpscQueue batch semantics.
+// ---------------------------------------------------------------------------
+
+TEST(SpscBatchTest, PushBatchFillsAndReportsPartial) {
+  SpscQueue<int> q(8);  // rounds to capacity 8
+  ASSERT_EQ(q.capacity(), 8u);
+  int items[6] = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(q.PushBatch(items, 6), 6u);
+  // Only 2 slots left: a 6-item batch is truncated, not rejected.
+  EXPECT_EQ(q.PushBatch(items, 6), 2u);
+  // Full ring: nothing fits.
+  EXPECT_EQ(q.PushBatch(items, 3), 0u);
+  EXPECT_FALSE(q.TryPush(99));
+}
+
+TEST(SpscBatchTest, PopBatchDrainsInOrderAndReportsPartial) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.TryPush(i));
+  int out[8] = {};
+  // Asking for more than is available returns what's there.
+  EXPECT_EQ(q.PopBatch(out, 8), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(q.PopBatch(out, 8), 0u);
+}
+
+TEST(SpscBatchTest, BatchOpsWrapAroundTheRing) {
+  SpscQueue<int> q(4);
+  int out[4] = {};
+  int next = 0;
+  // Push/pop in chunks of 3 over a capacity-4 ring: every iteration
+  // straddles the wrap point somewhere.
+  for (int round = 0; round < 50; ++round) {
+    int items[3] = {next, next + 1, next + 2};
+    ASSERT_EQ(q.PushBatch(items, 3), 3u) << "round " << round;
+    ASSERT_EQ(q.PopBatch(out, 3), 3u) << "round " << round;
+    for (int i = 0; i < 3; ++i) ASSERT_EQ(out[i], next + i);
+    next += 3;
+  }
+}
+
+// FIFO property: any random interleaving of single/batch pushes and pops
+// must observe exactly the sequence a std::deque model observes —
+// including "control" markers (negative values) mixed between tuples,
+// mirroring how watermark/flush punctuations interleave with batched
+// tuples in the engine transport.
+TEST(SpscBatchTest, MixedSingleAndBatchOpsPreserveFifo) {
+  SpscQueue<int> q(16);
+  std::deque<int> model;
+  std::mt19937 rng(42);
+  int next = 0;
+  int buf[24];
+  for (int step = 0; step < 200'000; ++step) {
+    switch (rng() % 5) {
+      case 0: {  // single push (tuple)
+        if (q.TryPush(next)) model.push_back(next);
+        ++next;
+        break;
+      }
+      case 1: {  // single push (control marker)
+        const int marker = -(next + 1);
+        if (q.TryPush(marker)) model.push_back(marker);
+        ++next;
+        break;
+      }
+      case 2: {  // batch push, possibly larger than the free space
+        const size_t n = 1 + rng() % 24;
+        for (size_t i = 0; i < n; ++i) buf[i] = next + static_cast<int>(i);
+        const size_t pushed = q.PushBatch(buf, n);
+        ASSERT_LE(pushed, n);
+        for (size_t i = 0; i < pushed; ++i) model.push_back(buf[i]);
+        next += static_cast<int>(n);
+        break;
+      }
+      case 3: {  // single pop
+        int v;
+        if (q.TryPop(&v)) {
+          ASSERT_FALSE(model.empty());
+          ASSERT_EQ(v, model.front());
+          model.pop_front();
+        }
+        break;
+      }
+      default: {  // batch pop
+        const size_t n = 1 + rng() % 24;
+        const size_t popped = q.PopBatch(buf, n);
+        ASSERT_LE(popped, model.size());
+        for (size_t i = 0; i < popped; ++i) {
+          ASSERT_EQ(buf[i], model.front());
+          model.pop_front();
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(q.SizeApprox(), model.size());
+  }
+}
+
+// Concurrent batch transfer: everything the producer pushes arrives, in
+// order, with both sides using the batch operations.
+TEST(SpscBatchTest, ConcurrentBatchTransferDeliversEverythingInOrder) {
+  constexpr uint64_t kTotal = 2'000'000;
+  SpscQueue<uint64_t> q(1024);
+  std::thread producer([&] {
+    uint64_t chunk[64];
+    uint64_t sent = 0;
+    std::mt19937 rng(7);
+    while (sent < kTotal) {
+      const size_t n =
+          std::min<uint64_t>(1 + rng() % 64, kTotal - sent);
+      for (size_t i = 0; i < n; ++i) chunk[i] = sent + i;
+      size_t done = 0;
+      while (done < n) done += q.PushBatch(chunk + done, n - done);
+      sent += n;
+    }
+  });
+  uint64_t expect = 0;
+  uint64_t buf[128];
+  while (expect < kTotal) {
+    const size_t got = q.PopBatch(buf, 128);
+    for (size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(buf[i], expect) << "out-of-order or lost element";
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(q.PopBatch(buf, 128), 0u);
+}
+
+// Regression for the SizeApprox race: the old implementation loaded
+// `tail_` before `head_`, so pops completing between the two loads could
+// make head overtake the sampled tail and underflow the unsigned
+// subtraction to ~2^64 (the watchdog then saw an impossible backlog).
+// The two loads sit nanoseconds apart, so the widest — and on a busy
+// machine, common — window is a sampler thread getting *preempted*
+// between them: oversubscribe with several watchdog-like samplers so
+// the scheduler regularly deschedules one mid-sample while the producer
+// and consumer keep the indices moving. Against the pre-fix ordering
+// this observes depths around 2^64 every run; post-fix, a sampled depth
+// can never exceed capacity.
+TEST(SpscBatchTest, SizeApproxNeverExceedsCapacityUnderConcurrency) {
+  SpscQueue<uint64_t> q(64);
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    uint64_t v = 0;
+    while (!done.load(std::memory_order_relaxed)) q.TryPush(v++);
+  });
+  std::thread consumer([&] {
+    uint64_t v;
+    while (!done.load(std::memory_order_relaxed)) q.TryPop(&v);
+  });
+
+  const unsigned n_samplers =
+      3 + 2 * std::thread::hardware_concurrency();
+  std::atomic<uint64_t> total_samples{0};
+  std::atomic<uint64_t> overflows{0};
+  std::vector<std::thread> samplers;
+  for (unsigned t = 0; t < n_samplers; ++t) {
+    samplers.emplace_back([&] {
+      uint64_t samples = 0;
+      uint64_t bad = 0;
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(2000);
+      while (std::chrono::steady_clock::now() < until) {
+        for (int i = 0; i < 200; ++i) {
+          if (q.SizeApprox() > q.capacity()) ++bad;
+          ++samples;
+        }
+      }
+      total_samples.fetch_add(samples, std::memory_order_relaxed);
+      overflows.fetch_add(bad, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : samplers) th.join();
+  done.store(true);
+  producer.join();
+  consumer.join();
+
+  EXPECT_EQ(overflows.load(), 0u)
+      << "SizeApprox underflowed past capacity (" << overflows.load()
+      << " of " << total_samples.load() << " samples)";
+  EXPECT_GT(total_samples.load(), 100'000u)
+      << "samplers starved; race barely exercised";
+}
+
+// ---------------------------------------------------------------------------
+// Batched engines stay exact.
+// ---------------------------------------------------------------------------
+
+std::vector<StreamEvent> Generate(const WorkloadSpec& spec) {
+  WorkloadGenerator gen(spec);
+  std::vector<StreamEvent> events;
+  StreamEvent ev;
+  while (gen.Next(&ev)) events.push_back(ev);
+  return events;
+}
+
+std::vector<ReferenceResult> RunBatched(EngineKind kind,
+                                        const std::vector<StreamEvent>& events,
+                                        const QuerySpec& spec,
+                                        uint32_t batch_size,
+                                        uint32_t joiners) {
+  EngineOptions options;
+  options.num_joiners = joiners;
+  options.batch_size = batch_size;
+  CollectingSink sink;
+  auto engine = CreateEngine(kind, spec, options, &sink);
+  EXPECT_TRUE(engine->Start().ok());
+  WatermarkTracker tracker(spec.lateness_us);
+  uint64_t n = 0;
+  for (const StreamEvent& ev : events) {
+    tracker.Observe(ev.tuple.ts);
+    engine->Push(ev, MonotonicNowUs());
+    if (++n % 256 == 0) engine->SignalWatermark(tracker.watermark());
+    // Exercise the mid-stream flush path the pipeline uses before pacing
+    // waits: it must be a behavioural no-op for correctness.
+    if (n % 1000 == 0) engine->FlushPending();
+  }
+  engine->Finish();
+  std::vector<ReferenceResult> results;
+  for (const JoinResult& r : sink.TakeResults()) {
+    results.push_back({r.base, r.aggregate, r.match_count});
+  }
+  SortResults(&results);
+  return results;
+}
+
+void ExpectSameResults(const std::vector<ReferenceResult>& got,
+                       const std::vector<ReferenceResult>& want,
+                       const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].base, want[i].base) << label << " result " << i;
+    ASSERT_EQ(got[i].match_count, want[i].match_count)
+        << label << " result " << i;
+    ASSERT_NEAR(got[i].aggregate, want[i].aggregate, 1e-6)
+        << label << " result " << i;
+  }
+}
+
+/// Differential grid: with batching enabled at several sizes, every
+/// partitioned engine must produce byte-identical results to both the
+/// reference join and its own unbatched (batch_size = 1) run, across
+/// key-count x window x lateness variations.
+TEST(BatchedTransportTest, DifferentialGridMatchesReferenceAndUnbatched) {
+  struct GridPoint {
+    uint64_t keys;
+    IntervalWindow window;
+    Timestamp lateness;
+  };
+  const GridPoint grid[] = {
+      {8, {400, 0}, 50},
+      {2, {400, 0}, 50},     // few keys: broadcast/designation stress
+      {8, {200, 150}, 50},   // following window
+      {8, {400, 0}, 2000},   // lateness >> window
+  };
+  const EngineKind kinds[] = {EngineKind::kKeyOij, EngineKind::kScaleOij,
+                              EngineKind::kSplitJoin};
+  const uint32_t batch_sizes[] = {2, 5, 32};
+
+  for (const GridPoint& g : grid) {
+    WorkloadSpec w;
+    w.num_keys = g.keys;
+    w.window = g.window;
+    w.lateness_us = g.lateness;
+    w.disorder_bound_us = g.lateness;
+    w.event_rate_per_sec = 1'000'000;
+    w.total_tuples = 20'000;
+    w.probe_fraction = 0.5;
+    w.seed = 7'000 + g.keys + static_cast<uint64_t>(g.window.fol);
+    const auto events = Generate(w);
+
+    QuerySpec q;
+    q.window = g.window;
+    q.lateness_us = g.lateness;
+    q.emit_mode = EmitMode::kWatermark;
+    auto expected = ReferenceJoin(events, q);
+    SortResults(&expected);
+
+    for (EngineKind kind : kinds) {
+      const auto unbatched = RunBatched(kind, events, q, /*batch=*/1,
+                                        /*joiners=*/3);
+      ExpectSameResults(unbatched, expected,
+                        std::string(EngineKindName(kind)) + "/b1");
+      for (uint32_t b : batch_sizes) {
+        const std::string label = std::string(EngineKindName(kind)) +
+                                  "/keys" + std::to_string(g.keys) + "/b" +
+                                  std::to_string(b);
+        const auto batched = RunBatched(kind, events, q, b, /*joiners=*/3);
+        ExpectSameResults(batched, expected, label + " vs reference");
+        ExpectSameResults(batched, unbatched, label + " vs unbatched");
+      }
+    }
+  }
+}
+
+TEST(BatchedTransportTest, ValidateRejectsZeroBatchAndNegativeTimer) {
+  QuerySpec q;
+  q.window = IntervalWindow{400, 0};
+  q.lateness_us = 50;
+  NullSink sink;
+  {
+    EngineOptions options;
+    options.batch_size = 0;
+    auto engine = CreateEngine(EngineKind::kKeyOij, q, options, &sink);
+    EXPECT_FALSE(engine->Start().ok());
+  }
+  {
+    EngineOptions options;
+    options.batch_flush_us = -1;
+    auto engine = CreateEngine(EngineKind::kKeyOij, q, options, &sink);
+    EXPECT_FALSE(engine->Start().ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control-event loss is counted and surfaced, never silent.
+// ---------------------------------------------------------------------------
+
+/// A joiner parked before consuming anything fills its ring; once the
+/// watchdog escalates and raises the stop token, watermark punctuations
+/// to that joiner can no longer be delivered. Previously SignalWatermark
+/// ignored the failed enqueue and the run looked pristine; now the loss
+/// must appear in control_lost / per_joiner_control_lost and a warning.
+TEST(ControlLossTest, UndeliverableWatermarksAreCountedAndWarned) {
+  WorkloadSpec w;
+  w.num_keys = 8;
+  w.window = IntervalWindow{400, 0};
+  w.lateness_us = 60;
+  w.disorder_bound_us = 60;
+  w.total_tuples = 4'000;
+  w.seed = 641;
+  const auto events = Generate(w);
+
+  FaultInjector faults;
+  faults.stalled_joiner = 0;
+  faults.stall_after_events = 0;  // park before consuming anything
+
+  QuerySpec q;
+  q.window = w.window;
+  q.lateness_us = w.lateness_us;
+  q.emit_mode = EmitMode::kWatermark;
+
+  EngineOptions options;
+  options.num_joiners = 2;
+  options.queue_capacity = 8;
+  // Lossy tuple policy so the driver itself never blocks on the wedged
+  // ring; only control events insist on delivery.
+  options.overload_policy = OverloadPolicy::kDropNewest;
+  options.fault_injector = &faults;
+  options.watchdog.interval_ms = 10;
+  options.watchdog.stall_intervals = 3;
+  options.finish_timeout_us = 10'000'000;
+
+  CountingSink sink;
+  auto engine = CreateEngine(EngineKind::kKeyOij, q, options, &sink);
+  ASSERT_TRUE(engine->Start().ok());
+
+  WatermarkTracker tracker(q.lateness_us);
+  for (size_t i = 0; i < 200 && i < events.size(); ++i) {
+    engine->Push(events[i], MonotonicNowUs());
+    tracker.Observe(events[i].tuple.ts);
+  }
+  // Joiner 0's ring is wedged full; give the watchdog time to escalate
+  // and raise the stop token.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  for (int i = 0; i < 5; ++i) engine->SignalWatermark(tracker.watermark());
+  const EngineStats stats = engine->Finish();
+
+  EXPECT_EQ(stats.health.code(), Status::Code::kResourceExhausted)
+      << stats.health.ToString();
+  EXPECT_GE(stats.control_lost, 1u);
+  ASSERT_EQ(stats.per_joiner_control_lost.size(), 2u);
+  EXPECT_GE(stats.per_joiner_control_lost[0], 1u);
+  bool warned = false;
+  for (const std::string& warning : stats.warnings) {
+    if (warning.find("control") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned) << "control loss must mark the run non-pristine";
+}
+
+TEST(ControlLossTest, CleanRunLosesNothing) {
+  WorkloadSpec w;
+  w.num_keys = 8;
+  w.window = IntervalWindow{400, 0};
+  w.lateness_us = 60;
+  w.disorder_bound_us = 60;
+  w.total_tuples = 10'000;
+  w.seed = 642;
+  const auto events = Generate(w);
+
+  QuerySpec q;
+  q.window = w.window;
+  q.lateness_us = w.lateness_us;
+  q.emit_mode = EmitMode::kWatermark;
+
+  EngineOptions options;
+  options.num_joiners = 3;
+  CountingSink sink;
+  auto engine = CreateEngine(EngineKind::kScaleOij, q, options, &sink);
+  ASSERT_TRUE(engine->Start().ok());
+  WatermarkTracker tracker(q.lateness_us);
+  uint64_t n = 0;
+  for (const StreamEvent& ev : events) {
+    engine->Push(ev, MonotonicNowUs());
+    tracker.Observe(ev.tuple.ts);
+    if (++n % 64 == 0) engine->SignalWatermark(tracker.watermark());
+  }
+  const EngineStats stats = engine->Finish();
+  EXPECT_TRUE(stats.health.ok()) << stats.health.ToString();
+  EXPECT_EQ(stats.control_lost, 0u);
+  for (uint64_t lost : stats.per_joiner_control_lost) EXPECT_EQ(lost, 0u);
+  EXPECT_TRUE(stats.warnings.empty());
+}
+
+}  // namespace
+}  // namespace oij

@@ -90,7 +90,7 @@ int CmdRun(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: oij_cli run <workload> <engine> [joiners] "
-                 "[tuples]\n");
+                 "[tuples] [batch]\n");
     return 2;
   }
   WorkloadSpec workload;
@@ -106,6 +106,10 @@ int CmdRun(int argc, char** argv) {
                                  : 4;
   if (argc > 3) {
     workload.total_tuples = static_cast<uint64_t>(std::atoll(argv[3]));
+  }
+  if (argc > 4) {
+    // Router->joiner transport batch size; 1 = per-tuple transport.
+    options.batch_size = static_cast<uint32_t>(std::atoi(argv[4]));
   }
   QuerySpec query;
   query.window = workload.window;
