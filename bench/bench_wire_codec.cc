@@ -1,0 +1,115 @@
+// Google-benchmark microbenchmarks for the wire protocol: frame
+// encode/decode throughput in tuples per second, which bounds how fast
+// the serving layer can move a stream through one connection before the
+// join itself even runs.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "net/wire_codec.h"
+
+namespace oij {
+namespace {
+
+std::vector<StreamEvent> MakeEvents(size_t n) {
+  Rng rng(7);
+  std::vector<StreamEvent> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    StreamEvent ev;
+    ev.stream = (rng.NextBelow(2) != 0) ? StreamId::kProbe : StreamId::kBase;
+    ev.tuple.ts = static_cast<Timestamp>(i);
+    ev.tuple.key = rng.NextBelow(1024);
+    ev.tuple.payload = static_cast<double>(rng.NextBelow(1000)) / 8.0;
+    events.push_back(ev);
+  }
+  return events;
+}
+
+void BM_EncodeTupleFrames(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto events = MakeEvents(n);
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    for (const StreamEvent& ev : events) AppendTupleFrame(&out, ev);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_EncodeTupleFrames)->Arg(1024)->Arg(65536);
+
+void BM_DecodeTupleFrames(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto events = MakeEvents(n);
+  std::string stream;
+  for (const StreamEvent& ev : events) AppendTupleFrame(&stream, ev);
+  for (auto _ : state) {
+    WireDecoder decoder;
+    decoder.Feed(stream);
+    WireFrame frame;
+    uint64_t decoded = 0;
+    while (decoder.Next(&frame) == WireDecoder::Result::kFrame) ++decoded;
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_DecodeTupleFrames)->Arg(1024)->Arg(65536);
+
+/// Decode under realistic TCP segmentation: the same byte stream fed in
+/// fixed-size chunks, exercising the decoder's buffering/compaction path
+/// rather than the single-contiguous-feed fast path.
+void BM_DecodeChunkedFeed(benchmark::State& state) {
+  const size_t chunk = static_cast<size_t>(state.range(0));
+  const auto events = MakeEvents(65536);
+  std::string stream;
+  for (const StreamEvent& ev : events) AppendTupleFrame(&stream, ev);
+  for (auto _ : state) {
+    WireDecoder decoder;
+    WireFrame frame;
+    uint64_t decoded = 0;
+    for (size_t off = 0; off < stream.size(); off += chunk) {
+      decoder.Feed(stream.data() + off,
+                   std::min(chunk, stream.size() - off));
+      while (decoder.Next(&frame) == WireDecoder::Result::kFrame) ++decoded;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_DecodeChunkedFeed)->Arg(1460)->Arg(16384);
+
+void BM_ResultFrameRoundTrip(benchmark::State& state) {
+  JoinResult result;
+  result.base = Tuple{12345, 42, 3.5};
+  result.aggregate = 99.5;
+  result.match_count = 17;
+  result.arrival_us = 1'000'000;
+  result.emit_us = 1'000'500;
+  std::string bytes;
+  for (auto _ : state) {
+    bytes.clear();
+    AppendResultFrame(&bytes, result);
+    WireDecoder decoder;
+    decoder.Feed(bytes);
+    WireFrame frame;
+    decoder.Next(&frame);
+    benchmark::DoNotOptimize(frame.result.aggregate);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResultFrameRoundTrip);
+
+}  // namespace
+}  // namespace oij
+
+BENCHMARK_MAIN();

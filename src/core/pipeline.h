@@ -1,6 +1,7 @@
 #ifndef OIJ_CORE_PIPELINE_H_
 #define OIJ_CORE_PIPELINE_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "join/engine.h"
@@ -27,6 +28,13 @@ struct PipelineConfig {
   /// accuracy violations in RunResult.
   bool adaptive_lateness = false;
   AdaptiveWatermarkTracker::Options adaptive;
+
+  /// Optional cooperative stop (e.g. the SIGINT/SIGTERM flag from
+  /// server/signal_stop.h). When non-null and set, the driver stops
+  /// pulling from the source and drains normally — staged batches are
+  /// flushed and the engine is Finish()ed — so an interrupted run still
+  /// produces a consistent summary instead of dying mid-stream.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Outcome of one complete run.

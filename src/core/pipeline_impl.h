@@ -38,7 +38,9 @@ RunResult DrivePipeline(JoinEngine* engine, Source* source,
   StreamEvent ev;
   uint64_t since_wm = 0;
   int64_t last_wm_check_us = MonotonicNowUs();
-  while (source->Next(&ev)) {
+  while (!(config.stop != nullptr &&
+           config.stop->load(std::memory_order_relaxed)) &&
+         source->Next(&ev)) {
     if (paced) {
       // Don't hold a partially filled transport batch across a pacing
       // gap: the joiners should see everything pushed so far while the

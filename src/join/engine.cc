@@ -518,24 +518,30 @@ bool ParallelEngineBase::InjectFaults(uint32_t joiner, uint64_t events_seen) {
   return true;
 }
 
+Status ParallelEngineBase::Health() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return health_;
+}
+
+WatchdogSample ParallelEngineBase::SampleProgress() const {
+  WatchdogSample sample;
+  if (consumed_ == nullptr) return sample;  // not started yet
+  const uint32_t n = options_.num_joiners;
+  sample.queue_depths.reserve(n);
+  sample.consumed.reserve(n);
+  for (uint32_t j = 0; j < n; ++j) {
+    sample.queue_depths.push_back(queues_[j]->SizeApprox());
+    sample.consumed.push_back(
+        consumed_[j].value.load(std::memory_order_relaxed));
+  }
+  sample.pushed = pushed_.load(std::memory_order_relaxed);
+  sample.watermarks = watermarks_signaled_.load(std::memory_order_relaxed);
+  return sample;
+}
+
 void ParallelEngineBase::StartWatchdog() {
   watchdog_.Start(
-      options_.watchdog,
-      [this] {
-        WatchdogSample sample;
-        const uint32_t n = options_.num_joiners;
-        sample.queue_depths.reserve(n);
-        sample.consumed.reserve(n);
-        for (uint32_t j = 0; j < n; ++j) {
-          sample.queue_depths.push_back(queues_[j]->SizeApprox());
-          sample.consumed.push_back(
-              consumed_[j].value.load(std::memory_order_relaxed));
-        }
-        sample.pushed = pushed_.load(std::memory_order_relaxed);
-        sample.watermarks =
-            watermarks_signaled_.load(std::memory_order_relaxed);
-        return sample;
-      },
+      options_.watchdog, [this] { return SampleProgress(); },
       [this](const Status& status) {
         RecordUnhealthy(status);
         stop_.store(true, std::memory_order_release);

@@ -292,6 +292,17 @@ class JoinEngine {
 
   virtual EngineStats Finish() = 0;
 
+  /// Live health probe, callable from any thread while the engine runs:
+  /// OK until the watchdog (or the Finish deadline) has escalated, then
+  /// the escalation status. The serving layer's /healthz renders this.
+  virtual Status Health() const { return Status::OK(); }
+
+  /// Live progress snapshot, callable from any thread: per-joiner ring
+  /// occupancy and consumed counters plus router-side accepted/watermark
+  /// totals. Empty before Start(). The serving layer's /metrics renders
+  /// this; engines without internal queues return the default.
+  virtual WatchdogSample SampleProgress() const { return WatchdogSample{}; }
+
   virtual std::string_view name() const = 0;
 };
 
@@ -310,6 +321,8 @@ class ParallelEngineBase : public JoinEngine {
   void SignalWatermark(Timestamp watermark) final;
   void FlushPending() final;
   EngineStats Finish() final;
+  Status Health() const final;
+  WatchdogSample SampleProgress() const final;
 
  protected:
   /// Routes a tuple event to one or more queues (subclass).
@@ -435,7 +448,7 @@ class ParallelEngineBase : public JoinEngine {
   std::atomic<uint32_t> exited_{0};
 
   EngineWatchdog watchdog_;
-  std::mutex health_mu_;
+  mutable std::mutex health_mu_;
   Status health_;  // guarded by health_mu_
 };
 

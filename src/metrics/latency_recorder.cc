@@ -84,4 +84,17 @@ std::vector<LatencyRecorder::CdfPoint> LatencyRecorder::CdfPoints() const {
   return points;
 }
 
+std::vector<LatencyRecorder::CumulativeBucket>
+LatencyRecorder::CumulativeBuckets() const {
+  std::vector<CumulativeBucket> out;
+  if (count_ == 0) return out;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    out.push_back({BucketValue(static_cast<int>(i)), seen});
+  }
+  return out;
+}
+
 }  // namespace oij

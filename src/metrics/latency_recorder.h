@@ -23,6 +23,7 @@ class LatencyRecorder {
 
   uint64_t count() const { return count_; }
   int64_t max_us() const { return max_us_; }
+  int64_t sum_us() const { return sum_us_; }
   double mean_us() const {
     return count_ == 0 ? 0.0
                        : static_cast<double>(sum_us_) /
@@ -44,6 +45,18 @@ class LatencyRecorder {
   /// The latency CDF as (value, cumulative-probability) points, one per
   /// non-empty bucket.
   std::vector<CdfPoint> CdfPoints() const;
+
+  struct CumulativeBucket {
+    int64_t upper_us;          ///< inclusive bucket upper edge
+    uint64_t cumulative_count; ///< observations <= upper_us
+  };
+
+  /// Exact cumulative counts per non-empty bucket — the Prometheus
+  /// histogram series (`le` upper edges with monotonically non-decreasing
+  /// cumulative counts; the last entry equals count()). Computed from the
+  /// integer bucket counts, not the CDF, so no float rounding can break
+  /// monotonicity.
+  std::vector<CumulativeBucket> CumulativeBuckets() const;
 
  private:
   static constexpr int kSubBucketBits = 4;   // 16 sub-buckets per octave

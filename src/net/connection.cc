@@ -1,0 +1,82 @@
+#include "net/connection.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/socket.h"
+
+namespace oij {
+
+TcpListener::~TcpListener() { Close(); }
+
+Status TcpListener::Listen(const std::string& bind_address, uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("listener already bound");
+  return ListenTcp(bind_address, port, &fd_, &port_);
+}
+
+void TcpListener::AcceptAll(const std::function<void(int fd)>& on_accept) {
+  while (fd_ >= 0) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN/EWOULDBLOCK: backlog drained (or a transient error)
+    }
+    if (!SetNonBlocking(conn).ok()) {
+      CloseFd(conn);
+      continue;
+    }
+    SetNoDelay(conn);
+    on_accept(conn);
+  }
+}
+
+void TcpListener::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+TcpConnection::~TcpConnection() { CloseFd(fd_); }
+
+TcpConnection::IoResult TcpConnection::ReadReady(size_t* bytes_read) {
+  if (bytes_read != nullptr) *bytes_read = 0;
+  char buf[16 * 1024];
+  while (true) {
+    const ssize_t rc = ::recv(fd_, buf, sizeof(buf), 0);
+    if (rc > 0) {
+      input_.append(buf, static_cast<size_t>(rc));
+      if (bytes_read != nullptr) *bytes_read += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc == 0) return IoResult::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+    return IoResult::kError;
+  }
+}
+
+TcpConnection::IoResult TcpConnection::FlushWrites() {
+  while (write_pos_ < output_.size()) {
+    const ssize_t rc = ::send(fd_, output_.data() + write_pos_,
+                              output_.size() - write_pos_, MSG_NOSIGNAL);
+    if (rc > 0) {
+      write_pos_ += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;  // kernel buffer full; wait for writable
+    }
+    return IoResult::kError;
+  }
+  if (write_pos_ == output_.size()) {
+    output_.clear();
+    write_pos_ = 0;
+  } else if (write_pos_ >= 64 * 1024) {
+    output_.erase(0, write_pos_);
+    write_pos_ = 0;
+  }
+  return IoResult::kOk;
+}
+
+}  // namespace oij

@@ -1,0 +1,98 @@
+#ifndef OIJ_NET_CONNECTION_H_
+#define OIJ_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace oij {
+
+/// Non-blocking accept socket. AcceptAll drains the backlog (the
+/// edge-free level-triggered loop calls it whenever the fd is readable)
+/// and hands each already-non-blocking connection fd to the callback.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens; port 0 picks an ephemeral port.
+  Status Listen(const std::string& bind_address, uint16_t port);
+
+  /// Accepts until EAGAIN. Each accepted fd is non-blocking with
+  /// TCP_NODELAY set.
+  void AcceptAll(const std::function<void(int fd)>& on_accept);
+
+  void Close();
+
+  int fd() const { return fd_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// One buffered non-blocking connection: partial reads accumulate into
+/// an input buffer the owner consumes; writes queue into an output
+/// buffer flushed as the socket drains. The owner drives both from its
+/// event loop and watches wants_write() to toggle kLoopWritable.
+class TcpConnection {
+ public:
+  enum class IoResult : uint8_t {
+    kOk,    ///< progressed (possibly zero bytes; socket simply not ready)
+    kEof,   ///< peer closed its end
+    kError  ///< socket error; drop the connection
+  };
+
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Reads everything currently available into input().
+  /// `bytes_read` (optional) reports how much arrived in this call.
+  IoResult ReadReady(size_t* bytes_read = nullptr);
+
+  /// Consumable received bytes. The owner erases what it decodes (or
+  /// uses TakeInput to claim the whole buffer).
+  std::string& input() { return input_; }
+  std::string TakeInput() {
+    std::string out = std::move(input_);
+    input_.clear();
+    return out;
+  }
+
+  /// Queues bytes for transmission (no immediate syscall; the owner
+  /// flushes from its writable callback or right after queueing).
+  void QueueWrite(std::string_view bytes) { output_.append(bytes); }
+
+  /// Writes as much of the queued output as the socket accepts.
+  IoResult FlushWrites();
+
+  bool wants_write() const { return write_pos_ < output_.size(); }
+  size_t pending_write_bytes() const { return output_.size() - write_pos_; }
+
+  /// Owner-managed close-after-drain flag (e.g. HTTP/1.0 responses).
+  void set_close_after_flush(bool v) { close_after_flush_ = v; }
+  bool close_after_flush() const { return close_after_flush_; }
+
+ private:
+  int fd_;
+  std::string input_;
+  std::string output_;
+  size_t write_pos_ = 0;
+  bool close_after_flush_ = false;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_NET_CONNECTION_H_

@@ -1,0 +1,198 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#else
+#include <poll.h>
+#endif
+
+#include "net/socket.h"
+
+namespace oij {
+
+namespace {
+#if defined(__linux__)
+uint32_t ToEpoll(uint32_t interest) {
+  uint32_t ev = 0;
+  if (interest & kLoopReadable) ev |= EPOLLIN;
+  if (interest & kLoopWritable) ev |= EPOLLOUT;
+  return ev;
+}
+
+uint32_t FromEpoll(uint32_t ev) {
+  uint32_t ready = 0;
+  if (ev & (EPOLLIN | EPOLLPRI)) ready |= kLoopReadable;
+  if (ev & EPOLLOUT) ready |= kLoopWritable;
+  if (ev & (EPOLLERR | EPOLLHUP)) ready |= kLoopError;
+  return ready;
+}
+#else
+short ToPoll(uint32_t interest) {
+  short ev = 0;
+  if (interest & kLoopReadable) ev |= POLLIN;
+  if (interest & kLoopWritable) ev |= POLLOUT;
+  return ev;
+}
+
+uint32_t FromPoll(short ev) {
+  uint32_t ready = 0;
+  if (ev & (POLLIN | POLLPRI)) ready |= kLoopReadable;
+  if (ev & POLLOUT) ready |= kLoopWritable;
+  if (ev & (POLLERR | POLLHUP | POLLNVAL)) ready |= kLoopError;
+  return ready;
+}
+#endif
+}  // namespace
+
+EventLoop::EventLoop() {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return;
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  if (!SetNonBlocking(wake_read_fd_).ok() ||
+      !SetNonBlocking(wake_write_fd_).ok()) {
+    return;
+  }
+#if defined(__linux__)
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return;
+#endif
+  ok_ = true;
+  Add(wake_read_fd_, kLoopReadable, [this](uint32_t) { DrainWakePipe(); });
+}
+
+EventLoop::~EventLoop() {
+#if defined(__linux__)
+  CloseFd(epoll_fd_);
+#endif
+  CloseFd(wake_read_fd_);
+  CloseFd(wake_write_fd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t interest, FdCallback callback) {
+  if (!ok_) return Status::FailedPrecondition("event loop not initialized");
+  if (entries_.count(fd) != 0) {
+    return Status::InvalidArgument("fd already registered");
+  }
+#if defined(__linux__)
+  epoll_event ev{};
+  ev.events = ToEpoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::Internal("epoll_ctl(ADD) failed");
+  }
+#endif
+  Entry entry;
+  entry.interest = interest;
+  entry.callback = std::move(callback);
+  entry.generation = next_generation_++;
+  entries_.emplace(fd, std::move(entry));
+  return Status::OK();
+}
+
+Status EventLoop::SetInterest(int fd, uint32_t interest) {
+  auto it = entries_.find(fd);
+  if (it == entries_.end()) {
+    return Status::NotFound("fd not registered");
+  }
+  if (it->second.interest == interest) return Status::OK();
+#if defined(__linux__)
+  epoll_event ev{};
+  ev.events = ToEpoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::Internal("epoll_ctl(MOD) failed");
+  }
+#endif
+  it->second.interest = interest;
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  auto it = entries_.find(fd);
+  if (it == entries_.end()) return;
+#if defined(__linux__)
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+  entries_.erase(it);
+}
+
+int EventLoop::Poll(int timeout_ms) {
+  if (!ok_) return -1;
+
+  // Snapshot (fd, generation, ready) triples first, then dispatch: a
+  // callback may Remove (or even re-Add) any fd, and the generation
+  // check keeps a recycled fd number from receiving a stale event.
+  struct Ready {
+    int fd;
+    uint64_t generation;
+    uint32_t bits;
+  };
+  std::vector<Ready> ready;
+
+#if defined(__linux__)
+  epoll_event events[64];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return n;
+  ready.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    auto it = entries_.find(fd);
+    if (it == entries_.end()) continue;
+    ready.push_back({fd, it->second.generation, FromEpoll(events[i].events)});
+  }
+#else
+  std::vector<pollfd> fds;
+  fds.reserve(entries_.size());
+  for (const auto& [fd, entry] : entries_) {
+    fds.push_back({fd, ToPoll(entry.interest), 0});
+  }
+  int n;
+  do {
+    n = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return n;
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    auto it = entries_.find(p.fd);
+    if (it == entries_.end()) continue;
+    ready.push_back({p.fd, it->second.generation, FromPoll(p.revents)});
+  }
+#endif
+
+  int dispatched = 0;
+  for (const Ready& r : ready) {
+    auto it = entries_.find(r.fd);
+    if (it == entries_.end() || it->second.generation != r.generation) {
+      continue;  // removed (or replaced) by an earlier callback
+    }
+    // Copy the callback: the entry may be erased while it runs.
+    FdCallback cb = it->second.callback;
+    cb(r.bits);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EventLoop::Wakeup() {
+  const char byte = 1;
+  // Best effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t rc =
+      ::write(wake_write_fd_, &byte, 1);
+}
+
+void EventLoop::DrainWakePipe() {
+  char buf[256];
+  while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace oij

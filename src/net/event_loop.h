@@ -1,0 +1,81 @@
+#ifndef OIJ_NET_EVENT_LOOP_H_
+#define OIJ_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace oij {
+
+/// Readiness bits passed to fd callbacks (a subset may be set at once).
+inline constexpr uint32_t kLoopReadable = 1u << 0;
+inline constexpr uint32_t kLoopWritable = 1u << 1;
+/// Error/hangup on the fd; the callback should tear the fd down.
+inline constexpr uint32_t kLoopError = 1u << 2;
+
+/// Single-threaded readiness loop over non-blocking fds: epoll(7) on
+/// Linux, poll(2) everywhere else. The Envoy-style contract: one owner
+/// thread calls Add/SetInterest/Remove/Poll; the only cross-thread entry
+/// point is Wakeup(), which makes a concurrent/pending Poll return early
+/// (self-pipe). Callbacks run inside Poll on the owner thread and may
+/// freely Remove any fd, including their own.
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(uint32_t ready)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when the constructor could not allocate its backing fds; Poll
+  /// on a dead loop returns immediately.
+  bool ok() const { return ok_; }
+
+  /// Registers `fd` (must already be non-blocking) for the interest bits
+  /// in `interest` (kLoopReadable/kLoopWritable). kLoopError is always
+  /// delivered.
+  Status Add(int fd, uint32_t interest, FdCallback callback);
+
+  /// Replaces the interest bits of a registered fd.
+  Status SetInterest(int fd, uint32_t interest);
+
+  /// Deregisters `fd`. Safe on unknown fds and from inside callbacks.
+  void Remove(int fd);
+
+  /// Waits up to `timeout_ms` (-1 = indefinitely) and dispatches ready
+  /// callbacks. Returns the number of fds dispatched (0 on timeout or
+  /// wakeup).
+  int Poll(int timeout_ms);
+
+  /// Thread-safe: forces a concurrent or subsequent Poll to return.
+  void Wakeup();
+
+  size_t registered() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint32_t interest = 0;
+    FdCallback callback;
+    uint64_t generation = 0;  ///< guards against fd-number reuse mid-poll
+  };
+
+  void DrainWakePipe();
+
+  bool ok_ = false;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint64_t next_generation_ = 1;
+  std::unordered_map<int, Entry> entries_;
+
+#if defined(__linux__)
+  int epoll_fd_ = -1;
+#endif
+};
+
+}  // namespace oij
+
+#endif  // OIJ_NET_EVENT_LOOP_H_

@@ -1,0 +1,79 @@
+#include "net/http.h"
+
+namespace oij {
+
+namespace {
+constexpr size_t kMaxHeaderBytes = 8 * 1024;
+}  // namespace
+
+HttpParseResult ParseHttpRequest(std::string_view in, HttpRequest* out,
+                                 size_t* consumed) {
+  size_t end = in.find("\r\n\r\n");
+  size_t terminator = 4;
+  if (end == std::string_view::npos) {
+    end = in.find("\n\n");
+    terminator = 2;
+  }
+  if (end == std::string_view::npos) {
+    return in.size() > kMaxHeaderBytes ? HttpParseResult::kBad
+                                       : HttpParseResult::kNeedMore;
+  }
+  if (end > kMaxHeaderBytes) return HttpParseResult::kBad;
+
+  std::string_view head = in.substr(0, end);
+  const size_t line_end = head.find_first_of("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  const size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return HttpParseResult::kBad;
+  const size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) {
+    return HttpParseResult::kBad;
+  }
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (version.substr(0, 5) != "HTTP/") return HttpParseResult::kBad;
+
+  std::string_view path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string_view::npos) path = path.substr(0, query);
+  if (path.empty() || path[0] != '/') return HttpParseResult::kBad;
+
+  out->method = std::string(request_line.substr(0, sp1));
+  out->path = std::string(path);
+  *consumed = end + terminator;
+  return HttpParseResult::kOk;
+}
+
+std::string_view HttpStatusText(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string BuildHttpResponse(int status_code, std::string_view content_type,
+                              std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.0 " + std::to_string(status_code) + " ";
+  out += HttpStatusText(status_code);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace oij

@@ -1,0 +1,40 @@
+#ifndef OIJ_NET_HTTP_H_
+#define OIJ_NET_HTTP_H_
+
+#include <string>
+#include <string_view>
+
+namespace oij {
+
+/// Minimal HTTP/1.0 support for the admin endpoint: parse
+/// `METHOD /path HTTP/x.y` plus headers (which are ignored), build a
+/// fixed-length response, close. No keep-alive, no chunking, no bodies
+/// on requests.
+
+struct HttpRequest {
+  std::string method;
+  std::string path;  ///< query string stripped
+};
+
+enum class HttpParseResult : uint8_t {
+  kOk,        ///< a full request was parsed; `consumed` bytes are done
+  kNeedMore,  ///< header terminator not seen yet
+  kBad,       ///< malformed (or oversized) request; drop the connection
+};
+
+/// Parses one request out of `in` (headers end at CRLFCRLF; bare LFLF is
+/// tolerated). Requests whose headers exceed 8 KiB are rejected.
+HttpParseResult ParseHttpRequest(std::string_view in, HttpRequest* out,
+                                 size_t* consumed);
+
+/// Serializes a complete HTTP/1.0 response with Content-Length and
+/// Connection: close.
+std::string BuildHttpResponse(int status_code, std::string_view content_type,
+                              std::string_view body);
+
+/// "200 OK", "404 Not Found", ... (a handful the admin endpoint uses).
+std::string_view HttpStatusText(int status_code);
+
+}  // namespace oij
+
+#endif  // OIJ_NET_HTTP_H_

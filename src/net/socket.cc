@@ -1,0 +1,139 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace oij {
+
+namespace {
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+}  // namespace
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Status ListenTcp(const std::string& bind_address, uint16_t port, int* fd_out,
+                 uint16_t* bound_port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("bad bind address: " + bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s = Errno(("bind " + bind_address).c_str());
+    CloseFd(fd);
+    return s;
+  }
+  if (::listen(fd, 128) < 0) {
+    const Status s = Errno("listen");
+    CloseFd(fd);
+    return s;
+  }
+  Status s = SetNonBlocking(fd);
+  if (!s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  if (bound_port_out != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      const Status es = Errno("getsockname");
+      CloseFd(fd);
+      return es;
+    }
+    *bound_port_out = ntohs(bound.sin_port);
+  }
+  *fd_out = fd;
+  return Status::OK();
+}
+
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const Status s = Errno(("connect " + host).c_str());
+    CloseFd(fd);
+    return s;
+  }
+  SetNoDelay(fd);
+  *fd_out = fd;
+  return Status::OK();
+}
+
+Status SendAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+int64_t RecvSome(int fd, void* buf, size_t n) {
+  ssize_t rc;
+  do {
+    rc = ::recv(fd, buf, n, 0);
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  int rc;
+  do {
+    rc = ::close(fd);
+  } while (rc < 0 && errno == EINTR);
+}
+
+}  // namespace oij

@@ -1,0 +1,44 @@
+#ifndef OIJ_NET_SOCKET_H_
+#define OIJ_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace oij {
+
+/// Thin POSIX socket helpers shared by the serving layer and its clients.
+/// The non-blocking variants back the event-loop server; the blocking
+/// variants back the load generator and the loopback tests, which want
+/// straightforward sequential I/O.
+
+/// Marks `fd` O_NONBLOCK.
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle batching; a tuple frame should not wait for an ACK.
+Status SetNoDelay(int fd);
+
+/// Creates a non-blocking TCP listener bound to `bind_address:port`
+/// (port 0 picks an ephemeral port). On success stores the listening fd
+/// and the actually bound port.
+Status ListenTcp(const std::string& bind_address, uint16_t port, int* fd_out,
+                 uint16_t* bound_port_out);
+
+/// Blocking TCP connect (numeric IPv4 host, e.g. "127.0.0.1").
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd_out);
+
+/// Blocking full-buffer send; loops over partial writes and EINTR.
+Status SendAll(int fd, const void* data, size_t n);
+
+/// Blocking receive of up to `n` bytes. Returns bytes read, 0 on orderly
+/// peer close, -1 on error (EINTR retried internally).
+int64_t RecvSome(int fd, void* buf, size_t n);
+
+/// close(2) tolerating EINTR; no-op for fd < 0.
+void CloseFd(int fd);
+
+}  // namespace oij
+
+#endif  // OIJ_NET_SOCKET_H_

@@ -1,0 +1,201 @@
+#include "net/wire_codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace oij {
+
+namespace {
+
+// Little-endian scalar encoding, written byte-by-byte so the wire format
+// is identical on any host.
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+uint32_t GetU32(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+uint64_t GetU64(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(u[i]) << (8 * i);
+  return v;
+}
+
+int64_t GetI64(const char* p) { return static_cast<int64_t>(GetU64(p)); }
+double GetF64(const char* p) { return std::bit_cast<double>(GetU64(p)); }
+
+// Payload sizes (excluding the type byte) of the fixed-size frames.
+constexpr size_t kTupleBytes = 1 + 8 + 8 + 8;
+constexpr size_t kWatermarkBytes = 8;
+constexpr size_t kResultBytes = 24 + 8 + 8 + 24 + 16;
+
+void PutTuple(std::string* out, const Tuple& t) {
+  PutI64(out, t.ts);
+  PutU64(out, t.key);
+  PutF64(out, t.payload);
+}
+
+Tuple GetTuple(const char* p) {
+  Tuple t;
+  t.ts = GetI64(p);
+  t.key = GetU64(p + 8);
+  t.payload = GetF64(p + 16);
+  return t;
+}
+
+void BeginFrame(std::string* out, FrameType type, size_t payload_bytes) {
+  PutU32(out, static_cast<uint32_t>(1 + payload_bytes));
+  out->push_back(static_cast<char>(type));
+}
+
+}  // namespace
+
+void AppendTupleFrame(std::string* out, const StreamEvent& event) {
+  BeginFrame(out, FrameType::kTuple, kTupleBytes);
+  out->push_back(static_cast<char>(event.stream));
+  PutTuple(out, event.tuple);
+}
+
+void AppendWatermarkFrame(std::string* out, Timestamp watermark) {
+  BeginFrame(out, FrameType::kWatermark, kWatermarkBytes);
+  PutI64(out, watermark);
+}
+
+void AppendControlFrame(std::string* out, FrameType type) {
+  BeginFrame(out, type, 0);
+}
+
+void AppendResultFrame(std::string* out, const JoinResult& result) {
+  BeginFrame(out, FrameType::kResult, kResultBytes);
+  PutTuple(out, result.base);
+  PutF64(out, result.aggregate);
+  PutU64(out, result.match_count);
+  PutF64(out, result.sum);
+  PutF64(out, result.min);
+  PutF64(out, result.max);
+  PutI64(out, result.arrival_us);
+  PutI64(out, result.emit_us);
+}
+
+void AppendTextFrame(std::string* out, FrameType type, std::string_view text) {
+  BeginFrame(out, type, text.size());
+  out->append(text);
+}
+
+void AppendCanonicalResult(std::string* out, const JoinResult& result) {
+  PutTuple(out, result.base);
+  PutF64(out, result.aggregate);
+  PutU64(out, result.match_count);
+}
+
+void WireDecoder::Feed(const char* data, size_t n) {
+  // Compact lazily so long sessions do not grow the buffer unboundedly.
+  if (pos_ > 0 && (pos_ >= 64 * 1024 || pos_ == buf_.size())) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+WireDecoder::Result WireDecoder::Fail(std::string message) {
+  error_ = Status::ParseError(std::move(message));
+  return Result::kCorrupt;
+}
+
+WireDecoder::Result WireDecoder::Next(WireFrame* out) {
+  if (!error_.ok()) return Result::kCorrupt;
+  if (buffered() < kFrameHeaderBytes) return Result::kNeedMore;
+
+  const char* head = buf_.data() + pos_;
+  const uint32_t length = GetU32(head);
+  if (length == 0) return Fail("zero-length frame");
+  if (length > 1 + kMaxFramePayload) {
+    return Fail("frame length " + std::to_string(length) +
+                " exceeds the " + std::to_string(kMaxFramePayload) +
+                "-byte payload bound");
+  }
+  if (buffered() < kFrameHeaderBytes + length) return Result::kNeedMore;
+
+  const char* body = head + kFrameHeaderBytes;
+  const uint8_t type_byte = static_cast<uint8_t>(body[0]);
+  const char* payload = body + 1;
+  const size_t payload_bytes = length - 1;
+
+  auto expect = [&](size_t want, const char* name) {
+    if (payload_bytes == want) return true;
+    Fail(std::string(name) + " frame has " + std::to_string(payload_bytes) +
+         " payload bytes, expected " + std::to_string(want));
+    return false;
+  };
+
+  switch (static_cast<FrameType>(type_byte)) {
+    case FrameType::kTuple: {
+      if (!expect(kTupleBytes, "tuple")) return Result::kCorrupt;
+      const uint8_t stream = static_cast<uint8_t>(payload[0]);
+      if (stream > 1) return Fail("tuple frame has bad stream id");
+      out->type = FrameType::kTuple;
+      out->event.stream = static_cast<StreamId>(stream);
+      out->event.tuple = GetTuple(payload + 1);
+      break;
+    }
+    case FrameType::kWatermark:
+      if (!expect(kWatermarkBytes, "watermark")) return Result::kCorrupt;
+      out->type = FrameType::kWatermark;
+      out->watermark = GetI64(payload);
+      break;
+    case FrameType::kFinish:
+    case FrameType::kSubscribe:
+      if (!expect(0, "control")) return Result::kCorrupt;
+      out->type = static_cast<FrameType>(type_byte);
+      break;
+    case FrameType::kResult: {
+      if (!expect(kResultBytes, "result")) return Result::kCorrupt;
+      out->type = FrameType::kResult;
+      JoinResult& r = out->result;
+      r.base = GetTuple(payload);
+      r.aggregate = GetF64(payload + 24);
+      r.match_count = GetU64(payload + 32);
+      r.sum = GetF64(payload + 40);
+      r.min = GetF64(payload + 48);
+      r.max = GetF64(payload + 56);
+      r.arrival_us = GetI64(payload + 64);
+      r.emit_us = GetI64(payload + 72);
+      break;
+    }
+    case FrameType::kSummary:
+    case FrameType::kError:
+      out->type = static_cast<FrameType>(type_byte);
+      out->text.assign(payload, payload_bytes);
+      break;
+    default:
+      return Fail("unknown frame type " + std::to_string(type_byte));
+  }
+
+  pos_ += kFrameHeaderBytes + length;
+  return Result::kFrame;
+}
+
+}  // namespace oij

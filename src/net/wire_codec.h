@@ -1,0 +1,93 @@
+#ifndef OIJ_NET_WIRE_CODEC_H_
+#define OIJ_NET_WIRE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "stream/generator.h"
+
+namespace oij {
+
+/// Length-prefixed binary wire protocol for the serving layer.
+///
+/// Every frame is `[u32 length (LE)] [u8 type] [payload]`, where `length`
+/// counts the type byte plus the payload. Integers are little-endian;
+/// doubles travel as their IEEE-754 bit pattern. Fixed-size frames are
+/// rejected unless their length matches exactly, so a corrupted stream
+/// fails loudly instead of desynchronizing.
+///
+/// Client -> server: kTuple / kWatermark / kSubscribe / kFinish.
+/// Server -> client: kResult / kSummary / kError.
+enum class FrameType : uint8_t {
+  kTuple = 1,      ///< stream(u8) ts(i64) key(u64) payload(f64)
+  kWatermark = 2,  ///< watermark(i64)
+  kFinish = 3,     ///< end of stream: drain, finalize, reply kSummary
+  kSubscribe = 4,  ///< stream every join result back on this connection
+  kResult = 5,     ///< JoinResult (base tuple, aggregates, timing stamps)
+  kSummary = 6,    ///< UTF-8 run summary (kFinish acknowledgement)
+  kError = 7,      ///< UTF-8 error message; the server closes afterwards
+};
+
+/// Upper bound on `length`; anything larger is a protocol violation.
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;
+
+/// Bytes of the length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// One decoded frame. Only the fields of the decoded `type` are
+/// meaningful.
+struct WireFrame {
+  FrameType type = FrameType::kFinish;
+  StreamEvent event;                 // kTuple
+  Timestamp watermark = 0;           // kWatermark
+  JoinResult result;                 // kResult
+  std::string text;                  // kSummary / kError
+};
+
+/// Frame encoders append to `out` so a caller can batch many frames into
+/// one write buffer.
+void AppendTupleFrame(std::string* out, const StreamEvent& event);
+void AppendWatermarkFrame(std::string* out, Timestamp watermark);
+void AppendControlFrame(std::string* out, FrameType type);  // finish/subscribe
+void AppendResultFrame(std::string* out, const JoinResult& result);
+void AppendTextFrame(std::string* out, FrameType type, std::string_view text);
+
+/// Canonical encoding of a result *excluding* the wall-clock stamps
+/// (arrival/emit), so two runs over the same input are byte-comparable.
+void AppendCanonicalResult(std::string* out, const JoinResult& result);
+
+/// Incremental frame decoder over an arbitrary byte-chunked stream.
+///
+/// Feed() raw bytes in any split; Next() yields complete frames until it
+/// returns kNeedMore. The first malformed frame (oversized, undersized,
+/// unknown type, or a length/type size mismatch) poisons the decoder:
+/// every later Next() returns kCorrupt and error() explains why — the
+/// owner is expected to drop the connection.
+class WireDecoder {
+ public:
+  enum class Result : uint8_t { kFrame, kNeedMore, kCorrupt };
+
+  void Feed(const char* data, size_t n);
+  void Feed(std::string_view data) { Feed(data.data(), data.size()); }
+
+  Result Next(WireFrame* out);
+
+  const Status& error() const { return error_; }
+
+  /// Undecoded bytes currently buffered.
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Result Fail(std::string message);
+
+  std::string buf_;
+  size_t pos_ = 0;
+  Status error_;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_NET_WIRE_CODEC_H_

@@ -1,0 +1,379 @@
+#include "server/admin.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/run_summary.h"
+#include "metrics/prometheus.h"
+
+namespace oij {
+
+namespace {
+
+/// Minimal append-style JSON builder (objects/arrays nested by hand at
+/// the call site; this only handles correct escaping and number forms).
+class JsonOut {
+ public:
+  void Raw(std::string_view s) { out_.append(s); }
+
+  void Key(std::string_view name) {
+    Comma();
+    String(name);
+    out_ += ":";
+    pending_comma_ = false;
+  }
+
+  void String(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+    pending_comma_ = true;
+  }
+
+  void Number(double v) {
+    if (!std::isfinite(v)) {
+      Raw("null");
+    } else if (v == std::floor(v) && std::abs(v) < 1e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0f", v);
+      Raw(buf);
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      Raw(buf);
+    }
+    pending_comma_ = true;
+  }
+
+  void Number(uint64_t v) { Number(static_cast<double>(v)); }
+  void Number(int64_t v) { Number(static_cast<double>(v)); }
+
+  void Bool(bool v) {
+    Raw(v ? "true" : "false");
+    pending_comma_ = true;
+  }
+
+  void Open(char bracket) {
+    Comma();
+    out_ += bracket;
+    pending_comma_ = false;
+  }
+  void Close(char bracket) {
+    out_ += bracket;
+    pending_comma_ = true;
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Comma() {
+    if (pending_comma_) out_ += ',';
+    pending_comma_ = false;
+  }
+
+  std::string out_;
+  bool pending_comma_ = false;
+};
+
+}  // namespace
+
+std::string RenderPrometheusMetrics(const AdminSnapshot& snap) {
+  PrometheusWriter w;
+  const PrometheusLabels run_labels = {{"engine", snap.engine_name},
+                                       {"workload", snap.workload_name}};
+
+  w.Gauge("oij_up", "1 while the server is serving", 1.0, run_labels);
+  w.Gauge("oij_uptime_seconds", "Seconds since the server started",
+          snap.uptime_seconds);
+  w.Gauge("oij_healthy", "1 while the engine health probe reports OK",
+          snap.health.ok() ? 1.0 : 0.0);
+  w.Gauge("oij_run_finished", "1 once the run has been finalized",
+          snap.run_finished ? 1.0 : 0.0);
+
+  const ServerCounters& c = snap.counters;
+  w.Counter("oij_connections_accepted_total",
+            "Data-plane connections accepted",
+            static_cast<double>(c.connections_accepted));
+  w.Gauge("oij_connections_open", "Data-plane connections currently open",
+          static_cast<double>(c.connections_open));
+  w.Counter("oij_admin_requests_total", "Admin HTTP requests served",
+            static_cast<double>(c.admin_requests));
+  w.Counter("oij_ingest_bytes_total", "Bytes received on the data plane",
+            static_cast<double>(c.bytes_in));
+  w.Counter("oij_egress_bytes_total", "Bytes written on the data plane",
+            static_cast<double>(c.bytes_out));
+  w.Counter("oij_frames_total", "Well-formed wire frames decoded",
+            static_cast<double>(c.frames_in));
+  w.Counter("oij_frames_rejected_total",
+            "Malformed frames that closed their connection",
+            static_cast<double>(c.frames_rejected));
+  w.Counter("oij_ingest_tuples_total", "Tuple frames ingested",
+            static_cast<double>(c.tuples_in));
+  w.Counter("oij_ingest_watermarks_total", "Watermark frames ingested",
+            static_cast<double>(c.watermarks_in));
+  w.Counter("oij_results_streamed_total",
+            "Result frames queued to subscribers",
+            static_cast<double>(c.results_streamed));
+  w.Gauge("oij_subscribers", "Connections subscribed to results",
+          static_cast<double>(c.subscribers));
+
+  // Live engine progress: router intake and the per-joiner rings.
+  w.Counter("oij_engine_accepted_tuples_total",
+            "Tuples the engine's router accepted",
+            static_cast<double>(snap.progress.pushed));
+  w.Counter("oij_engine_watermarks_total",
+            "Watermark punctuations signaled to the engine",
+            static_cast<double>(snap.progress.watermarks));
+  for (size_t j = 0; j < snap.progress.queue_depths.size(); ++j) {
+    w.Gauge("oij_joiner_queue_depth",
+            "Router->joiner ring occupancy (events)",
+            static_cast<double>(snap.progress.queue_depths[j]),
+            {{"joiner", std::to_string(j)}});
+  }
+  for (size_t j = 0; j < snap.progress.consumed.size(); ++j) {
+    w.Counter("oij_joiner_consumed_total", "Events processed per joiner",
+              static_cast<double>(snap.progress.consumed[j]),
+              {{"joiner", std::to_string(j)}});
+  }
+
+  if (snap.run_finished) {
+    const RunResult& run = snap.final_run;
+    const EngineStats& st = run.stats;
+    w.Counter("oij_run_input_tuples_total",
+              "Input tuples of the finalized run",
+              static_cast<double>(run.tuples));
+    w.Counter("oij_run_results_total", "Results of the finalized run",
+              static_cast<double>(st.results));
+    w.Gauge("oij_run_elapsed_seconds", "Wall time of the finalized run",
+            run.elapsed_seconds);
+    w.Gauge("oij_run_throughput_tps",
+            "Input tuples per second of the finalized run",
+            run.throughput_tps);
+
+    w.Histogram("oij_result_latency_us",
+                "Result latency (arrival to emit, microseconds)",
+                st.latency);
+    // Summary gauges alongside the histogram; the Percentile <= max
+    // invariant established in the recorder carries through verbatim.
+    for (double q : {0.5, 0.9, 0.99}) {
+      char qbuf[8];
+      std::snprintf(qbuf, sizeof(qbuf), "%g", q);
+      w.Gauge("oij_result_latency_quantile_us",
+              "Result latency summary quantiles",
+              static_cast<double>(st.latency.Percentile(q)),
+              {{"quantile", qbuf}});
+    }
+    w.Gauge("oij_result_latency_max_us", "Maximum observed result latency",
+            static_cast<double>(st.latency.max_us()));
+
+    w.Counter("oij_late_tuples_total",
+              "Lateness-bound violations by disposition",
+              static_cast<double>(st.late.joined),
+              {{"disposition", "joined"}});
+    w.Counter("oij_late_tuples_total",
+              "Lateness-bound violations by disposition",
+              static_cast<double>(st.late.dropped),
+              {{"disposition", "dropped"}});
+    w.Counter("oij_late_tuples_total",
+              "Lateness-bound violations by disposition",
+              static_cast<double>(st.late.side_channel),
+              {{"disposition", "side_channel"}});
+    w.Counter("oij_overload_dropped_total",
+              "Tuples lost to backpressure",
+              static_cast<double>(st.overload_dropped));
+    w.Counter("oij_overload_shed_total",
+              "Tuples shed by the kShedOldest policy",
+              static_cast<double>(st.overload_shed));
+    w.Counter("oij_control_lost_total",
+              "Watermark/flush punctuations lost to stop/deadline",
+              static_cast<double>(st.control_lost));
+  }
+  return w.Take();
+}
+
+std::string RenderStatzJson(const AdminSnapshot& snap) {
+  JsonOut j;
+  j.Open('{');
+  j.Key("state");
+  j.String(snap.run_finished ? "finished" : "serving");
+  j.Key("engine");
+  j.String(snap.engine_name);
+  j.Key("workload");
+  j.String(snap.workload_name);
+  j.Key("uptime_seconds");
+  j.Number(snap.uptime_seconds);
+
+  j.Key("health");
+  j.Open('{');
+  j.Key("ok");
+  j.Bool(snap.health.ok());
+  j.Key("status");
+  j.String(snap.health.ToString());
+  j.Close('}');
+
+  const ServerCounters& c = snap.counters;
+  j.Key("server");
+  j.Open('{');
+  j.Key("connections_accepted");
+  j.Number(c.connections_accepted);
+  j.Key("connections_open");
+  j.Number(c.connections_open);
+  j.Key("admin_requests");
+  j.Number(c.admin_requests);
+  j.Key("bytes_in");
+  j.Number(c.bytes_in);
+  j.Key("bytes_out");
+  j.Number(c.bytes_out);
+  j.Key("frames_in");
+  j.Number(c.frames_in);
+  j.Key("frames_rejected");
+  j.Number(c.frames_rejected);
+  j.Key("tuples_in");
+  j.Number(c.tuples_in);
+  j.Key("watermarks_in");
+  j.Number(c.watermarks_in);
+  j.Key("results_streamed");
+  j.Number(c.results_streamed);
+  j.Key("subscribers");
+  j.Number(c.subscribers);
+  j.Close('}');
+
+  j.Key("engine_progress");
+  j.Open('{');
+  j.Key("accepted_tuples");
+  j.Number(snap.progress.pushed);
+  j.Key("watermarks");
+  j.Number(snap.progress.watermarks);
+  j.Key("queue_depths");
+  j.Open('[');
+  for (size_t d : snap.progress.queue_depths) {
+    j.Number(static_cast<uint64_t>(d));
+  }
+  j.Close(']');
+  j.Key("consumed");
+  j.Open('[');
+  for (uint64_t v : snap.progress.consumed) j.Number(v);
+  j.Close(']');
+  j.Close('}');
+
+  if (snap.run_finished) {
+    const RunResult& run = snap.final_run;
+    const EngineStats& st = run.stats;
+    j.Key("run");
+    j.Open('{');
+    j.Key("tuples");
+    j.Number(run.tuples);
+    j.Key("elapsed_seconds");
+    j.Number(run.elapsed_seconds);
+    j.Key("throughput_tps");
+    j.Number(run.throughput_tps);
+    j.Key("results");
+    j.Number(st.results);
+    j.Key("latency_us");
+    j.Open('{');
+    j.Key("p50");
+    j.Number(st.latency.Percentile(0.50));
+    j.Key("p90");
+    j.Number(st.latency.Percentile(0.90));
+    j.Key("p99");
+    j.Number(st.latency.Percentile(0.99));
+    j.Key("max");
+    j.Number(st.latency.max_us());
+    j.Key("mean");
+    j.Number(st.latency.mean_us());
+    j.Close('}');
+    j.Key("late");
+    j.Open('{');
+    j.Key("tuples");
+    j.Number(st.late.tuples);
+    j.Key("dropped");
+    j.Number(st.late.dropped);
+    j.Key("side_channel");
+    j.Number(st.late.side_channel);
+    j.Key("joined");
+    j.Number(st.late.joined);
+    j.Close('}');
+    j.Key("overload");
+    j.Open('{');
+    j.Key("dropped");
+    j.Number(st.overload_dropped);
+    j.Key("shed");
+    j.Number(st.overload_shed);
+    j.Key("control_lost");
+    j.Number(st.control_lost);
+    j.Close('}');
+    j.Key("warnings");
+    j.Open('[');
+    for (const std::string& w : st.warnings) j.String(w);
+    j.Close(']');
+    j.Close('}');
+  }
+  j.Close('}');
+  std::string out = j.Take();
+  out += '\n';
+  return out;
+}
+
+std::string RenderHealthz(const AdminSnapshot& snap, int* status_code) {
+  if (snap.health.ok()) {
+    *status_code = 200;
+    return "ok\n";
+  }
+  *status_code = 503;
+  return snap.health.ToString() + "\n";
+}
+
+std::string HandleAdminRequest(const AdminSnapshot& snap,
+                               const HttpRequest& request) {
+  if (request.method != "GET") {
+    return BuildHttpResponse(405, "text/plain; charset=utf-8",
+                             "only GET is supported\n");
+  }
+  if (request.path == "/metrics") {
+    return BuildHttpResponse(200, "text/plain; version=0.0.4; charset=utf-8",
+                             RenderPrometheusMetrics(snap));
+  }
+  if (request.path == "/healthz") {
+    int code = 200;
+    const std::string body = RenderHealthz(snap, &code);
+    return BuildHttpResponse(code, "text/plain; charset=utf-8", body);
+  }
+  if (request.path == "/statz") {
+    return BuildHttpResponse(200, "application/json", RenderStatzJson(snap));
+  }
+  if (request.path == "/") {
+    return BuildHttpResponse(
+        200, "text/plain; charset=utf-8",
+        "oij_server admin endpoints: /metrics /healthz /statz\n");
+  }
+  return BuildHttpResponse(404, "text/plain; charset=utf-8",
+                           "unknown path: " + request.path + "\n");
+}
+
+}  // namespace oij

@@ -1,0 +1,68 @@
+#ifndef OIJ_SERVER_ADMIN_H_
+#define OIJ_SERVER_ADMIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/watchdog.h"
+#include "core/pipeline.h"
+#include "net/http.h"
+
+namespace oij {
+
+/// Point-in-time server counters rendered by the admin endpoint. The
+/// server snapshots its atomics into this plain struct so rendering is
+/// pure (unit-testable without sockets).
+struct ServerCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_open = 0;
+  uint64_t admin_requests = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t frames_in = 0;
+  uint64_t tuples_in = 0;
+  uint64_t watermarks_in = 0;
+  uint64_t frames_rejected = 0;
+  uint64_t results_streamed = 0;
+  uint64_t subscribers = 0;
+};
+
+/// Everything the admin pages render, assembled by the server thread.
+struct AdminSnapshot {
+  std::string engine_name;
+  std::string workload_name;
+  ServerCounters counters;
+
+  /// Live engine progress (queue depths, consumed, accepted, watermarks).
+  WatchdogSample progress;
+
+  /// Live engine health; not-OK renders /healthz as 503.
+  Status health;
+
+  double uptime_seconds = 0.0;
+
+  /// Set once the run has been finalized; `final_run` then carries the
+  /// merged stats (latency histogram, degradation counters, throughput).
+  bool run_finished = false;
+  RunResult final_run;
+};
+
+/// Prometheus text-exposition body for GET /metrics.
+std::string RenderPrometheusMetrics(const AdminSnapshot& snap);
+
+/// RunSummary-style JSON body for GET /statz.
+std::string RenderStatzJson(const AdminSnapshot& snap);
+
+/// Body for GET /healthz; `status_code` becomes 200 or 503.
+std::string RenderHealthz(const AdminSnapshot& snap, int* status_code);
+
+/// Routes one parsed admin request to the pages above and wraps the
+/// result in a complete HTTP/1.0 response (404 on unknown paths, 405 on
+/// non-GET methods).
+std::string HandleAdminRequest(const AdminSnapshot& snap,
+                               const HttpRequest& request);
+
+}  // namespace oij
+
+#endif  // OIJ_SERVER_ADMIN_H_

@@ -1,0 +1,156 @@
+#ifndef OIJ_SERVER_SERVER_H_
+#define OIJ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "core/engine_factory.h"
+#include "core/pipeline.h"
+#include "metrics/throughput.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/wire_codec.h"
+#include "server/admin.h"
+
+namespace oij {
+
+/// Construction knobs for a network-served join run.
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t data_port = 0;   ///< 0 picks an ephemeral port
+  uint16_t admin_port = 0;  ///< 0 picks an ephemeral port
+
+  EngineKind engine = EngineKind::kScaleOij;
+  QuerySpec query;
+  EngineOptions options;
+
+  /// Label shown on the admin pages (preset/config name).
+  std::string workload_name = "network";
+};
+
+/// TCP serving layer around one JoinEngine run.
+///
+/// Threading model (DESIGN.md § Serving layer): the server's event-loop
+/// thread IS the engine's single driver thread — every Push /
+/// SignalWatermark / FlushPending / Finish happens there, so the SWMR
+/// contract, the LatenessGate, and the overload policies apply to
+/// network traffic exactly as they do to in-process runs. Joiner threads
+/// deliver results into a thread-safe egress buffer the loop drains to
+/// subscribed connections.
+///
+/// Data plane (wire_codec.h): clients send kTuple/kWatermark frames,
+/// optionally kSubscribe (streamed kResult frames), and kFinish, which
+/// finalizes the engine and answers with a kSummary frame to every
+/// subscriber and to the finisher. Malformed frames get a kError frame
+/// and a close, and are counted in frames_rejected.
+///
+/// Admin plane, on the same loop: HTTP/1.0 GET /metrics (Prometheus
+/// text), /healthz (engine health, 200/503), /statz (JSON).
+class OijServer {
+ public:
+  explicit OijServer(const ServerConfig& config);
+  ~OijServer();
+
+  OijServer(const OijServer&) = delete;
+  OijServer& operator=(const OijServer&) = delete;
+
+  /// Binds both listeners, starts the engine, and spawns the loop
+  /// thread. On failure nothing is left running.
+  Status Start();
+
+  /// Graceful drain: if the run is still live it is finalized
+  /// (FlushPending + Finish), pending summaries/results are flushed to
+  /// subscribers, then the loop exits and all sockets close. Idempotent.
+  void Shutdown();
+
+  uint16_t data_port() const { return data_port_; }
+  uint16_t admin_port() const { return admin_port_; }
+
+  bool run_finished() const {
+    return run_finished_.load(std::memory_order_acquire);
+  }
+
+  /// Server-side counters (safe from any thread).
+  ServerCounters CountersSnapshot() const;
+
+  /// Merged stats of the finalized run; valid once run_finished().
+  RunResult FinalRun() const;
+
+ private:
+  struct Conn {
+    explicit Conn(int fd) : tcp(fd) {}
+    TcpConnection tcp;
+    WireDecoder decoder;
+    bool is_admin = false;
+    bool subscriber = false;
+  };
+
+  /// Joiner-thread entry: encodes results into the egress buffer.
+  class EgressSink;
+
+  void ServeLoop();
+  void OnDataAccept();
+  void OnAdminAccept();
+  void OnConnEvent(int fd, uint32_t ready);
+  void ProcessDataInput(Conn* conn);
+  void ProcessAdminInput(Conn* conn);
+  bool HandleFrame(Conn* conn, const WireFrame& frame);
+  void FinalizeRun();
+  /// Moves buffered result frames to every subscriber's write queue.
+  void DrainEgress();
+  void SendError(Conn* conn, const std::string& message);
+  void UpdateInterest(Conn* conn);
+  void FlushConn(Conn* conn);
+  void CloseConn(int fd);
+  AdminSnapshot BuildSnapshot();
+  /// Best-effort final flush of pending writes before the loop exits.
+  void FlushAllBeforeExit();
+
+  ServerConfig config_;
+  std::unique_ptr<EgressSink> sink_;
+  std::unique_ptr<JoinEngine> engine_;
+
+  EventLoop loop_;
+  TcpListener data_listener_;
+  TcpListener admin_listener_;
+  uint16_t data_port_ = 0;
+  uint16_t admin_port_ = 0;
+
+  std::thread loop_thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  // Loop-thread-only state.
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  ThroughputMeter meter_;
+  bool meter_started_ = false;
+  int64_t started_ns_ = 0;
+  std::string summary_text_;  // set by FinalizeRun
+
+  // Cross-thread state.
+  std::atomic<bool> run_finished_{false};
+  mutable std::mutex final_run_mu_;
+  RunResult final_run_;  // guarded by final_run_mu_
+
+  // Counters (loop thread writes; any thread reads).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_open_{0};
+  std::atomic<uint64_t> admin_requests_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> frames_in_{0};
+  std::atomic<uint64_t> tuples_in_{0};
+  std::atomic<uint64_t> watermarks_in_{0};
+  std::atomic<uint64_t> frames_rejected_{0};
+  std::atomic<uint64_t> results_streamed_{0};
+  std::atomic<uint64_t> subscribers_{0};
+};
+
+}  // namespace oij
+
+#endif  // OIJ_SERVER_SERVER_H_

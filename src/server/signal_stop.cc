@@ -1,0 +1,31 @@
+#include "server/signal_stop.h"
+
+#include <csignal>
+
+namespace oij {
+
+namespace {
+
+std::atomic<bool>& StopFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void OnStopSignal(int /*signum*/) {
+  // Async-signal-safe: a relaxed store on a lock-free atomic.
+  StopFlag().store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const std::atomic<bool>* InstallStopSignalHandlers() {
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
+  return &StopFlag();
+}
+
+bool StopSignalRaised() {
+  return StopFlag().load(std::memory_order_relaxed);
+}
+
+}  // namespace oij

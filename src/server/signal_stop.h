@@ -1,0 +1,24 @@
+#ifndef OIJ_SERVER_SIGNAL_STOP_H_
+#define OIJ_SERVER_SIGNAL_STOP_H_
+
+#include <atomic>
+
+namespace oij {
+
+/// Process-wide cooperative-shutdown plumbing shared by oij_server and
+/// oij_cli: SIGINT/SIGTERM set a flag instead of killing the process, so
+/// run loops can drain (FlushPending + Finish) and report a summary
+/// instead of dying mid-run. Installing twice is harmless; the flag is
+/// never reset (these binaries exit after one drain).
+
+/// Installs the handlers and returns the flag they set. The pointer is
+/// valid for the life of the process (it targets a function-local
+/// static), so it can be handed to PipelineConfig::stop directly.
+const std::atomic<bool>* InstallStopSignalHandlers();
+
+/// True once SIGINT or SIGTERM has been received.
+bool StopSignalRaised();
+
+}  // namespace oij
+
+#endif  // OIJ_SERVER_SIGNAL_STOP_H_

@@ -1,0 +1,540 @@
+// Loopback integration tests for the network serving layer: a real
+// OijServer behind real sockets, driven by a blocking client speaking
+// the wire protocol. The headline property is end-to-end exactness —
+// results streamed over TCP match the policy-aware reference oracle for
+// multiple presets and engines — plus the admin plane (/metrics,
+// /healthz, /statz) during and after a run, health degradation under an
+// injected watermark freeze, and malformed-frame rejection.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "core/engine_factory.h"
+#include "join/reference_join.h"
+#include "join/watermark.h"
+#include "net/socket.h"
+#include "net/wire_codec.h"
+#include "server/server.h"
+#include "stream/generator.h"
+#include "stream/presets.h"
+
+namespace oij {
+namespace {
+
+std::vector<StreamEvent> Generate(const WorkloadSpec& spec) {
+  WorkloadGenerator gen(spec);
+  std::vector<StreamEvent> events;
+  StreamEvent ev;
+  while (gen.Next(&ev)) events.push_back(ev);
+  return events;
+}
+
+bool WaitUntil(const std::function<bool()>& pred, int64_t timeout_ms = 15000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+/// Blocking data-plane client with a background reader thread (results
+/// stream back while the test is still sending, so reads must be
+/// concurrent or the TCP windows deadlock). The collected fields are
+/// valid only after JoinReader() returns.
+class DataClient {
+ public:
+  explicit DataClient(uint16_t port) {
+    const Status s = ConnectTcp("127.0.0.1", port, &fd_);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    if (fd_ >= 0) reader_ = std::thread(&DataClient::ReadLoop, this);
+  }
+
+  ~DataClient() {
+    JoinReader();
+    CloseFd(fd_);
+  }
+
+  bool Send(const std::string& bytes) {
+    return SendAll(fd_, bytes.data(), bytes.size()).ok();
+  }
+
+  /// Blocks until the server closes the connection (it does after
+  /// answering kFinish, after an error, and on Shutdown).
+  void JoinReader() {
+    if (reader_.joinable()) reader_.join();
+  }
+
+  std::vector<JoinResult> results;
+  std::string summary;
+  std::vector<std::string> errors;
+  bool corrupt = false;
+
+ private:
+  void ReadLoop() {
+    WireDecoder decoder;
+    char buf[16384];
+    WireFrame frame;
+    while (true) {
+      const int64_t n = RecvSome(fd_, buf, sizeof(buf));
+      if (n <= 0) return;
+      decoder.Feed(buf, static_cast<size_t>(n));
+      while (true) {
+        const WireDecoder::Result r = decoder.Next(&frame);
+        if (r == WireDecoder::Result::kNeedMore) break;
+        if (r == WireDecoder::Result::kCorrupt) {
+          corrupt = true;
+          return;
+        }
+        if (frame.type == FrameType::kResult) {
+          results.push_back(frame.result);
+        } else if (frame.type == FrameType::kSummary) {
+          summary = frame.text;
+        } else if (frame.type == FrameType::kError) {
+          errors.push_back(frame.text);
+        }
+      }
+    }
+  }
+
+  int fd_ = -1;
+  std::thread reader_;
+};
+
+/// One blocking HTTP/1.0 GET against the admin port.
+std::string HttpGet(uint16_t port, const std::string& path, int* code,
+                    const std::string& method = "GET") {
+  int fd = -1;
+  Status s = ConnectTcp("127.0.0.1", port, &fd);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  *code = 0;
+  if (fd < 0) return "";
+  const std::string request = method + " " + path + " HTTP/1.0\r\n\r\n";
+  s = SendAll(fd, request.data(), request.size());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  std::string response;
+  char buf[8192];
+  int64_t n;
+  while ((n = RecvSome(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  CloseFd(fd);
+  const size_t sp = response.find(' ');
+  if (sp != std::string::npos) {
+    *code = std::atoi(response.c_str() + sp + 1);
+  }
+  const size_t body = response.find("\r\n\r\n");
+  return body == std::string::npos ? "" : response.substr(body + 4);
+}
+
+/// Replays `events` through a server over loopback with the same
+/// observe-then-punctuate watermark cadence the in-process harness and
+/// the reference oracle use, and returns the subscribed-to results.
+struct NetworkRun {
+  std::vector<ReferenceResult> results;
+  std::string summary;
+  RunResult final_run;
+};
+
+NetworkRun RunOverNetwork(EngineKind kind,
+                          const std::vector<StreamEvent>& events,
+                          const QuerySpec& spec, EngineOptions options,
+                          uint64_t wm_every = 256) {
+  NetworkRun out;
+  ServerConfig config;
+  config.engine = kind;
+  config.query = spec;
+  config.options = options;
+  OijServer server(config);
+  const Status s = server.Start();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  if (!s.ok()) return out;
+
+  {
+    DataClient client(server.data_port());
+    std::string batch;
+    AppendControlFrame(&batch, FrameType::kSubscribe);
+    WatermarkTracker tracker(spec.lateness_us);
+    uint64_t n = 0;
+    bool io_ok = true;
+    for (const StreamEvent& ev : events) {
+      tracker.Observe(ev.tuple.ts);
+      AppendTupleFrame(&batch, ev);
+      if (++n % wm_every == 0) {
+        AppendWatermarkFrame(&batch, tracker.watermark());
+      }
+      if (batch.size() >= 32 * 1024) {
+        if (!(io_ok = client.Send(batch))) break;
+        batch.clear();
+      }
+    }
+    EXPECT_TRUE(io_ok) << "tuple send failed";
+    AppendControlFrame(&batch, FrameType::kFinish);
+    EXPECT_TRUE(client.Send(batch));
+    client.JoinReader();
+
+    EXPECT_FALSE(client.corrupt) << "server sent a malformed frame";
+    EXPECT_TRUE(client.errors.empty())
+        << "server error: " << client.errors.front();
+    EXPECT_FALSE(client.summary.empty()) << "no summary frame";
+    out.summary = client.summary;
+    out.results.reserve(client.results.size());
+    for (const JoinResult& r : client.results) {
+      out.results.push_back({r.base, r.aggregate, r.match_count});
+      // Sanity on the wall-clock stamps the wire carries.
+      EXPECT_GE(r.emit_us, r.arrival_us);
+    }
+  }
+  server.Shutdown();
+  out.final_run = server.FinalRun();
+  SortResults(&out.results);
+  return out;
+}
+
+void ExpectResultsEqual(const std::vector<ReferenceResult>& got,
+                        const std::vector<ReferenceResult>& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label << ": result cardinality";
+  size_t mismatches = 0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].base != want[i].base ||
+        got[i].match_count != want[i].match_count ||
+        (!std::isnan(want[i].aggregate) &&
+         std::abs(got[i].aggregate - want[i].aggregate) > 1e-6)) {
+      if (++mismatches <= 3) {
+        ADD_FAILURE() << label << ": result " << i << " differs: base ts="
+                      << got[i].base.ts << " key=" << got[i].base.key
+                      << " got(count=" << got[i].match_count
+                      << ", agg=" << got[i].aggregate << ") want(count="
+                      << want[i].match_count << ", agg="
+                      << want[i].aggregate << ")";
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << label;
+}
+
+// ------------------------------------------------- end-to-end exactness
+
+/// Results served over TCP must equal the policy-aware reference oracle:
+/// (preset, engine) sweep with the workload shrunk to loopback scale.
+class LoopbackExactnessTest
+    : public ::testing::TestWithParam<std::tuple<const char*, EngineKind>> {};
+
+TEST_P(LoopbackExactnessTest, NetworkRunMatchesReferenceOracle) {
+  const auto [preset, kind] = GetParam();
+  WorkloadSpec workload;
+  ASSERT_TRUE(FindPreset(preset, &workload));
+  workload.total_tuples = 12'000;
+
+  QuerySpec query;
+  query.window = workload.window;
+  query.lateness_us = workload.lateness_us;
+  query.emit_mode = EmitMode::kWatermark;
+
+  const auto events = Generate(workload);
+  constexpr uint64_t kWmEvery = 256;
+  auto expected = ReferenceJoinWithPolicy(events, query, kWmEvery);
+  SortResults(&expected);
+
+  EngineOptions options;
+  options.num_joiners = 3;
+  const NetworkRun run =
+      RunOverNetwork(kind, events, query, options, kWmEvery);
+
+  const std::string label =
+      std::string(preset) + "/" + std::string(EngineKindName(kind));
+  ExpectResultsEqual(run.results, expected, label);
+  EXPECT_EQ(run.final_run.stats.input_tuples, events.size()) << label;
+  EXPECT_EQ(run.final_run.stats.results, expected.size()) << label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsTimesEngines, LoopbackExactnessTest,
+    ::testing::Combine(::testing::Values("default", "A", "D"),
+                       ::testing::Values(EngineKind::kScaleOij,
+                                         EngineKind::kKeyOij)),
+    [](const auto& info) {
+      std::string name = std::string(std::get<0>(info.param)) + "_" +
+                         std::string(EngineKindName(std::get<1>(info.param)));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ------------------------------------------------------- admin endpoints
+
+TEST(ServerAdminTest, MetricsHealthzStatzDuringAndAfterRun) {
+  WorkloadSpec workload;
+  ASSERT_TRUE(FindPreset("default", &workload));
+  workload.total_tuples = 4'000;
+
+  ServerConfig config;
+  config.engine = EngineKind::kScaleOij;
+  config.query.window = workload.window;
+  config.query.lateness_us = workload.lateness_us;
+  config.query.emit_mode = EmitMode::kWatermark;
+  config.options.num_joiners = 2;
+  config.workload_name = "default";
+  OijServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  int code = 0;
+  // Before any traffic: serving, healthy, not finished.
+  std::string body = HttpGet(server.admin_port(), "/healthz", &code);
+  EXPECT_EQ(code, 200);
+  EXPECT_EQ(body, "ok\n");
+  body = HttpGet(server.admin_port(), "/statz", &code);
+  EXPECT_EQ(code, 200);
+  EXPECT_NE(body.find("\"state\":\"serving\""), std::string::npos) << body;
+  body = HttpGet(server.admin_port(), "/", &code);
+  EXPECT_EQ(code, 200);
+  body = HttpGet(server.admin_port(), "/nope", &code);
+  EXPECT_EQ(code, 404);
+  body = HttpGet(server.admin_port(), "/metrics", &code, "POST");
+  EXPECT_EQ(code, 405);
+
+  const auto events = Generate(workload);
+  DataClient client(server.data_port());
+  std::string batch;
+  WatermarkTracker tracker(config.query.lateness_us);
+  uint64_t n = 0;
+  for (const StreamEvent& ev : events) {
+    tracker.Observe(ev.tuple.ts);
+    AppendTupleFrame(&batch, ev);
+    if (++n % 256 == 0) AppendWatermarkFrame(&batch, tracker.watermark());
+  }
+  ASSERT_TRUE(client.Send(batch));
+  ASSERT_TRUE(WaitUntil([&] {
+    return server.CountersSnapshot().tuples_in == events.size();
+  })) << "server never ingested the batch";
+
+  // Mid-run: counters live, run not finished, still healthy.
+  body = HttpGet(server.admin_port(), "/metrics", &code);
+  EXPECT_EQ(code, 200);
+  EXPECT_NE(body.find("oij_up{"), std::string::npos);
+  EXPECT_NE(body.find("oij_healthy 1"), std::string::npos);
+  EXPECT_NE(body.find("oij_run_finished 0"), std::string::npos);
+  EXPECT_NE(body.find("oij_ingest_tuples_total " +
+                      std::to_string(events.size())),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("oij_engine_accepted_tuples_total"), std::string::npos);
+  EXPECT_NE(body.find("oij_joiner_queue_depth{joiner=\"0\"}"),
+            std::string::npos);
+  body = HttpGet(server.admin_port(), "/healthz", &code);
+  EXPECT_EQ(code, 200);
+
+  std::string finish;
+  AppendControlFrame(&finish, FrameType::kFinish);
+  ASSERT_TRUE(client.Send(finish));
+  client.JoinReader();
+  EXPECT_FALSE(client.summary.empty());
+  ASSERT_TRUE(WaitUntil([&] { return server.run_finished(); }));
+
+  // Post-run: finished flag flips, the run block appears, histogram and
+  // quantile gauges render, healthz stays green.
+  body = HttpGet(server.admin_port(), "/metrics", &code);
+  EXPECT_EQ(code, 200);
+  EXPECT_NE(body.find("oij_run_finished 1"), std::string::npos);
+  EXPECT_NE(body.find("oij_run_input_tuples_total " +
+                      std::to_string(events.size())),
+            std::string::npos);
+  EXPECT_NE(body.find("oij_result_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("oij_result_latency_quantile_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  body = HttpGet(server.admin_port(), "/healthz", &code);
+  EXPECT_EQ(code, 200);
+  body = HttpGet(server.admin_port(), "/statz", &code);
+  EXPECT_EQ(code, 200);
+  EXPECT_NE(body.find("\"state\":\"finished\""), std::string::npos);
+
+  server.Shutdown();
+}
+
+TEST(ServerAdminTest, MalformedHttpRequestGets400) {
+  ServerConfig config;
+  config.options.num_joiners = 1;
+  OijServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = -1;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server.admin_port(), &fd).ok());
+  const std::string junk = "NOT-HTTP\r\n\r\n";
+  ASSERT_TRUE(SendAll(fd, junk.data(), junk.size()).ok());
+  std::string response;
+  char buf[4096];
+  int64_t n;
+  while ((n = RecvSome(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  CloseFd(fd);
+  EXPECT_NE(response.find(" 400 "), std::string::npos) << response;
+  server.Shutdown();
+}
+
+// ------------------------------------------------- health under injection
+
+/// A frozen watermark (fault-injected) must surface on /healthz as 503
+/// once the watchdog escalates — the network-visible version of the
+/// fault_injection_test abort path.
+TEST(ServerHealthTest, HealthzFlips503UnderWatermarkFreeze) {
+  WorkloadSpec workload;
+  ASSERT_TRUE(FindPreset("default", &workload));
+  workload.total_tuples = 2'000;
+
+  FaultInjector faults;
+  faults.freeze_watermarks_after = 2;
+
+  ServerConfig config;
+  config.engine = EngineKind::kScaleOij;
+  config.query.window = workload.window;
+  config.query.lateness_us = workload.lateness_us;
+  config.query.emit_mode = EmitMode::kWatermark;
+  config.options.num_joiners = 2;
+  config.options.fault_injector = &faults;
+  config.options.watchdog.interval_ms = 10;
+  config.options.watchdog.watermark_freeze_intervals = 3;
+  config.options.watchdog.abort_on_watermark_freeze = true;
+  OijServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  int code = 0;
+  HttpGet(server.admin_port(), "/healthz", &code);
+  EXPECT_EQ(code, 200) << "healthy before the freeze engages";
+
+  const auto events = Generate(workload);
+  DataClient client(server.data_port());
+  std::string batch;
+  WatermarkTracker tracker(config.query.lateness_us);
+  uint64_t n = 0;
+  for (const StreamEvent& ev : events) {
+    tracker.Observe(ev.tuple.ts);
+    AppendTupleFrame(&batch, ev);
+    if (++n % 64 == 0) AppendWatermarkFrame(&batch, tracker.watermark());
+  }
+  ASSERT_TRUE(client.Send(batch));
+
+  // Freeze detection needs input advancing while punctuation stays
+  // frozen, so keep both tuples and (swallowed) watermarks coming while
+  // the watchdog samples.
+  Timestamp filler_ts = tracker.watermark();
+  const bool flipped = WaitUntil([&] {
+    std::string more;
+    StreamEvent filler;
+    filler.stream = StreamId::kProbe;
+    filler.tuple.ts = ++filler_ts;
+    AppendTupleFrame(&more, filler);
+    AppendWatermarkFrame(&more, tracker.watermark());
+    client.Send(more);
+    int c = 0;
+    HttpGet(server.admin_port(), "/healthz", &c);
+    return c == 503;
+  });
+  EXPECT_TRUE(flipped) << "healthz never reported the frozen watermark";
+
+  const std::string metrics = HttpGet(server.admin_port(), "/metrics", &code);
+  EXPECT_NE(metrics.find("oij_healthy 0"), std::string::npos);
+
+  server.Shutdown();
+  client.JoinReader();
+}
+
+// ----------------------------------------------------- protocol rejection
+
+TEST(ServerProtocolTest, GarbageFrameGetsErrorAndCleanCloseAndIsCounted) {
+  ServerConfig config;
+  config.options.num_joiners = 1;
+  OijServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    DataClient client(server.data_port());
+    std::string junk;
+    junk.push_back(1);
+    junk.append(3, '\0');
+    junk.push_back(static_cast<char>(0x7f));  // unknown frame type
+    ASSERT_TRUE(client.Send(junk));
+    client.JoinReader();  // server must close after the error frame
+    ASSERT_EQ(client.errors.size(), 1u);
+    EXPECT_NE(client.errors[0].find("unknown frame type"), std::string::npos)
+        << client.errors[0];
+  }
+  EXPECT_EQ(server.CountersSnapshot().frames_rejected, 1u);
+
+  {
+    // An oversized length prefix dies before any payload arrives.
+    DataClient client(server.data_port());
+    std::string huge(4, '\0');
+    huge[3] = static_cast<char>(0x7f);  // ~2 GB little-endian length
+    ASSERT_TRUE(client.Send(huge));
+    client.JoinReader();
+    ASSERT_EQ(client.errors.size(), 1u);
+  }
+  EXPECT_EQ(server.CountersSnapshot().frames_rejected, 2u);
+
+  int code = 0;
+  const std::string body = HttpGet(server.admin_port(), "/metrics", &code);
+  EXPECT_NE(body.find("oij_frames_rejected_total 2"), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerProtocolTest, TupleAfterFinishIsRejected) {
+  WorkloadSpec workload;
+  ASSERT_TRUE(FindPreset("default", &workload));
+  workload.total_tuples = 500;
+
+  ServerConfig config;
+  config.query.window = workload.window;
+  config.query.lateness_us = workload.lateness_us;
+  config.query.emit_mode = EmitMode::kWatermark;
+  config.options.num_joiners = 1;
+  OijServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    DataClient client(server.data_port());
+    std::string batch;
+    for (const StreamEvent& ev : Generate(workload)) {
+      AppendTupleFrame(&batch, ev);
+    }
+    AppendControlFrame(&batch, FrameType::kFinish);
+    ASSERT_TRUE(client.Send(batch));
+    client.JoinReader();
+    EXPECT_FALSE(client.summary.empty());
+  }
+  ASSERT_TRUE(server.run_finished());
+
+  DataClient late(server.data_port());
+  std::string tuple;
+  StreamEvent ev;
+  ev.tuple.ts = 1;
+  AppendTupleFrame(&tuple, ev);
+  ASSERT_TRUE(late.Send(tuple));
+  late.JoinReader();
+  ASSERT_EQ(late.errors.size(), 1u);
+  EXPECT_NE(late.errors[0].find("finalized"), std::string::npos);
+
+  // A second kFinish from a latecomer still gets the stored summary.
+  DataClient again(server.data_port());
+  std::string fin;
+  AppendControlFrame(&fin, FrameType::kFinish);
+  ASSERT_TRUE(again.Send(fin));
+  again.JoinReader();
+  EXPECT_FALSE(again.summary.empty());
+
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace oij

@@ -26,6 +26,7 @@
 #include "core/engine_factory.h"
 #include "core/pipeline.h"
 #include "core/run_summary.h"
+#include "server/signal_stop.h"
 #include "stream/presets.h"
 #include "stream/trace.h"
 
@@ -118,7 +119,15 @@ int CmdRun(int argc, char** argv) {
   NullSink sink;
   auto engine = CreateEngine(kind, query, options, &sink);
   WorkloadGenerator gen(workload);
-  const RunResult run = RunPipeline(engine.get(), &gen);
+  PipelineConfig config;
+  // SIGINT/SIGTERM stop the source and drain normally, so an interrupted
+  // run still prints a consistent summary.
+  config.stop = InstallStopSignalHandlers();
+  const RunResult run = RunPipeline(engine.get(), &gen, config);
+  if (config.stop->load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "interrupted: drained after %llu tuples\n",
+                 static_cast<unsigned long long>(run.tuples));
+  }
   std::printf("%s", SummarizeRun(argv[1], run).c_str());
   return 0;
 }
@@ -237,8 +246,14 @@ int CmdTraceRun(int argc, char** argv) {
   NullSink sink;
   auto engine = CreateEngine(kind, query, options, &sink);
   TraceSource source(std::move(events), disorder);
+  PipelineConfig config;
+  config.stop = InstallStopSignalHandlers();
   const RunResult run =
-      RunPipelineFrom(engine.get(), &source, /*pace=*/0);
+      RunPipelineFrom(engine.get(), &source, /*pace=*/0, config);
+  if (config.stop->load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "interrupted: drained after %llu tuples\n",
+                 static_cast<unsigned long long>(run.tuples));
+  }
   std::printf("%s", SummarizeRun(argv[1], run).c_str());
   return 0;
 }

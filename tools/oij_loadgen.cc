@@ -1,0 +1,270 @@
+// Load generator / reference client for oij_server.
+//
+//   oij_loadgen --port <n> [flags]
+//     --host <addr>        server address (default 127.0.0.1)
+//     --workload <preset|config>  arrival sequence to replay (default:
+//                          the "default" preset)
+//     --tuples <n>         override the workload's total_tuples
+//     --rate <n>           pace to n tuples/s (0 = unthrottled; default:
+//                          the workload's pace_rate_per_sec)
+//     --wm-every <n>       send a watermark every n tuples (default 1024)
+//     --subscribe          stream results back and report their latency
+//
+// Replays the workload's deterministic arrival sequence over TCP as
+// kTuple/kWatermark frames (batched between pacing waits), then sends
+// kFinish and waits for the kSummary reply. With --subscribe a reader
+// thread decodes the streamed kResult frames and reports client-side
+// result latency percentiles alongside the send-side throughput.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/rate_limiter.h"
+#include "core/run_summary.h"
+#include "metrics/latency_recorder.h"
+#include "metrics/throughput.h"
+#include "net/socket.h"
+#include "net/wire_codec.h"
+#include "stream/generator.h"
+#include "stream/presets.h"
+#include "stream/workload.h"
+
+namespace {
+
+using namespace oij;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: oij_loadgen --port <n> [--host <addr>]\n"
+      "                   [--workload <preset|config>] [--tuples <n>]\n"
+      "                   [--rate <n>] [--wm-every <n>] [--subscribe]\n");
+  return 2;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+/// Everything the reader thread learns from the server's reply stream.
+struct ReaderReport {
+  uint64_t results = 0;
+  LatencyRecorder latency;  // emit - arrival stamps carried by results
+  std::string summary;
+  std::string error;
+  bool corrupt = false;
+};
+
+void ReadServerStream(int fd, ReaderReport* report) {
+  WireDecoder decoder;
+  char buf[16384];
+  WireFrame frame;
+  while (true) {
+    const int64_t n = RecvSome(fd, buf, sizeof(buf));
+    if (n <= 0) return;  // EOF or socket error: stream is over
+    decoder.Feed(buf, static_cast<size_t>(n));
+    while (true) {
+      const WireDecoder::Result r = decoder.Next(&frame);
+      if (r == WireDecoder::Result::kNeedMore) break;
+      if (r == WireDecoder::Result::kCorrupt) {
+        report->corrupt = true;
+        return;
+      }
+      switch (frame.type) {
+        case FrameType::kResult:
+          ++report->results;
+          if (frame.result.emit_us >= frame.result.arrival_us) {
+            report->latency.Record(frame.result.emit_us -
+                                   frame.result.arrival_us);
+          }
+          break;
+        case FrameType::kSummary:
+          report->summary = frame.text;
+          break;
+        case FrameType::kError:
+          report->error = frame.text;
+          break;
+        default:
+          break;  // client-to-server types are not expected; ignore
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  bool have_port = false;
+  std::string workload_arg = "default";
+  uint64_t tuples_override = 0;
+  bool have_tuples = false;
+  uint64_t rate = 0;
+  bool have_rate = false;
+  uint64_t wm_every = 1024;
+  bool subscribe = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--host") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      host = v;
+    } else if (flag == "--port") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      const long p = std::atol(v);
+      if (p <= 0 || p > 65535) return Usage();
+      port = static_cast<uint16_t>(p);
+      have_port = true;
+    } else if (flag == "--workload") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      workload_arg = v;
+    } else if (flag == "--tuples") {
+      const char* v = value();
+      if (v == nullptr || std::atoll(v) <= 0) return Usage();
+      tuples_override = static_cast<uint64_t>(std::atoll(v));
+      have_tuples = true;
+    } else if (flag == "--rate") {
+      const char* v = value();
+      if (v == nullptr || std::atoll(v) < 0) return Usage();
+      rate = static_cast<uint64_t>(std::atoll(v));
+      have_rate = true;
+    } else if (flag == "--wm-every") {
+      const char* v = value();
+      if (v == nullptr || std::atoll(v) <= 0) return Usage();
+      wm_every = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--subscribe") {
+      subscribe = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return Usage();
+    }
+  }
+  if (!have_port) {
+    std::fprintf(stderr, "--port is required\n");
+    return Usage();
+  }
+
+  WorkloadSpec workload;
+  if (!FindPreset(workload_arg, &workload)) {
+    const std::string text = ReadFileOrEmpty(workload_arg);
+    if (text.empty()) {
+      std::fprintf(stderr, "no such preset or config file: %s\n",
+                   workload_arg.c_str());
+      return 2;
+    }
+    const Status s = WorkloadSpecFromConfig(text, &workload);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bad config %s: %s\n", workload_arg.c_str(),
+                   s.ToString().c_str());
+      return 2;
+    }
+  }
+  if (have_tuples) workload.total_tuples = tuples_override;
+  if (!have_rate) rate = workload.pace_rate_per_sec;
+
+  int fd = -1;
+  Status s = ConnectTcp(host, port, &fd);
+  if (!s.ok()) {
+    std::fprintf(stderr, "connect %s:%u failed: %s\n", host.c_str(), port,
+                 s.ToString().c_str());
+    return 1;
+  }
+
+  ReaderReport report;
+  std::thread reader(ReadServerStream, fd, &report);
+
+  std::string out;
+  if (subscribe) AppendControlFrame(&out, FrameType::kSubscribe);
+
+  // Batch frames between pacing waits: one send per batch keeps the
+  // syscall rate reasonable at millions of tuples/s, while AcquireBatch
+  // preserves the requested average rate.
+  constexpr uint64_t kBatchTuples = 256;
+  RateLimiter limiter(rate);
+  WorkloadGenerator gen(workload);
+  ThroughputMeter meter;
+  meter.Start();
+
+  StreamEvent ev;
+  uint64_t sent = 0;
+  uint64_t since_wm = 0;
+  uint64_t in_batch = 0;
+  bool io_ok = true;
+  while (gen.Next(&ev)) {
+    AppendTupleFrame(&out, ev);
+    ++sent;
+    if (++since_wm >= wm_every) {
+      since_wm = 0;
+      AppendWatermarkFrame(&out, gen.watermark());
+    }
+    if (++in_batch >= kBatchTuples) {
+      if (!limiter.unlimited()) limiter.AcquireBatch(in_batch);
+      s = SendAll(fd, out.data(), out.size());
+      if (!s.ok()) {
+        io_ok = false;
+        break;
+      }
+      out.clear();
+      in_batch = 0;
+    }
+  }
+  if (io_ok) {
+    AppendControlFrame(&out, FrameType::kFinish);
+    s = SendAll(fd, out.data(), out.size());
+    if (!s.ok()) io_ok = false;
+  }
+  meter.Stop();
+  meter.AddTuples(sent);
+
+  reader.join();
+  CloseFd(fd);
+
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "server error: %s\n", report.error.c_str());
+    return 1;
+  }
+  if (report.corrupt) {
+    std::fprintf(stderr, "server sent a malformed frame\n");
+    return 1;
+  }
+  if (!io_ok) {
+    std::fprintf(stderr, "send failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (report.summary.empty()) {
+    std::fprintf(stderr, "connection closed before the run summary\n");
+    return 1;
+  }
+
+  std::printf("sent %llu tuples in %.3f s (%s)\n",
+              static_cast<unsigned long long>(sent), meter.elapsed_seconds(),
+              HumanRate(meter.TuplesPerSecond()).c_str());
+  if (subscribe) {
+    std::printf("received %llu results; client-observed latency p50=%s "
+                "p99=%s max=%s\n",
+                static_cast<unsigned long long>(report.results),
+                HumanDurationUs(report.latency.Percentile(0.50)).c_str(),
+                HumanDurationUs(report.latency.Percentile(0.99)).c_str(),
+                HumanDurationUs(static_cast<double>(report.latency.max_us()))
+                    .c_str());
+  }
+  std::printf("--- server summary ---\n%s", report.summary.c_str());
+  return 0;
+}
