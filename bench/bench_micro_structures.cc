@@ -12,6 +12,8 @@
 
 #include "common/random.h"
 #include "common/spsc_queue.h"
+#include "ebr/epoch_manager.h"
+#include "mem/node_arena.h"
 #include "skiplist/time_travel_index.h"
 #include "window/incremental_window.h"
 
@@ -94,6 +96,85 @@ void BM_WindowLookup_UnsortedScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_WindowLookup_UnsortedScan)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// The allocation hot path of the pooled_alloc ablation: steady-state
+/// churn of a time-travel index under EBR, interleaved Insert +
+/// EvictBefore at a fixed window population — exactly the regime a
+/// joiner sits in once its window fills. range(0) toggles the arena
+/// (0 = per-node heap alloc + per-node std::function retire, 1 = slab
+/// arena + one RetireBatch per eviction run); range(1) is the window
+/// population. items/s = inserts/s.
+void BM_ChurnInsertEvict(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  const int64_t window = state.range(1);
+  constexpr uint64_t kKeys = 8;
+  constexpr int64_t kEvictEvery = 256;
+  EpochManager ebr(1);
+  const uint32_t slot = ebr.RegisterThread();
+  NodeArena arena;
+  TimeTravelIndex index(&ebr, slot, /*seed=*/0x5eed,
+                        pooled ? &arena : nullptr);
+  Rng rng(11);
+  Timestamp ts = 0;
+  for (int64_t i = 0; i < window; ++i) {
+    index.Insert(Tuple{ts++, static_cast<Key>(rng.NextBelow(kKeys)), 1.0});
+  }
+  for (auto _ : state) {
+    index.Insert(Tuple{ts, static_cast<Key>(rng.NextBelow(kKeys)), 1.0});
+    ++ts;
+    if ((ts % kEvictEvery) == 0) {
+      index.EvictBefore(ts - window);
+      ebr.ReclaimSome(slot);
+    }
+  }
+  benchmark::DoNotOptimize(index.size());
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(pooled ? "pooled" : "heap");
+}
+BENCHMARK(BM_ChurnInsertEvict)
+    ->Args({0, 32768})
+    ->Args({1, 32768})
+    ->Args({0, 65536})
+    ->Args({1, 65536});
+
+/// The raw allocator pair underneath the churn number: recycle one slot
+/// of a fixed live population per iteration, arena vs global heap, at a
+/// typical skip-list node size. Isolates allocation cost from list
+/// maintenance.
+void BM_NodeAllocChurn_Arena(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  constexpr size_t kPopulation = 1024;
+  NodeArena arena;
+  std::vector<void*> live(kPopulation);
+  for (size_t i = 0; i < kPopulation; ++i) live[i] = arena.Allocate(bytes);
+  size_t j = 0;
+  for (auto _ : state) {
+    arena.Deallocate(live[j], bytes);
+    live[j] = arena.Allocate(bytes);
+    benchmark::DoNotOptimize(live[j]);
+    j = (j + 1) % kPopulation;
+  }
+  for (void* p : live) arena.Deallocate(p, bytes);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NodeAllocChurn_Arena)->Arg(64)->Arg(160);
+
+void BM_NodeAllocChurn_Heap(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  constexpr size_t kPopulation = 1024;
+  std::vector<void*> live(kPopulation);
+  for (size_t i = 0; i < kPopulation; ++i) live[i] = ::operator new(bytes);
+  size_t j = 0;
+  for (auto _ : state) {
+    ::operator delete(live[j]);
+    live[j] = ::operator new(bytes);
+    benchmark::DoNotOptimize(live[j]);
+    j = (j + 1) % kPopulation;
+  }
+  for (void* p : live) ::operator delete(p);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NodeAllocChurn_Heap)->Arg(64)->Arg(160);
 
 void BM_SpscQueueRoundTrip(benchmark::State& state) {
   SpscQueue<Tuple> q(1024);

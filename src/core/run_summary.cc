@@ -65,6 +65,20 @@ std::string SummarizeRun(const std::string& label, const RunResult& run) {
       static_cast<unsigned long long>(st.rebalances));
   out += buf;
 
+  // Memory management: only printed for pooled-alloc (arena) runs.
+  if (st.mem.pooled) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  memory pooled-alloc arena=%sB live_nodes=%s allocs=%s "
+        "slab_recycles=%llu retired_backlog=%llu\n",
+        HumanCount(static_cast<double>(st.mem.arena_reserved_bytes)).c_str(),
+        HumanCount(static_cast<double>(st.mem.arena_live_nodes)).c_str(),
+        HumanCount(static_cast<double>(st.mem.arena_allocations)).c_str(),
+        static_cast<unsigned long long>(st.mem.arena_slab_recycles),
+        static_cast<unsigned long long>(st.mem.ebr_retired_backlog));
+    out += buf;
+  }
+
   // Delivery & degradation: only printed when a run was not pristine.
   if (!st.health.ok() || st.late.tuples > 0 || st.overload_dropped > 0 ||
       !st.warnings.empty()) {

@@ -41,8 +41,20 @@ void EpochManager::Exit(uint32_t slot) {
 }
 
 void EpochManager::Retire(uint32_t slot, std::function<void()> deleter) {
-  slots_[slot].retired.push_back(
+  Slot& s = slots_[slot];
+  s.retired.push_back(
       {std::move(deleter), global_epoch_.load(std::memory_order_acquire)});
+  s.pending.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EpochManager::RetireBatch(uint32_t slot, void* head, size_t count,
+                               DrainFn drain, void* ctx) {
+  if (count == 0) return;
+  Slot& s = slots_[slot];
+  s.retired_runs.push_back(
+      {head, count, drain, ctx,
+       global_epoch_.load(std::memory_order_acquire)});
+  s.pending.fetch_add(count, std::memory_order_relaxed);
 }
 
 void EpochManager::TryAdvanceEpoch() {
@@ -61,9 +73,10 @@ void EpochManager::TryAdvanceEpoch() {
 size_t EpochManager::ReclaimSome(uint32_t slot) {
   TryAdvanceEpoch();
   const uint64_t e = global_epoch_.load(std::memory_order_acquire);
-  auto& retired = slots_[slot].retired;
+  Slot& s = slots_[slot];
   size_t freed = 0;
   size_t kept = 0;
+  auto& retired = s.retired;
   for (size_t i = 0; i < retired.size(); ++i) {
     if (retired[i].epoch + 2 <= e) {
       retired[i].deleter();
@@ -74,19 +87,47 @@ size_t EpochManager::ReclaimSome(uint32_t slot) {
     }
   }
   retired.resize(kept);
+  // Runs are appended in epoch order, so the ripe ones form a prefix —
+  // and draining front-to-back is what keeps chains that end inside a
+  // later-retired run safe to walk.
+  auto& runs = s.retired_runs;
+  size_t drained = 0;
+  while (drained < runs.size() && runs[drained].epoch + 2 <= e) {
+    const RetiredRun& run = runs[drained];
+    run.drain(run.head, run.count, run.ctx);
+    freed += run.count;
+    ++drained;
+  }
+  if (drained > 0) runs.erase(runs.begin(), runs.begin() + drained);
+  if (freed > 0) s.pending.fetch_sub(freed, std::memory_order_relaxed);
   return freed;
 }
 
 size_t EpochManager::ReclaimAllUnsafe(uint32_t slot) {
-  auto& retired = slots_[slot].retired;
-  size_t freed = retired.size();
-  for (auto& r : retired) r.deleter();
-  retired.clear();
+  Slot& s = slots_[slot];
+  size_t freed = s.retired.size();
+  for (auto& r : s.retired) r.deleter();
+  s.retired.clear();
+  for (const RetiredRun& run : s.retired_runs) {
+    run.drain(run.head, run.count, run.ctx);
+    freed += run.count;
+  }
+  s.retired_runs.clear();
+  if (freed > 0) s.pending.fetch_sub(freed, std::memory_order_relaxed);
   return freed;
 }
 
 size_t EpochManager::PendingCount(uint32_t slot) const {
-  return slots_[slot].retired.size();
+  return slots_[slot].pending.load(std::memory_order_relaxed);
+}
+
+size_t EpochManager::PendingCountAll() const {
+  const uint32_t n = next_slot_.load(std::memory_order_acquire);
+  size_t total = 0;
+  for (uint32_t i = 0; i < n && i < max_threads_; ++i) {
+    total += slots_[i].pending.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace oij

@@ -51,6 +51,21 @@ class EpochManager {
   /// on its own slot (retire lists are slot-local by design).
   void Retire(uint32_t slot, std::function<void()> deleter);
 
+  /// Typed drain callback for RetireBatch: walks `count` objects starting
+  /// at `head` (chained however the caller likes — skip lists use the
+  /// level-0 forward pointer) and frees each into `ctx`.
+  using DrainFn = void (*)(void* head, size_t count, void* ctx);
+
+  /// Retires a whole run of `count` intrusively-chained objects with one
+  /// epoch-list append — no per-object std::function, no heap churn. The
+  /// chain must stay intact until the drain runs (readers may still be
+  /// traversing it, which is the whole point). Runs are drained in retire
+  /// order, so a chain whose tail points into a later-retired run is freed
+  /// before that run. Same owner-thread contract as Retire(). No-op when
+  /// `count` is zero.
+  void RetireBatch(uint32_t slot, void* head, size_t count, DrainFn drain,
+                   void* ctx);
+
   /// Attempts to advance the global epoch and frees everything retired two
   /// or more epochs ago on `slot`. Returns the number of objects freed.
   size_t ReclaimSome(uint32_t slot);
@@ -63,8 +78,14 @@ class EpochManager {
     return global_epoch_.load(std::memory_order_acquire);
   }
 
-  /// Number of retired-but-not-yet-freed objects on `slot` (test hook).
+  /// Number of retired-but-not-yet-freed objects on `slot`. Counts run
+  /// members individually. Safe from any thread (metrics sampling); the
+  /// count is a relaxed-atomic gauge maintained by the owner.
   size_t PendingCount(uint32_t slot) const;
+
+  /// Retired-but-not-yet-freed objects across all registered slots.
+  /// Approximate under concurrency; intended for observability.
+  size_t PendingCountAll() const;
 
  private:
   struct Retired {
@@ -72,11 +93,23 @@ class EpochManager {
     uint64_t epoch;
   };
 
+  struct RetiredRun {
+    void* head;
+    size_t count;
+    DrainFn drain;
+    void* ctx;
+    uint64_t epoch;
+  };
+
   struct alignas(64) Slot {
     /// kQuiescent when outside a critical section, else pinned epoch.
     std::atomic<uint64_t> local_epoch{kQuiescent};
     std::atomic<bool> in_use{false};
-    std::vector<Retired> retired;  // accessed only by the owning thread
+    /// Object-count gauge mirroring retired + retired_runs; written by the
+    /// owner, readable by the metrics sampler.
+    std::atomic<size_t> pending{0};
+    std::vector<Retired> retired;        // accessed only by the owning thread
+    std::vector<RetiredRun> retired_runs;  // accessed only by the owning thread
   };
 
   static constexpr uint64_t kQuiescent = ~0ULL;

@@ -536,6 +536,7 @@ WatchdogSample ParallelEngineBase::SampleProgress() const {
   }
   sample.pushed = pushed_.load(std::memory_order_relaxed);
   sample.watermarks = watermarks_signaled_.load(std::memory_order_relaxed);
+  SampleMem(&sample);
   return sample;
 }
 

@@ -155,6 +155,13 @@ struct EngineOptions {
   /// Scale-OIJ: enable incremental window aggregation (Section V-C).
   bool incremental_agg = true;
 
+  /// Back the time-travel index with a per-joiner slab arena and chunked
+  /// EBR retire instead of the global heap (DESIGN.md "Memory
+  /// management"). Exactness is unaffected; only engines that use the
+  /// index (Scale-OIJ, handshake) react — Key-OIJ/SplitJoin baselines
+  /// stay byte-for-byte faithful either way.
+  bool pooled_alloc = true;
+
   /// Scale-OIJ: router events between rebalance attempts.
   uint32_t rebalance_interval_events = 32768;
 
@@ -208,6 +215,20 @@ struct EngineOptions {
   Status Validate() const;
 };
 
+/// Allocator observability for pooled_alloc runs (mem/node_arena.h),
+/// summed across the engine's joiner arenas. All-zero with `pooled`
+/// false (heap-backed run, or an engine without an index).
+struct MemStats {
+  bool pooled = false;
+  uint64_t arena_reserved_bytes = 0;
+  uint64_t arena_live_nodes = 0;
+  uint64_t arena_allocations = 0;
+  uint64_t arena_slab_recycles = 0;
+  uint64_t arena_oversize_allocs = 0;
+  /// Nodes retired to the EpochManager not yet drained at collection.
+  uint64_t ebr_retired_backlog = 0;
+};
+
 /// Everything a run reports; merged across joiners at Finish().
 struct EngineStats {
   uint64_t input_tuples = 0;
@@ -250,6 +271,9 @@ struct EngineStats {
 
   /// Lateness-bound violations and their disposition.
   LateStats late;
+
+  /// Allocator observability (pooled_alloc runs).
+  MemStats mem;
 
   /// OK on a clean run; ResourceExhausted / DeadlineExceeded when the
   /// watchdog or the Finish deadline aborted it.
@@ -347,6 +371,12 @@ class ParallelEngineBase : public JoinEngine {
 
   /// Subclass contribution to the merged stats (joiner-local counters).
   virtual void CollectStats(EngineStats* stats) = 0;
+
+  /// Fills the allocator gauges of a live progress sample. Called from
+  /// SampleProgress() on watchdog/serving threads, so implementations
+  /// must only read thread-safe counters (NodeArena::snapshot,
+  /// EpochManager::PendingCountAll). Default: no arenas, leave zeros.
+  virtual void SampleMem(WatchdogSample* /*sample*/) const {}
 
   /// Sends an event to a joiner, applying the overload policy for tuple
   /// events. Control events (watermark/flush) are never dropped.

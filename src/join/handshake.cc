@@ -23,7 +23,13 @@ HandshakeOijEngine::HandshakeOijEngine(const QuerySpec& spec,
         std::make_unique<SpscQueue<Event>>(options_.queue_capacity));
     chain_queues_.push_back(
         std::make_unique<SpscQueue<ChainMsg>>(options_.queue_capacity));
-    states_.push_back(std::make_unique<JoinerState>());
+    NodeArena* arena = nullptr;
+    if (options_.pooled_alloc) {
+      arenas_.push_back(std::make_unique<NodeArena>());
+      arena = arenas_.back().get();
+    }
+    states_.push_back(
+        std::make_unique<JoinerState>(arena, /*seed=*/0x4a5d + j));
     states_.back()->cache_probe =
         SampledCacheProbe(options_.cache_sim, options_.cache_sample_period);
   }
@@ -189,20 +195,18 @@ void HandshakeOijEngine::ProcessBase(uint32_t joiner, JoinerState& s,
   uint64_t op_matched = 0;
   {
     ScopedTimerNs timer(&s.breakdown.lookup_ns);
-    auto it = s.slice.find(msg.base.key);
-    if (it != s.slice.end()) {
-      for (const Tuple& r : it->second) {
-        ++op_visited;
-        s.cache_probe.Touch(&r);
-        if (r.ts >= start && r.ts <= end) {
-          ++op_matched;
+    // The index seeks the window start and touches only in-window tuples
+    // (visited == matched by construction), where the old per-key vector
+    // filtered the whole buffer.
+    op_visited = s.slice.ForEachInRange(
+        msg.base.key, start, end, [&s, &msg](const Tuple& r) {
+          s.cache_probe.Touch(&r);
           msg.sum += r.payload;
           ++msg.count;
           if (r.payload < msg.min) msg.min = r.payload;
           if (r.payload > msg.max) msg.max = r.payload;
-        }
-      }
-    }
+        });
+    op_matched = op_visited;
   }
   s.visited += op_visited;
   s.matched += op_matched;
@@ -241,17 +245,9 @@ void HandshakeOijEngine::Evict(JoinerState& s) {
   if (floor == kMinTimestamp) return;
   const Timestamp bound =
       floor == kMaxTimestamp ? kMaxTimestamp : floor - spec_.window.pre;
-  for (auto& [key, buffer] : s.slice) {
-    auto keep_end =
-        std::remove_if(buffer.begin(), buffer.end(),
-                       [bound](const Tuple& t) { return t.ts < bound; });
-    const size_t removed = static_cast<size_t>(buffer.end() - keep_end);
-    if (removed > 0) {
-      buffer.erase(keep_end, buffer.end());
-      s.evicted += removed;
-      s.buffered -= removed;
-    }
-  }
+  const size_t removed = s.slice.EvictBefore(bound);
+  s.evicted += removed;
+  s.buffered -= removed;
 }
 
 void HandshakeOijEngine::JoinerMain(uint32_t joiner) {
@@ -275,7 +271,7 @@ void HandshakeOijEngine::JoinerMain(uint32_t joiner) {
       switch (ev.kind) {
         case Event::Kind::kTuple:
           if (ev.tuple.ts > s.max_seen) s.max_seen = ev.tuple.ts;
-          s.slice[ev.tuple.key].push_back(ev.tuple);
+          s.slice.Insert(ev.tuple);
           ++s.buffered;
           if (s.buffered > s.peak_buffered) s.peak_buffered = s.buffered;
           break;
@@ -355,25 +351,32 @@ bool HandshakeOijEngine::InjectFaults(uint32_t joiner, uint64_t events_seen) {
   return true;
 }
 
+WatchdogSample HandshakeOijEngine::SampleProgress() const {
+  WatchdogSample sample;
+  if (consumed_ == nullptr) return sample;  // not started yet
+  const uint32_t n = options_.num_joiners;
+  sample.queue_depths.reserve(n);
+  sample.consumed.reserve(n);
+  for (uint32_t j = 0; j < n; ++j) {
+    sample.queue_depths.push_back(direct_queues_[j]->SizeApprox() +
+                                  chain_queues_[j]->SizeApprox());
+    sample.consumed.push_back(
+        consumed_[j].value.load(std::memory_order_relaxed));
+  }
+  sample.pushed = pushed_.load(std::memory_order_relaxed);
+  sample.watermarks = watermarks_signaled_.load(std::memory_order_relaxed);
+  for (const auto& arena : arenas_) {
+    const NodeArena::Stats a = arena->snapshot();
+    sample.arena_bytes += a.reserved_bytes;
+    sample.arena_live_nodes += a.live_nodes;
+    sample.arena_slab_recycles += a.slab_recycles;
+  }
+  return sample;
+}
+
 void HandshakeOijEngine::StartWatchdog() {
   watchdog_.Start(
-      options_.watchdog,
-      [this] {
-        WatchdogSample sample;
-        const uint32_t n = options_.num_joiners;
-        sample.queue_depths.reserve(n);
-        sample.consumed.reserve(n);
-        for (uint32_t j = 0; j < n; ++j) {
-          sample.queue_depths.push_back(direct_queues_[j]->SizeApprox() +
-                                        chain_queues_[j]->SizeApprox());
-          sample.consumed.push_back(
-              consumed_[j].value.load(std::memory_order_relaxed));
-        }
-        sample.pushed = pushed_.load(std::memory_order_relaxed);
-        sample.watermarks =
-            watermarks_signaled_.load(std::memory_order_relaxed);
-        return sample;
-      },
+      options_.watchdog, [this] { return SampleProgress(); },
       [this](const Status& status) {
         RecordUnhealthy(status);
         stop_.store(true, std::memory_order_release);
@@ -456,6 +459,15 @@ EngineStats HandshakeOijEngine::Finish() {
   }
   // One join op per hop; results are emitted once, at the chain tail.
   stats.results = states_.back()->join_ops;
+  stats.mem.pooled = !arenas_.empty();
+  for (const auto& arena : arenas_) {
+    const NodeArena::Stats a = arena->snapshot();
+    stats.mem.arena_reserved_bytes += a.reserved_bytes;
+    stats.mem.arena_live_nodes += a.live_nodes;
+    stats.mem.arena_allocations += a.allocations;
+    stats.mem.arena_slab_recycles += a.slab_recycles;
+    stats.mem.arena_oversize_allocs += a.oversize_allocs;
+  }
   if (options_.collect_breakdown) {
     for (int64_t b : busy_ns_) stats.breakdown.busy_ns += b;
   }

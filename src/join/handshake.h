@@ -7,10 +7,11 @@
 #include <mutex>
 #include <queue>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "join/engine.h"
+#include "mem/node_arena.h"
+#include "skiplist/time_travel_index.h"
 
 namespace oij {
 
@@ -50,6 +51,7 @@ class HandshakeOijEngine : public JoinEngine {
   void Push(const StreamEvent& event, int64_t arrival_us) override;
   void SignalWatermark(Timestamp watermark) override;
   EngineStats Finish() override;
+  WatchdogSample SampleProgress() const override;
 
   std::string_view name() const override { return "handshake"; }
 
@@ -77,7 +79,15 @@ class HandshakeOijEngine : public JoinEngine {
   };
 
   struct JoinerState {
-    std::unordered_map<Key, std::vector<Tuple>> slice;
+    explicit JoinerState(NodeArena* arena, uint64_t seed)
+        : slice(/*ebr=*/nullptr, /*owner_slot=*/0, seed, arena) {}
+
+    /// This hop's share of the probe window, keyed and time-ordered.
+    /// Single-threaded per hop (only the hop's thread touches it), so no
+    /// EBR is needed; the index's O(log) boundary seek replaces the old
+    /// whole-bucket linear filter, and with pooled_alloc the nodes live
+    /// on the hop-owned arena.
+    TimeTravelIndex slice;
     /// Bases awaiting this hop's gate; ts-ordered in kWatermark mode.
     std::deque<ChainMsg> pending;
     Timestamp max_seen = kMinTimestamp;
@@ -128,6 +138,9 @@ class HandshakeOijEngine : public JoinEngine {
   /// router).
   std::vector<std::unique_ptr<SpscQueue<ChainMsg>>> chain_queues_;
 
+  /// Hop-owned slab arenas (pooled_alloc; empty otherwise). Declared
+  /// before states_ so the slices are destroyed first.
+  std::vector<std::unique_ptr<NodeArena>> arenas_;
   std::vector<std::unique_ptr<JoinerState>> states_;
   std::vector<std::thread> threads_;
   std::vector<int64_t> busy_ns_;

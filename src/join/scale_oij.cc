@@ -20,8 +20,13 @@ ScaleOijEngine::ScaleOijEngine(const QuerySpec& spec,
   states_.reserve(options.num_joiners);
   for (uint32_t j = 0; j < options.num_joiners; ++j) {
     const uint32_t slot = ebr_.RegisterThread();
+    NodeArena* arena = nullptr;
+    if (options.pooled_alloc) {
+      arenas_.push_back(std::make_unique<NodeArena>());
+      arena = arenas_.back().get();
+    }
     states_.push_back(std::make_unique<JoinerState>(
-        &ebr_, slot, /*seed=*/0x5ca1e + j));
+        &ebr_, slot, /*seed=*/0x5ca1e + j, arena));
     states_.back()->schedule = router_schedule_;
     states_.back()->cache_probe =
         SampledCacheProbe(options.cache_sim, options.cache_sample_period);
@@ -302,6 +307,28 @@ void ScaleOijEngine::CollectStats(EngineStats* stats) {
   }
   stats->rebalances = rebalances_;
   stats->final_schedule_version = router_schedule_->version;
+
+  stats->mem.pooled = !arenas_.empty();
+  for (const auto& arena : arenas_) {
+    const NodeArena::Stats a = arena->snapshot();
+    stats->mem.arena_reserved_bytes += a.reserved_bytes;
+    stats->mem.arena_live_nodes += a.live_nodes;
+    stats->mem.arena_allocations += a.allocations;
+    stats->mem.arena_slab_recycles += a.slab_recycles;
+    stats->mem.arena_oversize_allocs += a.oversize_allocs;
+  }
+  stats->mem.ebr_retired_backlog = ebr_.PendingCountAll();
+}
+
+void ScaleOijEngine::SampleMem(WatchdogSample* sample) const {
+  // Watchdog/serving threads: only the relaxed-atomic gauges are touched.
+  for (const auto& arena : arenas_) {
+    const NodeArena::Stats a = arena->snapshot();
+    sample->arena_bytes += a.reserved_bytes;
+    sample->arena_live_nodes += a.live_nodes;
+    sample->arena_slab_recycles += a.slab_recycles;
+  }
+  sample->ebr_retired_backlog = ebr_.PendingCountAll();
 }
 
 }  // namespace oij

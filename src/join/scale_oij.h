@@ -9,6 +9,7 @@
 
 #include "ebr/epoch_manager.h"
 #include "join/engine.h"
+#include "mem/node_arena.h"
 #include "sched/load_stats.h"
 #include "sched/partition_table.h"
 #include "sched/rebalancer.h"
@@ -66,6 +67,7 @@ class ScaleOijEngine : public ParallelEngineBase {
   void OnIdle(uint32_t joiner) override;
   void OnFlush(uint32_t joiner) override;
   void CollectStats(EngineStats* stats) override;
+  void SampleMem(WatchdogSample* sample) const override;
 
  private:
   struct PendingBase {
@@ -78,8 +80,9 @@ class ScaleOijEngine : public ParallelEngineBase {
   };
 
   struct JoinerState {
-    explicit JoinerState(EpochManager* ebr, uint32_t slot, uint64_t seed)
-        : ebr_slot(slot), index(ebr, slot, seed) {}
+    JoinerState(EpochManager* ebr, uint32_t slot, uint64_t seed,
+                NodeArena* arena)
+        : ebr_slot(slot), index(ebr, slot, seed, arena) {}
 
     uint32_t ebr_slot;
     TimeTravelIndex index;
@@ -132,6 +135,11 @@ class ScaleOijEngine : public ParallelEngineBase {
                int64_t arrival_us);
   void Evict(JoinerState& s);
 
+  /// Joiner-owned slab arenas (pooled_alloc; empty otherwise). Declared
+  /// before ebr_ and states_: destruction runs states_ (frees live nodes
+  /// into the arenas), then ebr_ (drains retired runs into them), then the
+  /// arenas themselves — matching NodeArena's lifetime contract.
+  std::vector<std::unique_ptr<NodeArena>> arenas_;
   EpochManager ebr_;
   PartitionTable table_;
   LoadStats router_stats_;

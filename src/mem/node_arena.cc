@@ -1,0 +1,136 @@
+#include "mem/node_arena.h"
+
+#include <cassert>
+#include <new>
+
+namespace oij {
+
+namespace {
+/// Single-writer counter bump: only the owner thread mutates, metrics
+/// threads just read, so a relaxed load+store suffices — no locked RMW
+/// on the allocation hot path.
+inline void Bump(std::atomic<uint64_t>& c, uint64_t delta) {
+  c.store(c.load(std::memory_order_relaxed) + delta,
+          std::memory_order_relaxed);
+}
+inline void Drop(std::atomic<uint64_t>& c, uint64_t delta) {
+  c.store(c.load(std::memory_order_relaxed) - delta,
+          std::memory_order_relaxed);
+}
+}  // namespace
+
+NodeArena::~NodeArena() {
+  for (Slab* slab : all_slabs_) {
+    ::operator delete(slab, std::align_val_t{kSlabBytes});
+  }
+}
+
+void* NodeArena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  Bump(allocations_, 1);
+  Bump(live_nodes_, 1);
+  if (bytes > kMaxClassBytes) {
+    Bump(oversize_allocs_, 1);
+    return ::operator new(bytes);
+  }
+  const size_t cls = ClassIndex(bytes);
+  const uint32_t class_bytes = static_cast<uint32_t>((cls + 1) * kGranule);
+  Slab* slab = usable_[cls];
+  if (slab == nullptr) slab = TakeSlab(class_bytes);
+
+  void* block;
+  if (slab->free_head != nullptr) {
+    block = slab->free_head;
+    slab->free_head = *static_cast<void**>(block);
+  } else {
+    block = reinterpret_cast<char*>(slab) + kDataOffset + slab->bump;
+    slab->bump += class_bytes;
+  }
+  ++slab->live;
+  if (slab->free_head == nullptr &&
+      kDataOffset + slab->bump + class_bytes > kSlabBytes) {
+    UnlinkUsable(cls, slab);  // full: neither free blocks nor bump room
+  }
+  return block;
+}
+
+void NodeArena::Deallocate(void* ptr, size_t bytes) {
+  Drop(live_nodes_, 1);
+  if (bytes > kMaxClassBytes) {
+    ::operator delete(ptr);
+    return;
+  }
+  Slab* slab = SlabOf(ptr);
+  const size_t cls = ClassIndex(slab->class_bytes);
+  *static_cast<void**>(ptr) = slab->free_head;
+  slab->free_head = ptr;
+  --slab->live;
+  if (!slab->in_usable) LinkUsable(cls, slab);
+  if (slab->live == 0) {
+    // Fully dead: drop the whole free list at once and make the slab
+    // available to every size class.
+    UnlinkUsable(cls, slab);
+    slab->free_head = nullptr;
+    slab->bump = 0;
+    slab->class_bytes = 0;
+    slab->prev = nullptr;
+    slab->next = empty_;
+    empty_ = slab;
+    Bump(slab_recycles_, 1);
+  }
+}
+
+NodeArena::Slab* NodeArena::TakeSlab(uint32_t class_bytes) {
+  Slab* slab = empty_;
+  if (slab != nullptr) {
+    empty_ = slab->next;
+    slab->next = nullptr;
+  } else {
+    void* raw = ::operator new(kSlabBytes, std::align_val_t{kSlabBytes});
+    slab = new (raw) Slab();
+    all_slabs_.push_back(slab);
+    Bump(reserved_bytes_, kSlabBytes);
+  }
+  slab->class_bytes = class_bytes;
+  LinkUsable(ClassIndex(class_bytes), slab);
+  return slab;
+}
+
+void NodeArena::LinkUsable(size_t cls, Slab* slab) {
+  slab->prev = nullptr;
+  slab->next = usable_[cls];
+  if (usable_[cls] != nullptr) usable_[cls]->prev = slab;
+  usable_[cls] = slab;
+  slab->in_usable = true;
+}
+
+void NodeArena::UnlinkUsable(size_t cls, Slab* slab) {
+  if (!slab->in_usable) return;
+  if (slab->prev != nullptr) {
+    slab->prev->next = slab->next;
+  } else {
+    usable_[cls] = slab->next;
+  }
+  if (slab->next != nullptr) slab->next->prev = slab->prev;
+  slab->prev = nullptr;
+  slab->next = nullptr;
+  slab->in_usable = false;
+}
+
+NodeArena::Stats NodeArena::snapshot() const {
+  Stats s;
+  s.reserved_bytes = reserved_bytes_.load(std::memory_order_relaxed);
+  s.live_nodes = live_nodes_.load(std::memory_order_relaxed);
+  s.allocations = allocations_.load(std::memory_order_relaxed);
+  s.slab_recycles = slab_recycles_.load(std::memory_order_relaxed);
+  s.oversize_allocs = oversize_allocs_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t NodeArena::EmptySlabCount() const {
+  size_t n = 0;
+  for (Slab* slab = empty_; slab != nullptr; slab = slab->next) ++n;
+  return n;
+}
+
+}  // namespace oij

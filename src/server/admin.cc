@@ -17,13 +17,13 @@ class JsonOut {
   void Raw(std::string_view s) { out_.append(s); }
 
   void Key(std::string_view name) {
-    Comma();
-    String(name);
+    String(name);  // String() emits the separating comma
     out_ += ":";
     pending_comma_ = false;
   }
 
   void String(std::string_view s) {
+    Comma();
     out_ += '"';
     for (char c : s) {
       switch (c) {
@@ -57,6 +57,7 @@ class JsonOut {
   }
 
   void Number(double v) {
+    Comma();
     if (!std::isfinite(v)) {
       Raw("null");
     } else if (v == std::floor(v) && std::abs(v) < 1e15) {
@@ -75,6 +76,7 @@ class JsonOut {
   void Number(int64_t v) { Number(static_cast<double>(v)); }
 
   void Bool(bool v) {
+    Comma();
     Raw(v ? "true" : "false");
     pending_comma_ = true;
   }
@@ -161,6 +163,19 @@ std::string RenderPrometheusMetrics(const AdminSnapshot& snap) {
               static_cast<double>(snap.progress.consumed[j]),
               {{"joiner", std::to_string(j)}});
   }
+
+  // Allocator gauges (live; zero unless the engine runs pooled_alloc).
+  w.Gauge("oij_arena_bytes",
+          "Slab bytes reserved by the joiner-owned node arenas",
+          static_cast<double>(snap.progress.arena_bytes));
+  w.Gauge("oij_arena_live_nodes", "Nodes resident in the node arenas",
+          static_cast<double>(snap.progress.arena_live_nodes));
+  w.Gauge("oij_ebr_retired_backlog",
+          "Nodes retired to EBR and awaiting epoch drain",
+          static_cast<double>(snap.progress.ebr_retired_backlog));
+  w.Counter("oij_arena_slab_recycles_total",
+            "Fully-dead slabs returned to the arena empty pool",
+            static_cast<double>(snap.progress.arena_slab_recycles));
 
   if (snap.run_finished) {
     const RunResult& run = snap.final_run;
@@ -280,6 +295,17 @@ std::string RenderStatzJson(const AdminSnapshot& snap) {
   j.Open('[');
   for (uint64_t v : snap.progress.consumed) j.Number(v);
   j.Close(']');
+  j.Key("memory");
+  j.Open('{');
+  j.Key("arena_bytes");
+  j.Number(snap.progress.arena_bytes);
+  j.Key("arena_live_nodes");
+  j.Number(snap.progress.arena_live_nodes);
+  j.Key("ebr_retired_backlog");
+  j.Number(snap.progress.ebr_retired_backlog);
+  j.Key("arena_slab_recycles");
+  j.Number(snap.progress.arena_slab_recycles);
+  j.Close('}');
   j.Close('}');
 
   if (snap.run_finished) {
@@ -327,6 +353,21 @@ std::string RenderStatzJson(const AdminSnapshot& snap) {
     j.Number(st.overload_shed);
     j.Key("control_lost");
     j.Number(st.control_lost);
+    j.Close('}');
+    j.Key("memory");
+    j.Open('{');
+    j.Key("pooled");
+    j.Bool(st.mem.pooled);
+    j.Key("arena_reserved_bytes");
+    j.Number(st.mem.arena_reserved_bytes);
+    j.Key("arena_live_nodes");
+    j.Number(st.mem.arena_live_nodes);
+    j.Key("arena_allocations");
+    j.Number(st.mem.arena_allocations);
+    j.Key("arena_slab_recycles");
+    j.Number(st.mem.arena_slab_recycles);
+    j.Key("ebr_retired_backlog");
+    j.Number(st.mem.ebr_retired_backlog);
     j.Close('}');
     j.Key("warnings");
     j.Open('[');

@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "ebr/epoch_manager.h"
+#include "mem/node_arena.h"
 
 namespace oij {
 
@@ -41,9 +42,16 @@ class SwmrSkipList {
 
   /// `ebr` + `owner_slot` are used to retire evicted nodes; pass nullptr
   /// for single-threaded use (nodes are then freed immediately).
+  ///
+  /// `arena` (the `pooled_alloc` path) moves node storage off the global
+  /// heap onto the owner's slab arena and switches eviction from one
+  /// EpochManager::Retire per node to one RetireBatch per evicted run.
+  /// The arena must outlive both this list and `ebr` (see NodeArena's
+  /// lifetime contract); with arena == nullptr behaviour is byte-for-byte
+  /// the pre-arena heap path.
   explicit SwmrSkipList(EpochManager* ebr = nullptr, uint32_t owner_slot = 0,
-                        uint64_t seed = 0x5eed)
-      : ebr_(ebr), owner_slot_(owner_slot), rng_(seed) {
+                        uint64_t seed = 0x5eed, NodeArena* arena = nullptr)
+      : ebr_(ebr), owner_slot_(owner_slot), arena_(arena), rng_(seed) {
     head_ = NewNode(K{}, V{}, kMaxHeight);
   }
 
@@ -51,7 +59,7 @@ class SwmrSkipList {
     Node* n = head_;
     while (n != nullptr) {
       Node* next = n->Next(0);
-      DeleteNode(n);
+      DeleteNode(n, arena_);
       n = next;
     }
   }
@@ -169,15 +177,27 @@ class SwmrSkipList {
       head_->SetNextRelease(level, next);
     }
 
-    // Walk the removed prefix (still linked) and retire it.
+    // Walk the removed prefix (still linked) and retire it. The prefix's
+    // level-0 chain is left untouched — readers inside it still need the
+    // forward pointers — which also makes it a ready-made intrusive run:
+    // with an arena the whole prefix is retired as one RetireBatch entry
+    // instead of `removed` std::function deleters.
     size_t removed = 0;
     Node* n = old_first;
     while (n != nullptr && n->key < bound) {
       Node* next = n->Next(0);
       on_remove(n->key, n->value);
-      RetireNode(n);
+      if (ebr_ == nullptr) {
+        DeleteNode(n, arena_);
+      } else if (arena_ == nullptr) {
+        ebr_->Retire(owner_slot_, [n] { DeleteNode(n, nullptr); });
+      }
       ++removed;
       n = next;
+    }
+    if (ebr_ != nullptr && arena_ != nullptr && removed > 0) {
+      ebr_->RetireBatch(owner_slot_, old_first, removed, &DrainRetiredRun,
+                        arena_);
     }
     size_.fetch_sub(removed, std::memory_order_relaxed);
     return removed;
@@ -191,11 +211,16 @@ class SwmrSkipList {
   size_t size() const { return size_.load(std::memory_order_relaxed); }
   bool empty() const { return size() == 0; }
 
+  /// Bytes a node of `height` occupies (allocation and free must agree).
+  static size_t NodeBytes(int height) {
+    return sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1);
+  }
+
  private:
   Node* NewNode(const K& key, const V& value, int height) {
-    const size_t bytes =
-        sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1);
-    void* mem = ::operator new(bytes);
+    const size_t bytes = NodeBytes(height);
+    void* mem =
+        arena_ != nullptr ? arena_->Allocate(bytes) : ::operator new(bytes);
     Node* n = static_cast<Node*>(mem);
     new (&n->key) K(key);
     new (&n->value) V(value);
@@ -206,17 +231,29 @@ class SwmrSkipList {
     return n;
   }
 
-  static void DeleteNode(Node* n) {
+  static void DeleteNode(Node* n, NodeArena* arena) {
+    const size_t bytes = NodeBytes(n->height);
     n->key.~K();
     n->value.~V();
-    ::operator delete(static_cast<void*>(n));
+    if (arena != nullptr) {
+      arena->Deallocate(static_cast<void*>(n), bytes);
+    } else {
+      ::operator delete(static_cast<void*>(n));
+    }
   }
 
-  void RetireNode(Node* n) {
-    if (ebr_ != nullptr) {
-      ebr_->Retire(owner_slot_, [n] { DeleteNode(n); });
-    } else {
-      DeleteNode(n);
+  /// EpochManager::DrainFn for a retired eviction run: the chain is the
+  /// prefix's own level-0 pointers, so read each node's successor before
+  /// freeing it. Walks exactly `count` nodes — the chain's tail pointer
+  /// leads into memory this run does not own (the retained suffix, or a
+  /// later-retired run).
+  static void DrainRetiredRun(void* head, size_t count, void* ctx) {
+    Node* n = static_cast<Node*>(head);
+    NodeArena* arena = static_cast<NodeArena*>(ctx);
+    for (size_t i = 0; i < count; ++i) {
+      Node* next = n->Next(0);
+      DeleteNode(n, arena);
+      n = next;
     }
   }
 
@@ -229,6 +266,7 @@ class SwmrSkipList {
 
   EpochManager* ebr_;
   uint32_t owner_slot_;
+  NodeArena* arena_;
   Rng rng_;
   Node* head_;
   std::atomic<size_t> size_{0};

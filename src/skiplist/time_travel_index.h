@@ -7,6 +7,7 @@
 
 #include "common/types.h"
 #include "ebr/epoch_manager.h"
+#include "mem/node_arena.h"
 #include "skiplist/swmr_skiplist.h"
 
 namespace oij {
@@ -32,24 +33,40 @@ class TimeTravelIndex {
   using SecondLayer = SwmrSkipList<Timestamp, Tuple>;
   using FirstLayer = SwmrSkipList<Key, SecondLayer*>;
 
-  /// Pass nullptr `ebr` for single-threaded use.
+  /// Pass nullptr `ebr` for single-threaded use. With `arena` set (the
+  /// `pooled_alloc` path) every node of every layer — and the second-layer
+  /// list objects themselves — live on the owner's slab arena, which must
+  /// outlive both this index and `ebr`.
   explicit TimeTravelIndex(EpochManager* ebr = nullptr,
-                           uint32_t owner_slot = 0, uint64_t seed = 0x71e)
-      : ebr_(ebr), owner_slot_(owner_slot), seed_(seed),
-        first_layer_(ebr, owner_slot, seed) {}
+                           uint32_t owner_slot = 0, uint64_t seed = 0x71e,
+                           NodeArena* arena = nullptr)
+      : ebr_(ebr), owner_slot_(owner_slot), seed_(seed), arena_(arena),
+        first_layer_(ebr, owner_slot, seed, arena) {}
 
   ~TimeTravelIndex() {
     for (auto it = first_layer_.Begin(); it.Valid(); it.Next()) {
-      delete it.value();
+      SecondLayer* layer = it.value();
+      if (arena_ != nullptr) {
+        layer->~SecondLayer();
+        arena_->Deallocate(layer, sizeof(SecondLayer));
+      } else {
+        delete layer;
+      }
     }
   }
 
   TimeTravelIndex(const TimeTravelIndex&) = delete;
   TimeTravelIndex& operator=(const TimeTravelIndex&) = delete;
 
-  /// Inserts a tuple (owner thread only).
+  /// Inserts a tuple (owner thread only). Bursty keys hit the MRU cache
+  /// and skip the first-layer seek entirely: first-layer entries are never
+  /// unlinked and second layers are only destroyed with the whole index,
+  /// so a cached layer can never dangle — even after EvictBefore() empties
+  /// it, it is still the live layer for its key.
   void Insert(const Tuple& t) {
-    SecondLayer* layer = GetOrCreateLayer(t.key);
+    SecondLayer* layer = (mru_layer_ != nullptr && mru_key_ == t.key)
+                             ? mru_layer_
+                             : GetOrCreateLayer(t.key);
     layer->Insert(t.ts, t);
     size_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -102,18 +119,34 @@ class TimeTravelIndex {
  private:
   SecondLayer* GetOrCreateLayer(Key key) {
     SecondLayer* const* existing = first_layer_.FindEqual(key);
-    if (existing != nullptr) return *existing;
-    // Single writer: no race between the miss above and this insert.
-    auto* layer = new SecondLayer(ebr_, owner_slot_,
-                                  seed_ ^ (key * 0x9e3779b97f4a7c15ULL));
-    first_layer_.Insert(key, layer);
+    SecondLayer* layer;
+    if (existing != nullptr) {
+      layer = *existing;
+    } else {
+      // Single writer: no race between the miss above and this insert.
+      const uint64_t seed = seed_ ^ (key * 0x9e3779b97f4a7c15ULL);
+      if (arena_ != nullptr) {
+        void* mem = arena_->Allocate(sizeof(SecondLayer));
+        layer = new (mem) SecondLayer(ebr_, owner_slot_, seed, arena_);
+      } else {
+        layer = new SecondLayer(ebr_, owner_slot_, seed);
+      }
+      first_layer_.Insert(key, layer);
+    }
+    // Owner-only field: readers go through ForEachInRange/FindLayer and
+    // never see the cache.
+    mru_key_ = key;
+    mru_layer_ = layer;
     return layer;
   }
 
   EpochManager* ebr_;
   uint32_t owner_slot_;
   uint64_t seed_;
+  NodeArena* arena_;
   FirstLayer first_layer_;
+  Key mru_key_ = 0;
+  SecondLayer* mru_layer_ = nullptr;
   std::atomic<size_t> size_{0};
 };
 

@@ -164,6 +164,69 @@ TEST(Prometheus, QuantileGaugesNeverExceedMaxThroughMetricsOutput) {
   EXPECT_EQ(buckets.back().second, snap.final_run.stats.latency.count());
 }
 
+TEST(Prometheus, ArenaGaugesRenderFromProgressSample) {
+  // The allocator observability chain: WatchdogSample arena fields must
+  // surface as the four memory gauges on the /metrics page.
+  AdminSnapshot snap;
+  snap.engine_name = "scale-oij";
+  snap.workload_name = "default";
+  snap.run_finished = false;
+  snap.progress.arena_bytes = 4 * 64 * 1024;
+  snap.progress.arena_live_nodes = 1234;
+  snap.progress.ebr_retired_backlog = 56;
+  snap.progress.arena_slab_recycles = 7;
+  const std::string text = RenderPrometheusMetrics(snap);
+
+  EXPECT_EQ(ParseGauge(text, "oij_arena_bytes"), 4.0 * 64 * 1024);
+  EXPECT_EQ(ParseGauge(text, "oij_arena_live_nodes"), 1234.0);
+  EXPECT_EQ(ParseGauge(text, "oij_ebr_retired_backlog"), 56.0);
+  EXPECT_EQ(ParseGauge(text, "oij_arena_slab_recycles_total"), 7.0);
+}
+
+TEST(Statz, ArraysAreCommaSeparatedAndMemoryObjectRenders) {
+  // Regression: JsonOut used to omit the separator between bare array
+  // elements, so multi-joiner queue_depths rendered as [123] instead of
+  // [1,2,3] — invalid JSON that only showed up with >1 joiner.
+  AdminSnapshot snap;
+  snap.engine_name = "scale-oij";
+  snap.workload_name = "default";
+  snap.run_finished = true;
+  snap.progress.queue_depths = {1, 2, 3};
+  snap.progress.consumed = {10, 20, 30};
+  snap.progress.arena_bytes = 65536;
+  snap.final_run.stats.warnings = {"w1", "w2"};
+  snap.final_run.stats.mem.pooled = true;
+  snap.final_run.stats.mem.arena_reserved_bytes = 131072;
+  const std::string text = RenderStatzJson(snap);
+
+  EXPECT_NE(text.find("\"queue_depths\":[1,2,3]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"consumed\":[10,20,30]"), std::string::npos);
+  EXPECT_NE(text.find("\"warnings\":[\"w1\",\"w2\"]"), std::string::npos);
+  EXPECT_NE(text.find("\"memory\":{\"arena_bytes\":65536"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"memory\":{\"pooled\":true,"
+                      "\"arena_reserved_bytes\":131072"),
+            std::string::npos);
+
+  // Structural sanity: brackets balance and never go negative.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0) << "unbalanced at offset " << i;
+  }
+  EXPECT_EQ(depth, 0);
+}
+
 TEST(Prometheus, MetricsPageIsParseable) {
   // Every non-comment line must be `name{labels} value` or `name value`,
   // and every referenced family must have HELP and TYPE headers.

@@ -261,6 +261,101 @@ TEST(StressTest, OverloadPoliciesStayLiveAndSubset) {
   }
 }
 
+TEST(StressTest, PooledAllocOnOffBothExact) {
+  // The arena-backed allocation path (pooled_alloc) must be invisible to
+  // results: both settings join the eviction-heavy stress stream exactly.
+  WorkloadSpec w = StressWorkload(509);
+  w.window = IntervalWindow{150, 0};  // tight retention -> heavy churn
+  QuerySpec q = StressQuery();
+  q.window = w.window;
+  const auto events = Generate(w);
+  for (EngineKind kind : {EngineKind::kScaleOij, EngineKind::kHandshake}) {
+    for (bool pooled : {false, true}) {
+      EngineOptions options;
+      options.num_joiners = 3;
+      options.pooled_alloc = pooled;
+      ExpectExact(kind, events, q, options, 64,
+                  std::string(pooled ? "pooled/" : "heap/") +
+                      std::string(EngineKindName(kind)));
+    }
+  }
+}
+
+TEST(StressTest, PooledAllocReportsArenaStatsOnlyWhenEnabled) {
+  const auto events = Generate(StressWorkload(510));
+  const QuerySpec q = StressQuery();
+  for (bool pooled : {false, true}) {
+    CollectingSink sink;
+    EngineOptions options;
+    options.num_joiners = 2;
+    options.pooled_alloc = pooled;
+    auto engine = CreateEngine(EngineKind::kScaleOij, q, options, &sink);
+    ASSERT_TRUE(engine->Start().ok());
+    WatermarkTracker tracker(q.lateness_us);
+    uint64_t n = 0;
+    for (const StreamEvent& ev : events) {
+      tracker.Observe(ev.tuple.ts);
+      engine->Push(ev, MonotonicNowUs());
+      if (++n % 128 == 0) engine->SignalWatermark(tracker.watermark());
+    }
+    const EngineStats stats = engine->Finish();
+    EXPECT_EQ(stats.mem.pooled, pooled);
+    if (pooled) {
+      EXPECT_GT(stats.mem.arena_reserved_bytes, 0u);
+      EXPECT_GT(stats.mem.arena_allocations, 0u);
+    } else {
+      EXPECT_EQ(stats.mem.arena_reserved_bytes, 0u);
+      EXPECT_EQ(stats.mem.arena_allocations, 0u);
+    }
+  }
+}
+
+TEST(StressTest, PooledAllocMatchesPolicyReferenceUnderLateFlood) {
+  // Differential exactness against the policy-aware oracle with the arena
+  // enabled: late-tuple gating, eviction, and chunked reclamation compose
+  // without changing what is emitted.
+  WorkloadSpec w = StressWorkload(511);
+  w.late_flood_fraction = 0.15;
+  w.late_flood_extra_us = 50;
+  const auto events = Generate(w);
+  QuerySpec q = StressQuery();
+  q.late_policy = LatePolicy::kDropAndCount;
+  const uint64_t wm_every = 7;
+  auto expected = ReferenceJoinWithPolicy(events, q, wm_every);
+  SortResults(&expected);
+
+  for (EngineKind kind : {EngineKind::kScaleOij, EngineKind::kHandshake}) {
+    const std::string label =
+        std::string("pooled-late/") + std::string(EngineKindName(kind));
+    CollectingSink sink;
+    EngineOptions options;
+    options.num_joiners = 3;
+    options.pooled_alloc = true;
+    auto engine = CreateEngine(kind, q, options, &sink);
+    ASSERT_TRUE(engine->Start().ok()) << label;
+    WatermarkTracker tracker(q.lateness_us);
+    uint64_t n = 0;
+    for (const StreamEvent& ev : events) {
+      tracker.Observe(ev.tuple.ts);
+      engine->Push(ev, MonotonicNowUs());
+      if (++n % wm_every == 0) engine->SignalWatermark(tracker.watermark());
+    }
+    engine->Finish();
+
+    std::vector<ReferenceResult> got;
+    for (const JoinResult& r : sink.TakeResults()) {
+      got.push_back({r.base, r.aggregate, r.match_count});
+    }
+    SortResults(&got);
+    ASSERT_EQ(got.size(), expected.size()) << label;
+    size_t bad = 0;
+    for (size_t i = 0; i < got.size(); ++i) {
+      if (got[i].match_count != expected[i].match_count) ++bad;
+    }
+    EXPECT_EQ(bad, 0u) << label;
+  }
+}
+
 TEST(StressTest, SingleJoinerDegeneratesGracefully) {
   const auto events = Generate(StressWorkload(507));
   for (EngineKind kind : {EngineKind::kKeyOij, EngineKind::kScaleOij,

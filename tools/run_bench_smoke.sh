@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Smoke-runs every benchmark binary once at a tiny scale. This catches
+# bit-rot in the bench harnesses (renamed options, crashed variants,
+# stale engine plumbing) without paying for real measurements; numbers
+# printed here are meaningless.
+#
+# Usage: tools/run_bench_smoke.sh [bench-dir]   (default: build/bench)
+set -euo pipefail
+
+BENCH_DIR="${1:-build/bench}"
+export OIJ_BENCH_SCALE="${OIJ_BENCH_SCALE:-0.05}"
+export OIJ_BENCH_THREADS="${OIJ_BENCH_THREADS:-1,2}"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "bench dir '$BENCH_DIR' not found" \
+       "(configure with -DOIJ_BUILD_BENCHMARKS=ON and build)" >&2
+  exit 1
+fi
+
+status=0
+ran=0
+for bin in "$BENCH_DIR"/bench_*; do
+  [ -x "$bin" ] && [ -f "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "=== smoke: $name (scale=$OIJ_BENCH_SCALE threads=$OIJ_BENCH_THREADS) ==="
+  case "$name" in
+    # google-benchmark harnesses: force one minimal repetition. The
+    # packaged benchmark library predates the "<N>x" min-time syntax,
+    # so pass a small double instead.
+    bench_micro_structures|bench_wire_codec)
+      args=(--benchmark_min_time=0.01)
+      ;;
+    # figure/table harnesses: one repetition by construction, sized by
+    # OIJ_BENCH_SCALE / OIJ_BENCH_THREADS.
+    *)
+      args=()
+      ;;
+  esac
+  if ! "$bin" "${args[@]}"; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+  ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "no bench_* binaries found in '$BENCH_DIR'" >&2
+  exit 1
+fi
+echo "bench smoke: $ran binaries, status=$status"
+exit $status
