@@ -31,6 +31,30 @@ struct FaultInjector {
   /// detection).
   uint64_t freeze_watermarks_after = UINT64_MAX;
 
+  /// --- Disk faults (consumed by the WAL layer, src/wal/wal.cc) ---
+  ///
+  /// Seeded independently of the workload generator's rng (which owns
+  /// the late-flood knob), so turning disk faults on or off never
+  /// perturbs the arrival sequence an engine sees: the same run can be
+  /// replayed with and without I/O faults and diffed. The WAL derives a
+  /// per-shard deterministic stream from `disk_fault_seed`, so shard
+  /// counts change fault placement but not the input data.
+  uint64_t disk_fault_seed = 0x0d15c'fa17ULL;
+
+  /// Probability that a WAL write() persists only a random prefix of the
+  /// buffer while still being reported upstream as complete (models a
+  /// torn write / lost page cache on crash).
+  double short_write_probability = 0.0;
+
+  /// Probability that an fsync() is silently skipped (models fsync
+  /// failure / ignored flush). Counted in WalStats::fsync_failures and
+  /// leaves synced_records un-advanced.
+  double fsync_failure_probability = 0.0;
+
+  bool InjectsDiskFaults() const {
+    return short_write_probability > 0.0 || fsync_failure_probability > 0.0;
+  }
+
   bool SlowsJoiner(uint32_t joiner) const {
     return joiner == slow_joiner && slow_delay_us > 0;
   }

@@ -20,6 +20,12 @@ inline uint64_t Mix64(uint64_t x) {
 /// layer to map column names and by tests.
 uint64_t HashBytes(std::string_view data, uint64_t seed = 0);
 
+/// CRC-32C (Castagnoli) over a byte string. Guards every WAL record and
+/// the snapshot manifest so the recovery reader can distinguish a torn
+/// tail from valid data (src/wal/). Pass the previous return value as
+/// `seed` to checksum a logical record split across buffers.
+uint32_t Crc32c(std::string_view data, uint32_t seed = 0);
+
 /// Maps a hashed key into one of `n` contiguous hash-range partitions.
 /// Partitions are *ranges* of the hash space (not modulo classes) so that a
 /// partition table over ranges can be re-split without rehashing.

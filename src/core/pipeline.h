@@ -32,9 +32,16 @@ struct PipelineConfig {
   /// Optional cooperative stop (e.g. the SIGINT/SIGTERM flag from
   /// server/signal_stop.h). When non-null and set, the driver stops
   /// pulling from the source and drains normally — staged batches are
-  /// flushed and the engine is Finish()ed — so an interrupted run still
-  /// produces a consistent summary instead of dying mid-stream.
+  /// flushed, JoinEngine::Sync() forces every WAL byte to disk, and the
+  /// engine is Finish()ed — so an interrupted run still produces a
+  /// consistent summary (and a durable log) instead of dying
+  /// mid-stream.
   const std::atomic<bool>* stop = nullptr;
+
+  /// Run crash recovery (JoinEngine::Recover) between Start() and the
+  /// first Push, replaying whatever EngineOptions::durability.wal_dir
+  /// holds. With durability off this is a no-op.
+  bool recover = false;
 };
 
 /// Outcome of one complete run.

@@ -24,6 +24,14 @@ RunResult DrivePipeline(JoinEngine* engine, Source* source,
     std::fprintf(stderr, "engine start failed: %s\n", s.ToString().c_str());
     std::abort();
   }
+  if (config.recover) {
+    s = engine->Recover();
+    if (!s.ok()) {
+      std::fprintf(stderr, "engine recovery failed: %s\n",
+                   s.ToString().c_str());
+      std::abort();
+    }
+  }
 
   RateLimiter limiter(pace_rate_per_sec);
   const bool paced = !limiter.unlimited();
@@ -71,6 +79,12 @@ RunResult DrivePipeline(JoinEngine* engine, Source* source,
     result.final_adaptive_lag_us = adaptive.CurrentLag();
   }
 
+  if (config.stop != nullptr && config.stop->load(std::memory_order_relaxed)) {
+    // Cooperative drain (SIGINT/SIGTERM): make everything accepted so
+    // far durable before finalizing, so a graceful shutdown never loses
+    // logged state regardless of the fsync policy.
+    engine->Sync();
+  }
   result.stats = engine->Finish();
   meter.Stop();
   meter.AddTuples(result.tuples);

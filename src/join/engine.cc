@@ -6,8 +6,17 @@
 
 #include "common/clock.h"
 #include "common/thread_util.h"
+#include "wal/wal_reader.h"
 
 namespace oij {
+
+Status JoinEngine::Recover() {
+  Status s = BeginRecovery();
+  if (!s.ok()) return s;
+  while (RecoveryStep(4096)) {
+  }
+  return Status::OK();
+}
 
 std::string_view OverloadPolicyName(OverloadPolicy policy) {
   switch (policy) {
@@ -53,7 +62,7 @@ Status EngineOptions::Validate() const {
           "watchdog escalation thresholds must be positive");
     }
   }
-  return Status::OK();
+  return durability.Validate();
 }
 
 double EngineStats::ActualUnbalancedness() const {
@@ -120,6 +129,17 @@ Status ParallelEngineBase::Start() {
   stop_.store(false, std::memory_order_release);
   exited_.store(0, std::memory_order_release);
 
+  if (options_.durability.enabled()) {
+    wal_ = std::make_unique<WalManager>(options_.durability,
+                                        options_.num_joiners,
+                                        options_.fault_injector);
+    s = wal_->Open();
+    if (!s.ok()) {
+      wal_.reset();
+      return s;
+    }
+  }
+
   started_ = true;
   threads_.reserve(options_.num_joiners);
   for (uint32_t j = 0; j < options_.num_joiners; ++j) {
@@ -130,12 +150,35 @@ Status ParallelEngineBase::Start() {
   return Status::OK();
 }
 
+void ParallelEngineBase::ArmWalIngest() {
+  ingest_begun_ = true;
+  if (wal_->HasExistingState() && !recovery_done_) {
+    // The caller started ingesting without recovering: the on-disk
+    // state belongs to a previous incarnation and mixing it with this
+    // run's log would corrupt a later recovery. Fresh-start semantics.
+    wal_->DiscardExistingState();
+    wal_warnings_.push_back(
+        "wal_dir held state from a previous run but ingest began without "
+        "recovery; discarded it (recover before the first Push to keep "
+        "it)");
+  }
+}
+
 void ParallelEngineBase::Push(const StreamEvent& event, int64_t arrival_us) {
   pushed_.fetch_add(1, std::memory_order_relaxed);
   if (stop_requested()) {
     // Aborted run: everything after the abort is shed at the door.
     ++overload_dropped_;
     return;
+  }
+  if (wal_ != nullptr && !replaying_.load(std::memory_order_relaxed)) {
+    // Log the *raw* arrival before the lateness gate: replaying the same
+    // arrivals against the same watermark sequence reproduces every gate
+    // decision, so drops/side-channel diversions recover identically.
+    if (!ingest_begun_) ArmWalIngest();
+    wal_->AppendTuple(event);
+    wal_->CommitGroup(arrival_us, /*watermark_barrier=*/false);
+    wal_->PollSnapshotCompletion();
   }
   if (!late_gate_.Admit(event)) return;
 
@@ -164,6 +207,17 @@ void ParallelEngineBase::SignalWatermark(Timestamp watermark) {
   late_gate_.ObserveWatermark(watermark);
   watermarks_signaled_.fetch_add(1, std::memory_order_relaxed);
 
+  const bool wal_live =
+      wal_ != nullptr && !replaying_.load(std::memory_order_relaxed);
+  if (wal_live) {
+    if (!ingest_begun_) ArmWalIngest();
+    wal_->AppendWatermark(watermark);
+    // The per-batch durability point: everything this watermark can
+    // finalize reaches disk *before* the joiners see the punctuation,
+    // so no externalized result ever depends on an unlogged input.
+    wal_->CommitGroup(MonotonicNowUs(), /*watermark_barrier=*/true);
+  }
+
   Event ev;
   ev.kind = Event::Kind::kWatermark;
   ev.watermark = watermark;
@@ -175,6 +229,27 @@ void ParallelEngineBase::SignalWatermark(Timestamp watermark) {
       // finalization — account it so the run is marked non-pristine.
       ++control_lost_per_joiner_[j];
     }
+  }
+
+  if (wal_live) {
+    if (wal_->SnapshotDue()) {
+      // Snapshot barrier: rotate the log, then ask every joiner (via an
+      // ordinary control event, so FIFO order makes the cut consistent)
+      // to persist its state for this epoch.
+      const uint64_t epoch =
+          wal_->BeginSnapshot(late_gate_.last_watermark());
+      Event snap;
+      snap.kind = Event::Kind::kSnapshot;
+      snap.watermark = static_cast<Timestamp>(epoch);
+      snap.seq = seq_++;
+      for (uint32_t j = 0; j < options_.num_joiners; ++j) {
+        if (!EnqueueControl(j, snap, -1)) {
+          ++control_lost_per_joiner_[j];
+          wal_->MarkSnapshotFailed(epoch);
+        }
+      }
+    }
+    wal_->PollSnapshotCompletion();
   }
 }
 
@@ -403,6 +478,14 @@ EngineStats ParallelEngineBase::Finish() {
   watchdog_.Stop();
   StopAuxiliary();
 
+  if (wal_ != nullptr) {
+    // Joiners have exited, so a snapshot in flight is either complete or
+    // failed — settle it, then make every logged byte durable.
+    wal_->PollSnapshotCompletion();
+    wal_->Flush(/*sync=*/true);
+    stats.wal = wal_->StatsSnapshot();
+  }
+
   stats.input_tuples = pushed_.load(std::memory_order_relaxed);
   stats.overload_dropped = overload_dropped_;
   stats.overload_shed = overload_shed_;
@@ -411,6 +494,8 @@ EngineStats ParallelEngineBase::Finish() {
   for (uint64_t lost : control_lost_per_joiner_) stats.control_lost += lost;
   stats.late = late_gate_.stats();
   stats.warnings = watchdog_.TakeWarnings();
+  stats.warnings.insert(stats.warnings.end(), wal_warnings_.begin(),
+                        wal_warnings_.end());
   if (stats.control_lost > 0) {
     stats.warnings.push_back(
         "lost " + std::to_string(stats.control_lost) +
@@ -484,6 +569,10 @@ void ParallelEngineBase::JoinerMain(uint32_t joiner) {
             OnFlush(joiner);
             flushed = true;
             break;
+          case Event::Kind::kSnapshot:
+            HandleSnapshotEvent(joiner,
+                                static_cast<uint64_t>(ev.watermark));
+            break;
         }
         if (flushed) break;
       }
@@ -552,6 +641,142 @@ void ParallelEngineBase::StartWatchdog() {
 void ParallelEngineBase::RecordUnhealthy(const Status& status) {
   std::lock_guard<std::mutex> lock(health_mu_);
   if (health_.ok()) health_ = status;
+}
+
+void ParallelEngineBase::Sync() {
+  FlushAllStaged(/*deadline_ns=*/-1);
+  if (wal_ != nullptr) {
+    wal_->PollSnapshotCompletion();
+    wal_->Flush(/*sync=*/true);
+  }
+}
+
+void ParallelEngineBase::HandleSnapshotEvent(uint32_t joiner,
+                                             uint64_t epoch) {
+  if (wal_ == nullptr) return;
+  std::vector<StreamEvent> state;
+  if (!CollectSnapshotState(joiner, &state)) {
+    // Engine without snapshot support (e.g. SplitJoin): abort the epoch;
+    // the log is simply never truncated and recovery replays all of it.
+    wal_->MarkSnapshotFailed(epoch);
+    return;
+  }
+  // A write failure marked the epoch failed inside the manager already.
+  (void)wal_->WriteJoinerSnapshot(epoch, joiner, state);
+}
+
+Status ParallelEngineBase::BeginRecovery() {
+  if (wal_ == nullptr) return Status::OK();  // durability off: trivial
+  if (!started_ || finished_) {
+    return Status::FailedPrecondition(
+        "BeginRecovery needs a started, unfinished engine");
+  }
+  if (ingest_begun_ || replaying_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "recovery must precede the first Push/SignalWatermark");
+  }
+  recovery_done_ = true;  // even an empty plan counts as "recovered"
+  recovery_start_us_ = MonotonicNowUs();
+  auto plan = std::make_unique<WalReplayPlan>();
+  const Status s = BuildReplayPlan(wal_->dir(), plan.get());
+  if (!s.ok()) return s;
+  replay_plan_ = std::move(plan);
+  replay_stage_ = 0;
+  replay_pos_ = 0;
+  replayed_tuples_ = 0;
+  replayed_watermarks_ = 0;
+  replaying_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+bool ParallelEngineBase::RecoveryStep(size_t max_events) {
+  if (!replaying_.load(std::memory_order_relaxed)) return false;
+  size_t budget = max_events == 0 ? SIZE_MAX : max_events;
+  WalReplayPlan& plan = *replay_plan_;
+  while (budget > 0) {
+    if (replay_stage_ == 0) {
+      // Snapshot contents re-enter through normal ingest; the gate's
+      // watermark is still -inf here, so every tuple is admitted no
+      // matter how old.
+      if (replay_pos_ >= plan.snapshot_events.size()) {
+        replay_stage_ = 1;
+        replay_pos_ = 0;
+        continue;
+      }
+      Push(plan.snapshot_events[replay_pos_++], MonotonicNowUs());
+      ++replayed_tuples_;
+      --budget;
+    } else if (replay_stage_ == 1) {
+      if (plan.has_snapshot) {
+        // Restore the watermark in force at the snapshot barrier before
+        // the log suffix, so suffix-replay gate decisions match the
+        // original run.
+        SignalWatermark(plan.restore_watermark);
+        ++replayed_watermarks_;
+        --budget;
+      }
+      replay_stage_ = 2;
+      replay_pos_ = 0;
+    } else if (replay_stage_ == 2) {
+      if (replay_pos_ >= plan.records.size()) {
+        replay_stage_ = 3;
+        break;
+      }
+      const WalReplayRecord& record = plan.records[replay_pos_++];
+      if (record.is_watermark) {
+        SignalWatermark(record.watermark);
+        ++replayed_watermarks_;
+      } else {
+        Push(record.event, MonotonicNowUs());
+        ++replayed_tuples_;
+      }
+      --budget;
+    } else {
+      break;
+    }
+  }
+  if (replay_stage_ >= 2 && replay_pos_ >= plan.records.size()) {
+    FinishRecovery();
+    return false;
+  }
+  return true;
+}
+
+void ParallelEngineBase::FinishRecovery() {
+  WalReplayPlan& plan = *replay_plan_;
+  FlushAllStaged(/*deadline_ns=*/-1);
+  wal_->RecordReplay(replayed_tuples_, replayed_watermarks_,
+                     plan.torn_tails,
+                     MonotonicNowUs() - recovery_start_us_);
+  wal_->ResumeAppends(plan.max_lsn + 1);
+  if (plan.torn_tails > 0) {
+    wal_warnings_.push_back(
+        "recovery hit " + std::to_string(plan.torn_tails) +
+        " torn log tail(s) (" + std::to_string(plan.torn_bytes) +
+        " byte(s) discarded); loss is bounded by the fsync policy of the "
+        "crashed run");
+  }
+  replay_plan_.reset();
+  replaying_.store(false, std::memory_order_release);
+}
+
+bool ParallelEngineBase::Recovering() const {
+  return replaying_.load(std::memory_order_acquire);
+}
+
+WalStats ParallelEngineBase::SampleWal() const {
+  return wal_ != nullptr ? wal_->StatsSnapshot() : WalStats{};
+}
+
+void ParallelEngineBase::CrashForTest() {
+  if (!started_ || finished_) return;
+  finished_ = true;
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  watchdog_.Stop();
+  StopAuxiliary();
+  if (wal_ != nullptr) wal_->SimulateCrash();
 }
 
 }  // namespace oij

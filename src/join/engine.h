@@ -23,6 +23,7 @@
 #include "metrics/latency_recorder.h"
 #include "sched/rebalancer.h"
 #include "stream/generator.h"
+#include "wal/wal.h"
 
 namespace oij {
 
@@ -32,6 +33,8 @@ struct Event {
     kTuple = 0,
     kWatermark,  ///< punctuation carrying the current low-watermark
     kFlush,      ///< end of stream: finalize everything and exit
+    kSnapshot,   ///< durability barrier: write this joiner's snapshot
+                 ///< shard for the epoch carried in `watermark`
   };
 
   Kind kind = Kind::kTuple;
@@ -207,6 +210,10 @@ struct EngineOptions {
   bool enable_watchdog = true;
   WatchdogConfig watchdog;
 
+  /// Write-ahead logging + snapshots (src/wal/, DESIGN.md §5e). Off by
+  /// default (empty wal_dir) — zero cost on the ingest path.
+  DurabilityOptions durability;
+
   /// Upper bound on how long Finish() may block flushing and joining.
   /// On expiry the engine raises its stop token, reports
   /// DeadlineExceeded in EngineStats::health, and still returns.
@@ -275,6 +282,9 @@ struct EngineStats {
   /// Allocator observability (pooled_alloc runs).
   MemStats mem;
 
+  /// Durability counters (all-zero with durability off).
+  WalStats wal;
+
   /// OK on a clean run; ResourceExhausted / DeadlineExceeded when the
   /// watchdog or the Finish deadline aborted it.
   Status health;
@@ -316,6 +326,35 @@ class JoinEngine {
 
   virtual EngineStats Finish() = 0;
 
+  /// Durability barrier (driver thread): flushes staged batches and
+  /// forces every appended WAL byte to disk regardless of the fsync
+  /// policy. After Sync() returns, a crash loses nothing that was
+  /// Push()ed before it. No-op for engines without a WAL.
+  virtual void Sync() {}
+
+  /// --- Crash recovery (driver thread, between Start() and the first
+  /// Push) ---
+  ///
+  /// BeginRecovery() loads the latest committed snapshot + WAL suffix
+  /// from EngineOptions::durability.wal_dir into a replay plan;
+  /// RecoveryStep() replays up to `max_events` of it through the normal
+  /// ingest path (replayed tuples are just "late" tuples — the lateness
+  /// machinery makes recovery exact) and returns true while more
+  /// remains, so a server can interleave replay with answering admin
+  /// probes. Engines without durability recover trivially.
+  virtual Status BeginRecovery() { return Status::OK(); }
+  virtual bool RecoveryStep(size_t /*max_events*/) { return false; }
+
+  /// Convenience: BeginRecovery + drive RecoveryStep to completion.
+  Status Recover();
+
+  /// True while a recovery replay is in progress (any thread; the
+  /// serving layer's /healthz answers 503 from this).
+  virtual bool Recovering() const { return false; }
+
+  /// Live durability counters (any thread); all-zero without a WAL.
+  virtual WalStats SampleWal() const { return WalStats{}; }
+
   /// Live health probe, callable from any thread while the engine runs:
   /// OK until the watchdog (or the Finish deadline) has escalated, then
   /// the escalation status. The serving layer's /healthz renders this.
@@ -345,8 +384,20 @@ class ParallelEngineBase : public JoinEngine {
   void SignalWatermark(Timestamp watermark) final;
   void FlushPending() final;
   EngineStats Finish() final;
+  void Sync() final;
+  Status BeginRecovery() final;
+  bool RecoveryStep(size_t max_events) final;
+  bool Recovering() const final;
+  WalStats SampleWal() const final;
   Status Health() const final;
   WatchdogSample SampleProgress() const final;
+
+  /// Test hook modeling kill -9: raises the stop token and tears the
+  /// engine down with *no* final flush, drain or WAL sync — buffered
+  /// WAL bytes are dropped exactly as a real crash would drop them.
+  /// The engine is unusable afterwards; recovery happens in a fresh
+  /// instance pointed at the same wal_dir.
+  void CrashForTest();
 
  protected:
   /// Routes a tuple event to one or more queues (subclass).
@@ -371,6 +422,19 @@ class ParallelEngineBase : public JoinEngine {
 
   /// Subclass contribution to the merged stats (joiner-local counters).
   virtual void CollectStats(EngineStats* stats) = 0;
+
+  /// Gathers joiner `j`'s live state for a snapshot epoch, called on the
+  /// joiner thread when its kSnapshot control event arrives (so the
+  /// state is a consistent cut: every earlier event is incorporated,
+  /// none after). Emit probe-side tuples first, then unfinalized base
+  /// tuples; re-Pushing them through normal ingest reconstructs the
+  /// state. Return false when the engine cannot snapshot (the epoch is
+  /// aborted and the log is simply never truncated — recovery still
+  /// works by full replay).
+  virtual bool CollectSnapshotState(uint32_t /*joiner*/,
+                                    std::vector<StreamEvent>* /*out*/) {
+    return false;
+  }
 
   /// Fills the allocator gauges of a live progress sample. Called from
   /// SampleProgress() on watchdog/serving threads, so implementations
@@ -403,6 +467,18 @@ class ParallelEngineBase : public JoinEngine {
 
  private:
   void JoinerMain(uint32_t joiner);
+
+  /// First WAL append of a run: fresh-start semantics — stale on-disk
+  /// state that no recovery consumed is discarded (with a warning) so
+  /// it can never leak into a later recovery.
+  void ArmWalIngest();
+
+  /// Joiner-thread side of the snapshot barrier (kSnapshot event).
+  void HandleSnapshotEvent(uint32_t joiner, uint64_t epoch);
+
+  /// Completes the replay: resumes WAL appends past the replayed LSNs
+  /// and records the recovery counters.
+  void FinishRecovery();
 
   /// Moves one joiner's staged batch into its ring (applying the
   /// overload policy batch-wise). `deadline_ns` as in PushBounded.
@@ -480,6 +556,19 @@ class ParallelEngineBase : public JoinEngine {
   EngineWatchdog watchdog_;
   mutable std::mutex health_mu_;
   Status health_;  // guarded by health_mu_
+
+  // --- durability (driver thread unless noted) ---
+  std::unique_ptr<WalManager> wal_;  // null with durability off
+  bool ingest_begun_ = false;
+  bool recovery_done_ = false;
+  std::atomic<bool> replaying_{false};  // read by admin threads
+  std::unique_ptr<struct WalReplayPlan> replay_plan_;
+  int replay_stage_ = 0;    ///< 0 snapshot, 1 watermark, 2 log, 3 done
+  size_t replay_pos_ = 0;   ///< cursor within the current stage
+  uint64_t replayed_tuples_ = 0;
+  uint64_t replayed_watermarks_ = 0;
+  int64_t recovery_start_us_ = 0;
+  std::vector<std::string> wal_warnings_;
 };
 
 }  // namespace oij

@@ -287,6 +287,10 @@ void HandshakeOijEngine::JoinerMain(uint32_t joiner) {
           s.last_wm = kMaxTimestamp;
           s.direct_flushed = true;
           break;
+        case Event::Kind::kSnapshot:
+          // Durability barriers are only emitted by ParallelEngineBase
+          // engines; the handshake ring never sees one.
+          break;
       }
     }
     return any;

@@ -155,6 +155,33 @@ void KeyOijEngine::Evict(JoinerState& s) {
   }
 }
 
+bool KeyOijEngine::CollectSnapshotState(uint32_t joiner,
+                                        std::vector<StreamEvent>* out) {
+  // Consistent cut: runs on the joiner thread at its kSnapshot event, so
+  // everything routed before the barrier is incorporated. Probes first
+  // (the per-key buffers), then unfinalized bases — re-Pushing them in
+  // this order through normal ingest rebuilds the state exactly.
+  const JoinerState& s = *states_[joiner];
+  out->reserve(out->size() + s.buffered + s.pending.size());
+  for (const auto& [key, buffer] : s.buffers) {
+    for (const Tuple& t : buffer) {
+      StreamEvent ev;
+      ev.stream = StreamId::kProbe;
+      ev.tuple = t;
+      out->push_back(ev);
+    }
+  }
+  auto pending = s.pending;
+  while (!pending.empty()) {
+    StreamEvent ev;
+    ev.stream = StreamId::kBase;
+    ev.tuple = pending.top().tuple;
+    out->push_back(ev);
+    pending.pop();
+  }
+  return true;
+}
+
 void KeyOijEngine::CollectStats(EngineStats* stats) {
   stats->per_joiner_processed.resize(states_.size());
   for (size_t j = 0; j < states_.size(); ++j) {

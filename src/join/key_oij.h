@@ -33,6 +33,8 @@ class KeyOijEngine : public ParallelEngineBase {
   void OnTuple(uint32_t joiner, const Event& event) override;
   void OnWatermark(uint32_t joiner, Timestamp watermark) override;
   void CollectStats(EngineStats* stats) override;
+  bool CollectSnapshotState(uint32_t joiner,
+                            std::vector<StreamEvent>* out) override;
 
  private:
   struct PendingBase {

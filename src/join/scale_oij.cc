@@ -290,6 +290,33 @@ void ScaleOijEngine::Evict(JoinerState& s) {
   s.evicted += s.index.EvictBefore(bound);
 }
 
+bool ScaleOijEngine::CollectSnapshotState(uint32_t joiner,
+                                          std::vector<StreamEvent>* out) {
+  // Consistent cut on the joiner thread (kSnapshot event). The index
+  // walk is the arena-aware part: with pooled_alloc every node lives on
+  // this joiner's contiguous slabs, so the traversal is cache-dense.
+  // Probes first, then unfinalized bases; the per-key incremental
+  // window states are *derived* state and are rebuilt (or recomputed
+  // lazily) when the replayed tuples re-enter through normal ingest.
+  JoinerState& s = *states_[joiner];
+  out->reserve(out->size() + s.index.size() + s.pending.size());
+  s.index.ForEachTuple([out](const Tuple& t) {
+    StreamEvent ev;
+    ev.stream = StreamId::kProbe;
+    ev.tuple = t;
+    out->push_back(ev);
+  });
+  auto pending = s.pending;
+  while (!pending.empty()) {
+    StreamEvent ev;
+    ev.stream = StreamId::kBase;
+    ev.tuple = pending.top().tuple;
+    out->push_back(ev);
+    pending.pop();
+  }
+  return true;
+}
+
 void ScaleOijEngine::CollectStats(EngineStats* stats) {
   stats->per_joiner_processed.resize(states_.size());
   for (size_t j = 0; j < states_.size(); ++j) {

@@ -68,6 +68,8 @@ class ScaleOijEngine : public ParallelEngineBase {
   void OnFlush(uint32_t joiner) override;
   void CollectStats(EngineStats* stats) override;
   void SampleMem(WatchdogSample* sample) const override;
+  bool CollectSnapshotState(uint32_t joiner,
+                            std::vector<StreamEvent>* out) override;
 
  private:
   struct PendingBase {

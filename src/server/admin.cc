@@ -117,6 +117,8 @@ std::string RenderPrometheusMetrics(const AdminSnapshot& snap) {
           snap.health.ok() ? 1.0 : 0.0);
   w.Gauge("oij_run_finished", "1 once the run has been finalized",
           snap.run_finished ? 1.0 : 0.0);
+  w.Gauge("oij_recovering", "1 while the engine is replaying its WAL",
+          snap.recovering ? 1.0 : 0.0);
 
   const ServerCounters& c = snap.counters;
   w.Counter("oij_connections_accepted_total",
@@ -177,6 +179,43 @@ std::string RenderPrometheusMetrics(const AdminSnapshot& snap) {
             "Fully-dead slabs returned to the arena empty pool",
             static_cast<double>(snap.progress.arena_slab_recycles));
 
+  // Durability (absent entirely when the engine runs without a WAL).
+  if (snap.wal.enabled) {
+    const WalStats& wal = snap.wal;
+    w.Counter("oij_wal_appended_records_total",
+              "Records appended to the write-ahead log",
+              static_cast<double>(wal.appended_records));
+    w.Counter("oij_wal_appended_bytes",
+              "Bytes appended to the write-ahead log",
+              static_cast<double>(wal.appended_bytes));
+    w.Gauge("oij_wal_synced_records",
+            "Appended records known durable; appended - synced bounds "
+            "crash loss",
+            static_cast<double>(wal.synced_records));
+    w.Counter("oij_wal_fsyncs_total", "fsync calls issued by group commit",
+              static_cast<double>(wal.fsyncs));
+    w.Counter("oij_wal_fsync_failures_total",
+              "Injected fsync failures (disk-fault harness)",
+              static_cast<double>(wal.fsync_failures));
+    w.Counter("oij_wal_short_writes_total",
+              "Injected short writes (disk-fault harness)",
+              static_cast<double>(wal.short_writes));
+    w.Counter("oij_snapshots_total", "Snapshot epochs committed",
+              static_cast<double>(wal.snapshots_taken));
+    w.Gauge("oij_snapshot_age_seconds",
+            "Seconds since the last committed snapshot (-1 = never)",
+            snap.snapshot_age_seconds);
+    w.Counter("oij_wal_replay_records",
+              "Records replayed through ingest during recovery",
+              static_cast<double>(wal.replay_records));
+    w.Counter("oij_wal_torn_records_total",
+              "Torn or corrupt tail records discarded during recovery",
+              static_cast<double>(wal.torn_records));
+    w.Gauge("oij_recovery_duration_us",
+            "Wall time of the last crash recovery (0 = none ran)",
+            static_cast<double>(wal.recovery_duration_us));
+  }
+
   if (snap.run_finished) {
     const RunResult& run = snap.final_run;
     const EngineStats& st = run.stats;
@@ -236,7 +275,8 @@ std::string RenderStatzJson(const AdminSnapshot& snap) {
   JsonOut j;
   j.Open('{');
   j.Key("state");
-  j.String(snap.run_finished ? "finished" : "serving");
+  j.String(snap.recovering ? "recovering"
+                           : (snap.run_finished ? "finished" : "serving"));
   j.Key("engine");
   j.String(snap.engine_name);
   j.Key("workload");
@@ -307,6 +347,41 @@ std::string RenderStatzJson(const AdminSnapshot& snap) {
   j.Number(snap.progress.arena_slab_recycles);
   j.Close('}');
   j.Close('}');
+
+  if (snap.wal.enabled) {
+    const WalStats& wal = snap.wal;
+    j.Key("wal");
+    j.Open('{');
+    j.Key("recovering");
+    j.Bool(snap.recovering);
+    j.Key("appended_records");
+    j.Number(wal.appended_records);
+    j.Key("appended_bytes");
+    j.Number(wal.appended_bytes);
+    j.Key("synced_records");
+    j.Number(wal.synced_records);
+    j.Key("fsyncs");
+    j.Number(wal.fsyncs);
+    j.Key("fsync_failures");
+    j.Number(wal.fsync_failures);
+    j.Key("short_writes");
+    j.Number(wal.short_writes);
+    j.Key("snapshots_taken");
+    j.Number(wal.snapshots_taken);
+    j.Key("snapshot_records");
+    j.Number(wal.snapshot_records);
+    j.Key("snapshot_age_seconds");
+    j.Number(snap.snapshot_age_seconds);
+    j.Key("replay_records");
+    j.Number(wal.replay_records);
+    j.Key("replay_watermarks");
+    j.Number(wal.replay_watermarks);
+    j.Key("torn_records");
+    j.Number(wal.torn_records);
+    j.Key("recovery_duration_us");
+    j.Number(wal.recovery_duration_us);
+    j.Close('}');
+  }
 
   if (snap.run_finished) {
     const RunResult& run = snap.final_run;
@@ -382,6 +457,12 @@ std::string RenderStatzJson(const AdminSnapshot& snap) {
 }
 
 std::string RenderHealthz(const AdminSnapshot& snap, int* status_code) {
+  if (snap.recovering) {
+    // Not ready: the engine is still replaying its WAL. 503 keeps load
+    // balancers away until the replayed state is live.
+    *status_code = 503;
+    return "recovering\n";
+  }
   if (snap.health.ok()) {
     *status_code = 200;
     return "ok\n";

@@ -8,6 +8,7 @@
 #include "common/watchdog.h"
 #include "core/pipeline.h"
 #include "net/http.h"
+#include "wal/wal.h"
 
 namespace oij {
 
@@ -41,6 +42,19 @@ struct AdminSnapshot {
   Status health;
 
   double uptime_seconds = 0.0;
+
+  /// True while the engine replays its WAL after a restart. Renders
+  /// /healthz as 503 ("recovering") and /statz state "recovering" so
+  /// load balancers hold traffic until replay completes.
+  bool recovering = false;
+
+  /// Durability counters (WalStats.enabled is false when the engine has
+  /// no WAL; the wal sections are omitted then).
+  WalStats wal;
+
+  /// Seconds since the last completed snapshot, computed by the server
+  /// from WalStats.last_snapshot_mono_us; negative = no snapshot yet.
+  double snapshot_age_seconds = -1.0;
 
   /// Set once the run has been finalized; `final_run` then carries the
   /// merged stats (latency histogram, degradation counters, throughput).

@@ -72,6 +72,20 @@ Status OijServer::Start() {
     engine_.reset();
     return s;
   }
+  if (config_.recover) {
+    // Build the replay plan here (loop thread not yet running, so this
+    // still satisfies the single-driver contract); a corrupt manifest or
+    // snapshot fails Start rather than serving from partial state. The
+    // replay itself is stepped by ServeLoop.
+    s = engine_->BeginRecovery();
+    if (!s.ok()) {
+      engine_->Finish();
+      data_listener_.Close();
+      admin_listener_.Close();
+      engine_.reset();
+      return s;
+    }
+  }
 
   loop_.Add(data_listener_.fd(), kLoopReadable,
             [this](uint32_t) { OnDataAccept(); });
@@ -118,6 +132,17 @@ RunResult OijServer::FinalRun() const {
 }
 
 void OijServer::ServeLoop() {
+  // Drive WAL replay in chunks on the loop thread (the engine's single
+  // driver thread), interleaving short polls so the admin plane answers
+  // during recovery (/healthz 503 "recovering") while HandleFrame
+  // rejects data tuples. Replay is bounded by the log suffix, so stop_
+  // is honored only after the replayed state is complete — exiting
+  // mid-replay would finalize a half-restored engine.
+  while (engine_->Recovering()) {
+    engine_->RecoveryStep(4096);
+    loop_.Poll(/*timeout_ms=*/0);
+    DrainEgress();
+  }
   while (!stop_.load(std::memory_order_acquire)) {
     loop_.Poll(/*timeout_ms=*/50);
     DrainEgress();
@@ -237,6 +262,11 @@ bool OijServer::HandleFrame(Conn* conn, const WireFrame& frame) {
         SendError(conn, "run already finalized; tuple rejected");
         return false;
       }
+      if (engine_->Recovering()) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, "engine recovering; tuple rejected");
+        return false;
+      }
       if (!meter_started_) {
         meter_.Start();
         meter_started_ = true;
@@ -246,7 +276,8 @@ bool OijServer::HandleFrame(Conn* conn, const WireFrame& frame) {
     }
     case FrameType::kWatermark:
       watermarks_in_.fetch_add(1, std::memory_order_relaxed);
-      if (!run_finished_.load(std::memory_order_relaxed)) {
+      if (!run_finished_.load(std::memory_order_relaxed) &&
+          !engine_->Recovering()) {
         engine_->SignalWatermark(frame.watermark);
       }
       return true;
@@ -257,6 +288,11 @@ bool OijServer::HandleFrame(Conn* conn, const WireFrame& frame) {
       }
       return true;
     case FrameType::kFinish: {
+      if (engine_->Recovering()) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, "engine recovering; finish rejected");
+        return false;
+      }
       const int fd = conn->tcp.fd();
       if (!run_finished_.load(std::memory_order_relaxed)) FinalizeRun();
       // FinalizeRun may have flushed-and-closed this very connection (it
@@ -292,6 +328,10 @@ void OijServer::FinalizeRun() {
   // them before any summary frame, so a subscriber always sees
   // [results..., summary].
   engine_->FlushPending();
+  // Durability barrier for the graceful-drain path: every accepted
+  // record reaches disk before the joiners stop, so a SIGTERM'd server
+  // loses nothing regardless of the configured fsync policy.
+  engine_->Sync();
   RunResult run;
   run.stats = engine_->Finish();
   if (meter_started_) meter_.Stop();
@@ -403,6 +443,16 @@ AdminSnapshot OijServer::BuildSnapshot() {
   snap.progress = engine_ != nullptr ? engine_->SampleProgress()
                                      : WatchdogSample{};
   snap.health = engine_ != nullptr ? engine_->Health() : Status::OK();
+  if (engine_ != nullptr) {
+    snap.recovering = engine_->Recovering();
+    snap.wal = engine_->SampleWal();
+    if (snap.wal.last_snapshot_mono_us > 0) {
+      snap.snapshot_age_seconds =
+          static_cast<double>(MonotonicNowUs() -
+                              snap.wal.last_snapshot_mono_us) /
+          1e6;
+    }
+  }
   snap.uptime_seconds =
       static_cast<double>(MonotonicNowNs() - started_ns_) / 1e9;
   snap.run_finished = run_finished_.load(std::memory_order_acquire);

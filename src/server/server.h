@@ -31,6 +31,13 @@ struct ServerConfig {
 
   /// Label shown on the admin pages (preset/config name).
   std::string workload_name = "network";
+
+  /// Recover from `options.durability.wal_dir` before serving traffic.
+  /// Replay runs on the loop thread interleaved with admin polls, so
+  /// /healthz answers 503 "recovering" and data tuples are rejected
+  /// until the replayed state is live. No-op with durability off or an
+  /// empty WAL directory.
+  bool recover = true;
 };
 
 /// TCP serving layer around one JoinEngine run.
@@ -63,9 +70,12 @@ class OijServer {
   /// thread. On failure nothing is left running.
   Status Start();
 
-  /// Graceful drain: if the run is still live it is finalized
-  /// (FlushPending + Finish), pending summaries/results are flushed to
-  /// subscribers, then the loop exits and all sockets close. Idempotent.
+  /// Graceful drain (SIGINT/SIGTERM path): if the run is still live it
+  /// is finalized (FlushPending + Sync + Finish) — Sync forces every
+  /// accepted WAL byte to disk before the joiners stop, so a drained
+  /// shutdown never loses logged state regardless of fsync policy —
+  /// pending summaries/results are flushed to subscribers, then the
+  /// loop exits and all sockets close. Idempotent.
   void Shutdown();
 
   uint16_t data_port() const { return data_port_; }

@@ -89,6 +89,20 @@ class TimeTravelIndex {
     return visited;
   }
 
+  /// Invokes `fn(tuple)` for every resident tuple, ordered by key then
+  /// timestamp (owner thread, or any reader holding an EpochGuard). The
+  /// durability layer's snapshot walk: with `pooled_alloc` every node
+  /// visited lives on the owner's contiguous NodeArena slabs, so the
+  /// traversal stays cache-dense even at large index sizes.
+  template <typename Fn>
+  void ForEachTuple(Fn&& fn) const {
+    for (auto it = first_layer_.Begin(); it.Valid(); it.Next()) {
+      for (auto jt = it.value()->Begin(); jt.Valid(); jt.Next()) {
+        fn(jt.value());
+      }
+    }
+  }
+
   /// Evicts every tuple with ts < `bound` across all keys (owner only).
   /// Returns the number of tuples removed. Callers must only pass bounds
   /// proven safe against every concurrent reader (see the joiners'

@@ -1,0 +1,644 @@
+#include "wal/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "net/wire_codec.h"
+
+namespace oij {
+
+namespace {
+
+void AppendLe32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendLe64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+/// [u64 lsn][u32 crc][frame]; crc = CRC-32C(lsn bytes ++ frame).
+void AppendWalRecord(std::string* out, uint64_t lsn,
+                     std::string_view frame) {
+  std::string lsn_bytes;
+  AppendLe64(&lsn_bytes, lsn);
+  const uint32_t crc = Crc32c(frame, Crc32c(lsn_bytes));
+  out->append(lsn_bytes);
+  AppendLe32(out, crc);
+  out->append(frame);
+}
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::Internal(std::string(op) + " " + path + ": " +
+                          std::strerror(errno));
+}
+
+/// mkdir -p for the WAL directory.
+Status MakeDirs(const std::string& path) {
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    const size_t slash = path.find('/', pos);
+    partial = slash == std::string::npos ? path : path.substr(0, slash);
+    pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
+    if (partial.empty()) continue;
+    if (mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", partial);
+    }
+  }
+  return Status::OK();
+}
+
+void FsyncDir(const std::string& dir) {
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    fsync(fd);
+    close(fd);
+  }
+}
+
+/// Write all of `data` to `fd`, retrying partial writes.
+Status WriteFully(int fd, const char* data, size_t n,
+                  const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone:
+      return "none";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kPerBatch:
+      return "per_batch";
+  }
+  return "unknown";
+}
+
+Status FsyncPolicyFromName(std::string_view name, FsyncPolicy* out) {
+  if (name == "none") {
+    *out = FsyncPolicy::kNone;
+  } else if (name == "interval") {
+    *out = FsyncPolicy::kInterval;
+  } else if (name == "per_batch" || name == "per-batch") {
+    *out = FsyncPolicy::kPerBatch;
+  } else {
+    return Status::InvalidArgument("unknown fsync policy: " +
+                                   std::string(name) +
+                                   " (want none|interval|per_batch)");
+  }
+  return Status::OK();
+}
+
+Status DurabilityOptions::Validate() const {
+  if (!enabled()) return Status::OK();
+  if (fsync == FsyncPolicy::kInterval && fsync_interval_us <= 0) {
+    return Status::InvalidArgument("fsync_interval_us must be > 0");
+  }
+  if (group_commit_bytes == 0) {
+    return Status::InvalidArgument("group_commit_bytes must be > 0");
+  }
+  return Status::OK();
+}
+
+void AppendWalTupleRecord(std::string* out, uint64_t lsn,
+                          const StreamEvent& event) {
+  std::string frame;
+  AppendTupleFrame(&frame, event);
+  AppendWalRecord(out, lsn, frame);
+}
+
+void AppendWalWatermarkRecord(std::string* out, uint64_t lsn,
+                              Timestamp watermark) {
+  std::string frame;
+  AppendWatermarkFrame(&frame, watermark);
+  AppendWalRecord(out, lsn, frame);
+}
+
+std::string WalSegmentName(uint64_t generation, uint32_t shard) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "wal-%06" PRIu64 "-%03u.log", generation,
+                shard);
+  return buf;
+}
+
+std::string SnapshotFileName(uint64_t epoch, uint32_t joiner) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "snap-%06" PRIu64 "-j%03u.snap", epoch,
+                joiner);
+  return buf;
+}
+
+bool ParseWalSegmentName(std::string_view name, uint64_t* generation,
+                         uint32_t* shard) {
+  unsigned long long gen = 0;
+  unsigned int sh = 0;
+  char tail = '\0';
+  if (std::sscanf(std::string(name).c_str(), "wal-%llu-%u.lo%c", &gen, &sh,
+                  &tail) != 3 ||
+      tail != 'g') {
+    return false;
+  }
+  *generation = gen;
+  *shard = sh;
+  return true;
+}
+
+bool ParseSnapshotFileName(std::string_view name, uint64_t* epoch,
+                           uint32_t* joiner) {
+  unsigned long long ep = 0;
+  unsigned int j = 0;
+  char tail = '\0';
+  if (std::sscanf(std::string(name).c_str(), "snap-%llu-j%u.sna%c", &ep, &j,
+                  &tail) != 3 ||
+      tail != 'p') {
+    return false;
+  }
+  *epoch = ep;
+  *joiner = j;
+  return true;
+}
+
+WalManager::WalManager(const DurabilityOptions& options,
+                       uint32_t num_joiners, const FaultInjector* faults)
+    : options_(options),
+      num_joiners_(num_joiners),
+      num_shards_(options.wal_shards == 0 ? num_joiners
+                                          : options.wal_shards),
+      faults_(faults) {
+  if (num_shards_ == 0) num_shards_ = 1;
+}
+
+WalManager::~WalManager() {
+  if (open_) {
+    Flush(/*sync=*/false);
+    CloseShards();
+  }
+}
+
+Status WalManager::Open() {
+  Status s = MakeDirs(options_.wal_dir);
+  if (!s.ok()) return s;
+
+  // Scan what a previous incarnation left behind: existing segments (to
+  // pick a fresh generation), snapshots and manifest (recovery input and
+  // the epoch floor).
+  uint64_t max_generation = 0;
+  uint64_t max_epoch = 0;
+  DIR* d = opendir(options_.wal_dir.c_str());
+  if (d == nullptr) return Errno("opendir", options_.wal_dir);
+  while (dirent* entry = readdir(d)) {
+    const std::string_view name = entry->d_name;
+    uint64_t generation = 0, epoch = 0;
+    uint32_t shard = 0, joiner = 0;
+    if (ParseWalSegmentName(name, &generation, &shard)) {
+      has_existing_state_ = true;
+      if (generation > max_generation) max_generation = generation;
+    } else if (ParseSnapshotFileName(name, &epoch, &joiner)) {
+      has_existing_state_ = true;
+      if (epoch > max_epoch) max_epoch = epoch;
+    } else if (name == kWalManifestName) {
+      has_existing_state_ = true;
+    }
+  }
+  closedir(d);
+  next_epoch_ = max_epoch + 1;
+
+  shards_.resize(num_shards_);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    shards_[i].fault_rng =
+        (faults_ != nullptr ? faults_->disk_fault_seed : 0) ^
+        Mix64(i + 0x5eedULL);
+    shards_[i].buffer.reserve(options_.group_commit_bytes + 256);
+  }
+  s = OpenGeneration(max_generation + 1);
+  if (!s.ok()) return s;
+  open_ = true;
+  last_sync_us_ = MonotonicNowUs();
+  return Status::OK();
+}
+
+void WalManager::DiscardExistingState() {
+  // Everything below the just-opened generation belongs to a previous
+  // incarnation the caller chose not to recover.
+  TruncateThrough(generation_ - 1, /*keep_epoch=*/UINT64_MAX);
+  const std::string manifest = options_.wal_dir + "/" + kWalManifestName;
+  unlink(manifest.c_str());
+  has_existing_state_ = false;
+}
+
+Status WalManager::OpenGeneration(uint64_t generation) {
+  generation_ = generation;
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    const std::string path =
+        options_.wal_dir + "/" + WalSegmentName(generation_, i);
+    const int fd =
+        open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+    if (fd < 0) return Errno("open", path);
+    shards_[i].fd = fd;
+    shards_[i].dirty_since_sync = false;
+  }
+  FsyncDir(options_.wal_dir);
+  return Status::OK();
+}
+
+void WalManager::CloseShards() {
+  for (Shard& shard : shards_) {
+    if (shard.fd >= 0) {
+      close(shard.fd);
+      shard.fd = -1;
+    }
+  }
+}
+
+uint32_t WalManager::ShardForKey(Key key) const {
+  return RangePartition(Mix64(key), num_shards_);
+}
+
+bool WalManager::FaultFires(Shard* shard, double probability) {
+  if (faults_ == nullptr || probability <= 0.0) return false;
+  shard->fault_rng += 0x9e3779b97f4a7c15ULL;
+  const uint64_t u = Mix64(shard->fault_rng);
+  const double draw = static_cast<double>(u >> 11) * 0x1p-53;
+  return draw < probability;
+}
+
+Status WalManager::DrainShard(Shard* shard) {
+  if (shard->buffer.empty()) return Status::OK();
+  size_t n = shard->buffer.size();
+  if (FaultFires(shard, faults_ != nullptr
+                            ? faults_->short_write_probability
+                            : 0.0)) {
+    // Injected torn write: persist a random prefix but report success,
+    // exactly like a page-cache loss at crash time.
+    shard->fault_rng += 0x9e3779b97f4a7c15ULL;
+    n = static_cast<size_t>(Mix64(shard->fault_rng) % (n + 1));
+    short_writes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const Status s = WriteFully(shard->fd, shard->buffer.data(), n,
+                              options_.wal_dir);
+  shard->buffer.clear();
+  shard->buffered_records = 0;
+  shard->dirty_since_sync = true;
+  return s;
+}
+
+void WalManager::SyncShard(Shard* shard) {
+  if (!shard->dirty_since_sync) return;
+  if (FaultFires(shard, faults_ != nullptr
+                            ? faults_->fsync_failure_probability
+                            : 0.0)) {
+    fsync_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;  // dirty_since_sync stays set; next pass retries
+  }
+  fsync(shard->fd);
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  shard->dirty_since_sync = false;
+}
+
+uint64_t WalManager::AppendTuple(const StreamEvent& event) {
+  const uint64_t lsn = next_lsn_++;
+  Shard& shard = shards_[ShardForKey(event.tuple.key)];
+  const size_t before = shard.buffer.size();
+  AppendWalTupleRecord(&shard.buffer, lsn, event);
+  appended_bytes_.fetch_add(shard.buffer.size() - before,
+                            std::memory_order_relaxed);
+  appended_records_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.buffered_records;
+  ++records_since_snapshot_;
+  ++unsynced_records_;
+  return lsn;
+}
+
+uint64_t WalManager::AppendWatermark(Timestamp watermark) {
+  // One LSN, every shard: replay of any subset of shards still sees the
+  // punctuation, and the merge deduplicates by LSN.
+  const uint64_t lsn = next_lsn_++;
+  for (Shard& shard : shards_) {
+    const size_t before = shard.buffer.size();
+    AppendWalWatermarkRecord(&shard.buffer, lsn, watermark);
+    appended_bytes_.fetch_add(shard.buffer.size() - before,
+                              std::memory_order_relaxed);
+    ++shard.buffered_records;
+  }
+  appended_records_.fetch_add(1, std::memory_order_relaxed);
+  ++records_since_snapshot_;
+  ++unsynced_records_;
+  return lsn;
+}
+
+void WalManager::CommitGroup(int64_t now_us, bool watermark_barrier) {
+  for (Shard& shard : shards_) {
+    if (shard.buffer.size() >= options_.group_commit_bytes) {
+      DrainShard(&shard);
+    }
+  }
+  const bool sync_now =
+      (options_.fsync == FsyncPolicy::kPerBatch && watermark_barrier) ||
+      (options_.fsync == FsyncPolicy::kInterval &&
+       now_us - last_sync_us_ >= options_.fsync_interval_us);
+  if (sync_now) Flush(/*sync=*/true);
+}
+
+Status WalManager::Flush(bool sync) {
+  Status first;
+  for (Shard& shard : shards_) {
+    const Status s = DrainShard(&shard);
+    if (first.ok() && !s.ok()) first = s;
+  }
+  if (sync) {
+    bool all_clean = true;
+    for (Shard& shard : shards_) {
+      SyncShard(&shard);
+      if (shard.dirty_since_sync) all_clean = false;
+    }
+    last_sync_us_ = MonotonicNowUs();
+    if (all_clean) {
+      // Conservative: the pass only advances durability if every shard
+      // actually reached disk (an injected fsync failure holds it back).
+      synced_records_.fetch_add(unsynced_records_,
+                                std::memory_order_relaxed);
+      unsynced_records_ = 0;
+    }
+  }
+  return first;
+}
+
+void WalManager::ResumeAppends(uint64_t next_lsn) {
+  if (next_lsn > next_lsn_) next_lsn_ = next_lsn;
+}
+
+void WalManager::SimulateCrash() {
+  for (Shard& shard : shards_) {
+    shard.buffer.clear();
+    shard.buffered_records = 0;
+  }
+  CloseShards();
+  open_ = false;
+}
+
+bool WalManager::SnapshotDue() const {
+  return options_.snapshot_interval_records > 0 &&
+         records_since_snapshot_ >= options_.snapshot_interval_records &&
+         !snapshot_inflight_flag_.load(std::memory_order_acquire);
+}
+
+uint64_t WalManager::BeginSnapshot(Timestamp watermark) {
+  // The barrier: every record appended so far lands in generations that
+  // the committed snapshot will supersede. No sync is needed here — the
+  // snapshot content comes from joiner memory, which has (or will have,
+  // before writing its snapshot file) processed every pre-barrier event.
+  Flush(/*sync=*/false);
+  CloseShards();
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  epoch_in_flight_ = next_epoch_++;
+  barrier_generation_ = generation_;
+  barrier_lsn_ = next_lsn_ - 1;
+  barrier_watermark_ = watermark;
+  snapshot_joiners_done_ = 0;
+  snapshot_records_written_ = 0;
+  snapshot_failed_ = false;
+  records_since_snapshot_ = 0;
+  OpenGeneration(generation_ + 1);
+  snapshot_inflight_flag_.store(true, std::memory_order_release);
+  return epoch_in_flight_;
+}
+
+Status WalManager::WriteJoinerSnapshot(
+    uint64_t epoch, uint32_t joiner,
+    const std::vector<StreamEvent>& events) {
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    if (epoch_in_flight_ != epoch || snapshot_failed_) {
+      return Status::FailedPrecondition("snapshot epoch not in flight");
+    }
+  }
+  const std::string final_path =
+      options_.wal_dir + "/" + SnapshotFileName(epoch, joiner);
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = open(tmp_path.c_str(),
+                      O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", tmp_path);
+
+  // Snapshot records are ordinary WAL records with the ordinal as LSN,
+  // chunked so a large index never materializes one giant buffer.
+  std::string buf;
+  buf.reserve(1 << 20);
+  Status s;
+  uint64_t ordinal = 0;
+  for (const StreamEvent& event : events) {
+    AppendWalTupleRecord(&buf, ++ordinal, event);
+    if (buf.size() >= (1u << 20)) {
+      s = WriteFully(fd, buf.data(), buf.size(), tmp_path);
+      if (!s.ok()) break;
+      buf.clear();
+    }
+  }
+  if (s.ok() && !buf.empty()) {
+    s = WriteFully(fd, buf.data(), buf.size(), tmp_path);
+  }
+  if (s.ok() && fsync(fd) != 0) s = Errno("fsync", tmp_path);
+  close(fd);
+  if (s.ok() && rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    s = Errno("rename", tmp_path);
+  }
+  if (!s.ok()) {
+    unlink(tmp_path.c_str());
+    MarkSnapshotFailed(epoch);
+    return s;
+  }
+  FsyncDir(options_.wal_dir);
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (epoch_in_flight_ == epoch) {
+    ++snapshot_joiners_done_;
+    snapshot_records_written_ += events.size();
+  }
+  return Status::OK();
+}
+
+void WalManager::MarkSnapshotFailed(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (epoch_in_flight_ == epoch) snapshot_failed_ = true;
+}
+
+bool WalManager::PollSnapshotCompletion() {
+  if (!snapshot_inflight_flag_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  uint64_t epoch = 0;
+  uint64_t records = 0;
+  Timestamp watermark = kMinTimestamp;
+  uint64_t snapshot_lsn = 0;
+  uint64_t generation_bound = 0;
+  bool failed = false;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    if (epoch_in_flight_ == 0) return false;
+    if (snapshot_failed_) {
+      failed = true;
+      epoch = epoch_in_flight_;
+      epoch_in_flight_ = 0;
+    } else if (snapshot_joiners_done_ == num_joiners_) {
+      epoch = epoch_in_flight_;
+      records = snapshot_records_written_;
+      watermark = barrier_watermark_;
+      snapshot_lsn = barrier_lsn_;
+      generation_bound = barrier_generation_;
+      epoch_in_flight_ = 0;
+    } else {
+      return false;  // still in flight
+    }
+  }
+  if (failed) {
+    // Abort: remove this epoch's partial snapshot files; the previous
+    // manifest (if any) plus the un-truncated log still recover
+    // everything.
+    for (uint32_t j = 0; j < num_joiners_; ++j) {
+      const std::string path =
+          options_.wal_dir + "/" + SnapshotFileName(epoch, j);
+      unlink(path.c_str());
+      unlink((path + ".tmp").c_str());
+    }
+    snapshot_inflight_flag_.store(false, std::memory_order_release);
+    return false;
+  }
+
+  // Commit: manifest via tmp+rename+dir-fsync, then truncate.
+  std::string manifest = "oij-wal-manifest-v1\n";
+  char line[128];
+  std::snprintf(line, sizeof(line), "epoch=%" PRIu64 "\n", epoch);
+  manifest += line;
+  std::snprintf(line, sizeof(line), "snapshot_lsn=%" PRIu64 "\n",
+                snapshot_lsn);
+  manifest += line;
+  std::snprintf(line, sizeof(line), "watermark=%" PRId64 "\n", watermark);
+  manifest += line;
+  std::snprintf(line, sizeof(line), "joiners=%u\n", num_joiners_);
+  manifest += line;
+  std::snprintf(line, sizeof(line), "shards=%u\n", num_shards_);
+  manifest += line;
+  std::snprintf(line, sizeof(line), "records=%" PRIu64 "\n", records);
+  manifest += line;
+  std::snprintf(line, sizeof(line), "crc=%08x\n", Crc32c(manifest));
+  manifest += line;
+
+  const std::string final_path = options_.wal_dir + "/" + kWalManifestName;
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = open(tmp_path.c_str(),
+                      O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  bool committed = false;
+  if (fd >= 0) {
+    const Status s =
+        WriteFully(fd, manifest.data(), manifest.size(), tmp_path);
+    if (s.ok() && fsync(fd) == 0) {
+      close(fd);
+      if (rename(tmp_path.c_str(), final_path.c_str()) == 0) {
+        FsyncDir(options_.wal_dir);
+        committed = true;
+      }
+    } else {
+      close(fd);
+    }
+  }
+  if (!committed) {
+    unlink(tmp_path.c_str());
+    snapshot_inflight_flag_.store(false, std::memory_order_release);
+    return false;
+  }
+
+  TruncateThrough(generation_bound, epoch);
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    committed_epoch_ = epoch;
+  }
+  snapshots_taken_.fetch_add(1, std::memory_order_relaxed);
+  last_snapshot_records_.store(records, std::memory_order_relaxed);
+  last_snapshot_mono_us_.store(MonotonicNowUs(),
+                               std::memory_order_relaxed);
+  snapshot_inflight_flag_.store(false, std::memory_order_release);
+  return true;
+}
+
+void WalManager::TruncateThrough(uint64_t generation_bound,
+                                 uint64_t keep_epoch) {
+  DIR* d = opendir(options_.wal_dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> doomed;
+  while (dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    uint64_t generation = 0, epoch = 0;
+    uint32_t shard = 0, joiner = 0;
+    if (ParseWalSegmentName(name, &generation, &shard)) {
+      if (generation <= generation_bound) doomed.push_back(name);
+    } else if (ParseSnapshotFileName(name, &epoch, &joiner)) {
+      if (epoch < keep_epoch) doomed.push_back(name);
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      doomed.push_back(name);
+    }
+  }
+  closedir(d);
+  for (const std::string& name : doomed) {
+    unlink((options_.wal_dir + "/" + name).c_str());
+  }
+  FsyncDir(options_.wal_dir);
+}
+
+void WalManager::RecordReplay(uint64_t records, uint64_t watermarks,
+                              uint64_t torn, int64_t duration_us) {
+  replay_records_.store(records, std::memory_order_relaxed);
+  replay_watermarks_.store(watermarks, std::memory_order_relaxed);
+  torn_records_.store(torn, std::memory_order_relaxed);
+  recovery_duration_us_.store(duration_us, std::memory_order_relaxed);
+}
+
+WalStats WalManager::StatsSnapshot() const {
+  WalStats stats;
+  stats.enabled = true;
+  stats.appended_records =
+      appended_records_.load(std::memory_order_relaxed);
+  stats.appended_bytes = appended_bytes_.load(std::memory_order_relaxed);
+  stats.synced_records = synced_records_.load(std::memory_order_relaxed);
+  stats.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  stats.fsync_failures = fsync_failures_.load(std::memory_order_relaxed);
+  stats.short_writes = short_writes_.load(std::memory_order_relaxed);
+  stats.snapshots_taken = snapshots_taken_.load(std::memory_order_relaxed);
+  stats.snapshot_records =
+      last_snapshot_records_.load(std::memory_order_relaxed);
+  stats.last_snapshot_mono_us =
+      last_snapshot_mono_us_.load(std::memory_order_relaxed);
+  stats.replay_records = replay_records_.load(std::memory_order_relaxed);
+  stats.replay_watermarks =
+      replay_watermarks_.load(std::memory_order_relaxed);
+  stats.torn_records = torn_records_.load(std::memory_order_relaxed);
+  stats.recovery_duration_us =
+      recovery_duration_us_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace oij

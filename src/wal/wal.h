@@ -1,0 +1,286 @@
+#ifndef OIJ_WAL_WAL_H_
+#define OIJ_WAL_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "stream/generator.h"
+
+namespace oij {
+
+/// When the write-ahead log calls fsync (DESIGN.md §5e). Group commit
+/// batches record bytes in userspace either way; the policy only decides
+/// when durability is *forced*, which is what bounds crash loss:
+///
+///   kNone      never fsync (OS flushes eventually)  -> unbounded loss
+///   kInterval  fsync when fsync_interval_us elapsed -> loss <= interval
+///   kPerBatch  fsync before each watermark broadcast -> zero loss of
+///              watermark-finalized results (every result emitted at
+///              watermark W had all its inputs durable first)
+enum class FsyncPolicy : uint8_t {
+  kNone = 0,
+  kInterval,
+  kPerBatch,
+};
+
+std::string_view FsyncPolicyName(FsyncPolicy policy);
+Status FsyncPolicyFromName(std::string_view name, FsyncPolicy* out);
+
+/// Durability knobs, embedded in EngineOptions. An empty `wal_dir`
+/// disables the subsystem entirely (zero cost on the ingest path).
+struct DurabilityOptions {
+  /// Directory for WAL segments, snapshots and the manifest. Created if
+  /// missing. Empty = durability off.
+  std::string wal_dir;
+
+  FsyncPolicy fsync = FsyncPolicy::kInterval;
+
+  /// kInterval: max microseconds between fsyncs of dirty shards.
+  int64_t fsync_interval_us = 20'000;
+
+  /// Number of log shards. 0 = one per joiner (the per-joiner WAL).
+  /// Tuples are sharded by key hash; watermarks are replicated to every
+  /// shard (deduplicated by LSN on replay).
+  uint32_t wal_shards = 0;
+
+  /// Take a snapshot (and rotate/truncate the log) every N appended
+  /// records. 0 = never snapshot; recovery then replays the whole log.
+  uint64_t snapshot_interval_records = 0;
+
+  /// Userspace group-commit buffer per shard: records are written to the
+  /// file in chunks of at least this many bytes (or at any flush/sync
+  /// boundary).
+  uint32_t group_commit_bytes = 64 * 1024;
+
+  bool enabled() const { return !wal_dir.empty(); }
+  Status Validate() const;
+};
+
+/// Merged durability counters, reported in EngineStats::wal and sampled
+/// live by the watchdog/admin threads.
+struct WalStats {
+  bool enabled = false;
+  uint64_t appended_records = 0;
+  uint64_t appended_bytes = 0;
+  /// Records known durable (covered by a successful fsync, or written
+  /// before one). Loss bound after a crash = appended - synced.
+  uint64_t synced_records = 0;
+  uint64_t fsyncs = 0;
+  uint64_t fsync_failures = 0;  ///< injected (FaultInjector)
+  uint64_t short_writes = 0;    ///< injected (FaultInjector)
+  uint64_t snapshots_taken = 0;
+  uint64_t snapshot_records = 0;     ///< records in the latest snapshot
+  int64_t last_snapshot_mono_us = 0; ///< 0 = never
+  /// Recovery-side counters (non-zero only on a recovered engine).
+  uint64_t replay_records = 0;
+  uint64_t replay_watermarks = 0;
+  uint64_t torn_records = 0;  ///< bytes/records discarded at torn tails
+  int64_t recovery_duration_us = 0;
+};
+
+/// --- On-disk formats ------------------------------------------------
+///
+/// WAL record: [u64 lsn LE][u32 crc LE][wire frame], where the frame is
+/// the PR-3 wire codec encoding ([u32 len][u8 type][payload]) of a
+/// kTuple or kWatermark frame — one codec, one fuzz surface. The CRC is
+/// CRC-32C over the lsn bytes plus the whole frame, so a bit flip
+/// anywhere in the record (including the lsn) is detected and the reader
+/// stops cleanly at a torn tail.
+///
+/// Segment files:   wal-<generation>-<shard>.log
+/// Snapshot files:  snap-<epoch>-j<joiner>.snap  (WAL records, lsn =
+///                  ordinal; committed by tmp+rename, so presence
+///                  implies completeness)
+/// Manifest:        MANIFEST (text key=value, CRC-guarded, tmp+rename)
+inline constexpr size_t kWalRecordHeaderBytes = 8 + 4;
+
+void AppendWalTupleRecord(std::string* out, uint64_t lsn,
+                          const StreamEvent& event);
+void AppendWalWatermarkRecord(std::string* out, uint64_t lsn,
+                              Timestamp watermark);
+
+std::string WalSegmentName(uint64_t generation, uint32_t shard);
+std::string SnapshotFileName(uint64_t epoch, uint32_t joiner);
+bool ParseWalSegmentName(std::string_view name, uint64_t* generation,
+                         uint32_t* shard);
+bool ParseSnapshotFileName(std::string_view name, uint64_t* epoch,
+                           uint32_t* joiner);
+inline constexpr char kWalManifestName[] = "MANIFEST";
+
+/// Per-engine write-ahead log: sharded segments, group commit, snapshot
+/// coordination and truncation.
+///
+/// Threading contract mirrors the engine's: Append*/Commit*/snapshot
+/// control run on the single driver thread; WriteJoinerSnapshot /
+/// MarkSnapshotFailed are called by joiner threads (serialized per
+/// joiner, snapshot bookkeeping under snap_mu_); StatsSnapshot() is safe
+/// from any thread (atomics only).
+class WalManager {
+ public:
+  WalManager(const DurabilityOptions& options, uint32_t num_joiners,
+             const FaultInjector* faults);
+  ~WalManager();
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Creates the directory if needed and opens a fresh segment
+  /// generation (one above anything already on disk, so existing
+  /// segments are never appended to — they are either replayed by
+  /// recovery or discarded).
+  Status Open();
+
+  /// True if the directory already holds WAL segments or a manifest
+  /// that recovery could consume.
+  bool HasExistingState() const { return has_existing_state_; }
+
+  /// Fresh-start semantics: deletes any pre-existing segments, snapshots
+  /// and manifest. Called by the engine when ingest begins without a
+  /// recovery pass, so stale state can never leak into a later recovery.
+  void DiscardExistingState();
+
+  // --- Appends (driver thread) ---
+
+  /// Logs one arrival; returns the record's LSN.
+  uint64_t AppendTuple(const StreamEvent& event);
+
+  /// Logs a watermark to every shard under a single LSN (replay
+  /// deduplicates by LSN); returns it.
+  uint64_t AppendWatermark(Timestamp watermark);
+
+  /// Policy-aware commit point. With `watermark_barrier` false (after a
+  /// tuple append) it drains full group-commit buffers and honors the
+  /// kInterval timer; with it true (immediately *before* a watermark is
+  /// broadcast to the joiners) kPerBatch additionally forces a full
+  /// sync, which is what makes every watermark-finalized result durable
+  /// before it can be externalized.
+  void CommitGroup(int64_t now_us, bool watermark_barrier);
+
+  /// Writes out every buffered byte; fsyncs all dirty shards when `sync`
+  /// (ignoring the policy — used by Sync()/Finish() and the snapshot
+  /// barrier). Returns the first write error, if any.
+  Status Flush(bool sync);
+
+  /// Resume appends after recovery: the next record gets `next_lsn`.
+  void ResumeAppends(uint64_t next_lsn);
+
+  /// Test hook modeling kill -9: drops every buffered-but-unwritten byte
+  /// and closes the segments without a final flush or sync, exactly the
+  /// state a crashed process leaves on disk.
+  void SimulateCrash();
+
+  // --- Snapshots ---
+
+  /// True when snapshot_interval_records have been appended since the
+  /// last snapshot barrier and no snapshot is in flight.
+  bool SnapshotDue() const;
+
+  /// Driver thread: starts snapshot epoch. Flushes and rotates the log
+  /// (records at or below the returned barrier live in generations that
+  /// become truncatable once the snapshot commits) and remembers the
+  /// watermark to store in the manifest. Returns the epoch id.
+  uint64_t BeginSnapshot(Timestamp watermark);
+
+  /// Joiner thread: writes this joiner's state (as wire-frame records)
+  /// into the epoch's snapshot file and marks the joiner complete.
+  Status WriteJoinerSnapshot(uint64_t epoch, uint32_t joiner,
+                             const std::vector<StreamEvent>& events);
+
+  /// Any thread: aborts the in-flight epoch (lost control event, write
+  /// failure). No manifest is written and no log is truncated — strictly
+  /// safe, the previous snapshot + full log still recover everything.
+  void MarkSnapshotFailed(uint64_t epoch);
+
+  /// Driver thread: if every joiner finished the in-flight epoch,
+  /// commits the manifest and truncates superseded segments/snapshots.
+  /// Returns true when a manifest was committed by this call.
+  bool PollSnapshotCompletion();
+
+  // --- Recovery bookkeeping (driver thread) ---
+  void RecordReplay(uint64_t records, uint64_t watermarks, uint64_t torn,
+                    int64_t duration_us);
+
+  // --- Introspection ---
+  WalStats StatsSnapshot() const;
+  const std::string& dir() const { return options_.wal_dir; }
+  uint32_t shards() const { return num_shards_; }
+  uint64_t next_lsn() const { return next_lsn_; }
+
+ private:
+  struct Shard {
+    int fd = -1;
+    std::string buffer;       ///< group-commit staging (driver thread)
+    uint64_t buffered_records = 0;
+    bool dirty_since_sync = false;
+    uint64_t fault_rng = 0;   ///< per-shard deterministic fault stream
+  };
+
+  uint32_t ShardForKey(Key key) const;
+  /// Writes `shard`'s buffer to its fd (with injected short writes).
+  Status DrainShard(Shard* shard);
+  /// fsync with injected failures; advances synced_records on success.
+  void SyncShard(Shard* shard);
+  Status OpenGeneration(uint64_t generation);
+  void CloseShards();
+  /// Deletes segments with generation <= `bound` and snapshots of epochs
+  /// below `keep_epoch`.
+  void TruncateThrough(uint64_t generation_bound, uint64_t keep_epoch);
+  bool FaultFires(Shard* shard, double probability);
+
+  DurabilityOptions options_;
+  uint32_t num_joiners_;
+  uint32_t num_shards_;
+  const FaultInjector* faults_;  // may be nullptr
+
+  std::vector<Shard> shards_;
+  uint64_t generation_ = 0;
+  uint64_t next_lsn_ = 1;  ///< LSN 0 is reserved as "before everything"
+  bool has_existing_state_ = false;
+  bool open_ = false;
+  int64_t last_sync_us_ = 0;
+  uint64_t records_since_snapshot_ = 0;
+  /// Records appended but not yet covered by a sync (all shards).
+  uint64_t unsynced_records_ = 0;
+
+  // --- snapshot-in-flight bookkeeping (snap_mu_) ---
+  std::mutex snap_mu_;
+  uint64_t epoch_in_flight_ = 0;  ///< 0 = none
+  uint64_t next_epoch_ = 1;
+  uint64_t barrier_generation_ = 0;
+  uint64_t barrier_lsn_ = 0;
+  Timestamp barrier_watermark_ = kMinTimestamp;
+  uint32_t snapshot_joiners_done_ = 0;
+  uint64_t snapshot_records_written_ = 0;
+  bool snapshot_failed_ = false;
+  uint64_t committed_epoch_ = 0;  ///< latest manifest epoch
+  /// Lock-free fast path for PollSnapshotCompletion on the hot loop.
+  std::atomic<bool> snapshot_inflight_flag_{false};
+
+  // --- cross-thread gauges ---
+  std::atomic<uint64_t> appended_records_{0};
+  std::atomic<uint64_t> appended_bytes_{0};
+  std::atomic<uint64_t> synced_records_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> fsync_failures_{0};
+  std::atomic<uint64_t> short_writes_{0};
+  std::atomic<uint64_t> snapshots_taken_{0};
+  std::atomic<uint64_t> last_snapshot_records_{0};
+  std::atomic<int64_t> last_snapshot_mono_us_{0};
+  std::atomic<uint64_t> replay_records_{0};
+  std::atomic<uint64_t> replay_watermarks_{0};
+  std::atomic<uint64_t> torn_records_{0};
+  std::atomic<int64_t> recovery_duration_us_{0};
+};
+
+}  // namespace oij
+
+#endif  // OIJ_WAL_WAL_H_

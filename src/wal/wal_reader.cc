@@ -1,0 +1,266 @@
+#include "wal/wal_reader.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "common/hash.h"
+#include "net/wire_codec.h"
+
+namespace oij {
+
+namespace {
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no such file: " + path);
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::Internal("read failed: " + path);
+  return Status::OK();
+}
+
+uint32_t LoadLe32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t LoadLe64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+Status ReadWalManifest(const std::string& path, WalManifest* out) {
+  std::string text;
+  Status s = ReadWholeFile(path, &text);
+  if (!s.ok()) return s;
+
+  // The CRC line covers every byte before it.
+  const size_t crc_pos = text.rfind("crc=");
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    return Status::ParseError("manifest missing crc line: " + path);
+  }
+  unsigned int stored_crc = 0;
+  if (std::sscanf(text.c_str() + crc_pos, "crc=%8x", &stored_crc) != 1) {
+    return Status::ParseError("manifest bad crc line: " + path);
+  }
+  const uint32_t actual_crc =
+      Crc32c(std::string_view(text.data(), crc_pos));
+  if (actual_crc != stored_crc) {
+    return Status::ParseError("manifest crc mismatch: " + path);
+  }
+
+  WalManifest m;
+  bool saw_header = false, saw_epoch = false, saw_lsn = false,
+       saw_watermark = false, saw_joiners = false;
+  size_t pos = 0;
+  while (pos < crc_pos) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos || eol > crc_pos) eol = crc_pos;
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line == "oij-wal-manifest-v1") {
+      saw_header = true;
+      continue;
+    }
+    unsigned long long u = 0;
+    long long i = 0;
+    unsigned int u32 = 0;
+    if (std::sscanf(line.c_str(), "epoch=%llu", &u) == 1) {
+      m.epoch = u;
+      saw_epoch = true;
+    } else if (std::sscanf(line.c_str(), "snapshot_lsn=%llu", &u) == 1) {
+      m.snapshot_lsn = u;
+      saw_lsn = true;
+    } else if (std::sscanf(line.c_str(), "watermark=%lld", &i) == 1) {
+      m.watermark = i;
+      saw_watermark = true;
+    } else if (std::sscanf(line.c_str(), "joiners=%u", &u32) == 1) {
+      m.joiners = u32;
+      saw_joiners = true;
+    } else if (std::sscanf(line.c_str(), "shards=%u", &u32) == 1) {
+      m.shards = u32;
+    } else if (std::sscanf(line.c_str(), "records=%llu", &u) == 1) {
+      m.records = u;
+    }
+    // Unknown keys are forward-compatible: the CRC already vouches for
+    // the file as a whole.
+  }
+  if (!saw_header || !saw_epoch || !saw_lsn || !saw_watermark ||
+      !saw_joiners) {
+    return Status::ParseError("manifest missing required keys: " + path);
+  }
+  *out = m;
+  return Status::OK();
+}
+
+Status WalFileReader::OpenFile() { return ReadWholeFile(path_, &buf_); }
+
+bool WalFileReader::Next(WalReplayRecord* out) {
+  if (done_) return false;
+  // Header: [u64 lsn][u32 crc]; then a wire frame [u32 len][u8 type]...
+  if (pos_ + kWalRecordHeaderBytes + kFrameHeaderBytes + 1 > buf_.size()) {
+    done_ = true;
+    torn_ = pos_ < buf_.size();
+    return false;
+  }
+  const char* base = buf_.data() + pos_;
+  const uint64_t lsn = LoadLe64(base);
+  const uint32_t stored_crc = LoadLe32(base + 8);
+  const uint32_t frame_len = LoadLe32(base + 12);
+  if (frame_len == 0 || frame_len > kMaxFramePayload) {
+    done_ = true;
+    torn_ = true;
+    return false;
+  }
+  const size_t frame_bytes = kFrameHeaderBytes + frame_len;
+  if (pos_ + kWalRecordHeaderBytes + frame_bytes > buf_.size()) {
+    done_ = true;
+    torn_ = true;
+    return false;
+  }
+  const std::string_view frame(base + kWalRecordHeaderBytes, frame_bytes);
+  const uint32_t actual_crc =
+      Crc32c(frame, Crc32c(std::string_view(base, 8)));
+  if (actual_crc != stored_crc) {
+    done_ = true;
+    torn_ = true;
+    return false;
+  }
+
+  // One codec, one fuzz surface: the frame goes through the same
+  // decoder the network path uses.
+  WireDecoder decoder;
+  decoder.Feed(frame.data(), frame.size());
+  WireFrame wire;
+  if (decoder.Next(&wire) != WireDecoder::Result::kFrame ||
+      decoder.buffered() != 0) {
+    done_ = true;
+    torn_ = true;
+    return false;
+  }
+  if (wire.type == FrameType::kTuple) {
+    out->is_watermark = false;
+    out->event = wire.event;
+  } else if (wire.type == FrameType::kWatermark) {
+    out->is_watermark = true;
+    out->watermark = wire.watermark;
+  } else {
+    // Valid frame, but not a type the WAL ever writes.
+    done_ = true;
+    torn_ = true;
+    return false;
+  }
+  out->lsn = lsn;
+  pos_ += kWalRecordHeaderBytes + frame_bytes;
+  consumed_ = pos_;
+  ++records_read_;
+  return true;
+}
+
+Status BuildReplayPlan(const std::string& dir, WalReplayPlan* out) {
+  *out = WalReplayPlan{};
+
+  bool has_manifest = false;
+  std::vector<std::string> segment_names;
+  std::map<uint32_t, std::string> snapshot_names;  // joiner -> name
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return Status::OK();  // nothing to recover
+  while (dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    uint64_t generation = 0, epoch = 0;
+    uint32_t shard = 0, joiner = 0;
+    if (ParseWalSegmentName(name, &generation, &shard)) {
+      segment_names.push_back(name);
+    } else if (name == kWalManifestName) {
+      has_manifest = true;
+    } else if (ParseSnapshotFileName(name, &epoch, &joiner)) {
+      (void)epoch;  // resolved against the manifest below
+    }
+  }
+  closedir(d);
+
+  WalManifest manifest;
+  uint64_t snapshot_lsn = 0;
+  if (has_manifest) {
+    Status s = ReadWalManifest(dir + "/" + kWalManifestName, &manifest);
+    if (!s.ok()) return s;
+    snapshot_lsn = manifest.snapshot_lsn;
+    out->has_snapshot = true;
+    out->restore_watermark = manifest.watermark;
+    // Snapshot files are rename-committed, so a missing or short one
+    // under a committed manifest is real damage, not a torn tail.
+    for (uint32_t j = 0; j < manifest.joiners; ++j) {
+      WalFileReader reader(dir + "/" + SnapshotFileName(manifest.epoch, j));
+      s = reader.OpenFile();
+      if (!s.ok()) {
+        return Status::FailedPrecondition(
+            "manifest epoch missing snapshot file: " + reader.path());
+      }
+      WalReplayRecord record;
+      while (reader.Next(&record)) {
+        if (record.is_watermark) {
+          return Status::ParseError("watermark record in snapshot: " +
+                                    reader.path());
+        }
+        out->snapshot_events.push_back(record.event);
+      }
+      if (reader.torn()) {
+        return Status::ParseError("corrupt snapshot file: " +
+                                  reader.path());
+      }
+    }
+    out->snapshot_records = out->snapshot_events.size();
+    if (manifest.records != 0 &&
+        out->snapshot_records != manifest.records) {
+      return Status::FailedPrecondition(
+          "snapshot record count mismatch vs manifest");
+    }
+    out->max_lsn = snapshot_lsn;
+  }
+
+  // Read every segment (any generation/shard — stale generations below
+  // the snapshot barrier are filtered by lsn), then merge by lsn.
+  std::vector<WalReplayRecord> merged;
+  for (const std::string& name : segment_names) {
+    WalFileReader reader(dir + "/" + name);
+    const Status s = reader.OpenFile();
+    if (!s.ok()) continue;  // raced truncation; lsn filter keeps us safe
+    WalReplayRecord record;
+    while (reader.Next(&record)) {
+      if (record.lsn > snapshot_lsn) merged.push_back(record);
+      if (record.lsn > out->max_lsn) out->max_lsn = record.lsn;
+    }
+    if (reader.torn()) {
+      ++out->torn_tails;
+      out->torn_bytes += reader.torn_bytes();
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const WalReplayRecord& a, const WalReplayRecord& b) {
+                     return a.lsn < b.lsn;
+                   });
+  uint64_t last_lsn = 0;
+  bool first = true;
+  for (const WalReplayRecord& record : merged) {
+    if (!first && record.lsn == last_lsn) continue;  // replicated wm
+    first = false;
+    last_lsn = record.lsn;
+    out->records.push_back(record);
+  }
+  return Status::OK();
+}
+
+}  // namespace oij

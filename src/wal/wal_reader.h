@@ -1,0 +1,104 @@
+#ifndef OIJ_WAL_WAL_READER_H_
+#define OIJ_WAL_WAL_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "stream/generator.h"
+#include "wal/wal.h"
+
+namespace oij {
+
+/// Parsed MANIFEST (see wal.h for the on-disk format).
+struct WalManifest {
+  uint64_t epoch = 0;
+  uint64_t snapshot_lsn = 0;
+  Timestamp watermark = kMinTimestamp;
+  uint32_t joiners = 0;
+  uint32_t shards = 0;
+  uint64_t records = 0;  ///< total records across all snapshot files
+};
+
+/// Reads and CRC-verifies a manifest. ParseError on any corruption —
+/// a manifest is all-or-nothing (tmp+rename committed), so a bad one
+/// means the directory is damaged, not torn.
+Status ReadWalManifest(const std::string& path, WalManifest* out);
+
+/// One replayable WAL record.
+struct WalReplayRecord {
+  uint64_t lsn = 0;
+  bool is_watermark = false;
+  Timestamp watermark = kMinTimestamp;
+  StreamEvent event;
+};
+
+/// Hardened, CRC-checked reader over one segment or snapshot file.
+///
+/// Next() yields valid records until the data runs out or the first
+/// record fails validation (short header, oversized/undersized frame,
+/// CRC mismatch, undecodable or non-replayable frame type) — after
+/// which it permanently returns false and torn() reports why the file
+/// ended. It never crashes and never yields a corrupt record; the fuzz
+/// test (tests/wal_test.cc) holds it to that.
+class WalFileReader {
+ public:
+  explicit WalFileReader(std::string path) : path_(std::move(path)) {}
+
+  /// Loads the file. NotFound/Internal on I/O errors only — corrupt
+  /// *content* is not an open error, it just limits what Next() yields.
+  Status OpenFile();
+
+  bool Next(WalReplayRecord* out);
+
+  uint64_t records_read() const { return records_read_; }
+  /// True when the file ended mid-record or at a corrupt one.
+  bool torn() const { return torn_; }
+  /// Bytes not consumed as valid records (0 on a clean file).
+  uint64_t torn_bytes() const { return buf_.size() - consumed_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string buf_;
+  size_t pos_ = 0;
+  size_t consumed_ = 0;  ///< end of last *valid* record
+  uint64_t records_read_ = 0;
+  bool torn_ = false;
+  bool done_ = false;
+};
+
+/// Everything recovery needs, assembled from a WAL directory: the
+/// latest committed snapshot (if any) and the lsn-ordered,
+/// lsn-deduplicated log suffix past it.
+struct WalReplayPlan {
+  /// Per-joiner snapshot contents, concatenated in joiner order (probe
+  /// tuples precede pending bases within each joiner — the order the
+  /// engines wrote them).
+  std::vector<StreamEvent> snapshot_events;
+  uint64_t snapshot_records = 0;
+  bool has_snapshot = false;
+  /// Watermark in force at the snapshot barrier; re-signal after the
+  /// snapshot events and before the log suffix.
+  Timestamp restore_watermark = kMinTimestamp;
+  /// Log records with lsn > snapshot_lsn, strictly lsn-ascending
+  /// (replicated watermark records collapsed to one per lsn).
+  std::vector<WalReplayRecord> records;
+  uint64_t max_lsn = 0;      ///< highest lsn seen anywhere (0 = none)
+  uint64_t torn_tails = 0;   ///< files that ended at a torn/corrupt record
+  uint64_t torn_bytes = 0;   ///< bytes discarded across those tails
+};
+
+/// Scans `dir` and builds the replay plan. Fails (ParseError /
+/// FailedPrecondition) only when a *committed* artifact is inconsistent
+/// — manifest CRC mismatch, missing snapshot file, snapshot record
+/// count not matching the manifest; torn log tails are expected crash
+/// damage and are absorbed into `torn_*`, not errors. An empty or
+/// absent directory yields an empty plan and OK.
+Status BuildReplayPlan(const std::string& dir, WalReplayPlan* out);
+
+}  // namespace oij
+
+#endif  // OIJ_WAL_WAL_READER_H_

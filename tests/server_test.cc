@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
@@ -24,6 +25,7 @@
 #include "server/server.h"
 #include "stream/generator.h"
 #include "stream/presets.h"
+#include "wal/wal_reader.h"
 
 namespace oij {
 namespace {
@@ -534,6 +536,88 @@ TEST(ServerProtocolTest, TupleAfterFinishIsRejected) {
   EXPECT_FALSE(again.summary.empty());
 
   server.Shutdown();
+}
+
+// ------------------------------------------------------ durability drain
+
+/// Shutdown() (the SIGINT/SIGTERM path in tools/oij_server.cc) must run
+/// the engine's Sync() barrier before finalizing: with the WAL on
+/// --fsync none nothing else flushes the log, so every accepted record
+/// being readable back from disk proves the barrier ran. Also pins the
+/// admin-plane durability surfaces while the run is live.
+TEST(ServerDurabilityTest, ShutdownDrainSyncsWalUnderFsyncNone) {
+  WorkloadSpec workload;
+  ASSERT_TRUE(FindPreset("default", &workload));
+  workload.total_tuples = 2'000;
+
+  char tmpl[] = "/tmp/oij_server_wal_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+
+  ServerConfig config;
+  config.engine = EngineKind::kKeyOij;
+  config.query.window = workload.window;
+  config.query.lateness_us = workload.lateness_us;
+  config.query.emit_mode = EmitMode::kWatermark;
+  config.options.num_joiners = 2;
+  config.options.durability.wal_dir = dir;
+  config.options.durability.fsync = FsyncPolicy::kNone;
+  OijServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto events = Generate(workload);
+  constexpr uint64_t kWmEvery = 128;
+  uint64_t watermarks_sent = 0;
+  {
+    DataClient client(server.data_port());
+    std::string batch;
+    WatermarkTracker tracker(config.query.lateness_us);
+    uint64_t n = 0;
+    for (const StreamEvent& ev : events) {
+      tracker.Observe(ev.tuple.ts);
+      AppendTupleFrame(&batch, ev);
+      if (++n % kWmEvery == 0) {
+        AppendWatermarkFrame(&batch, tracker.watermark());
+        ++watermarks_sent;
+      }
+    }
+    ASSERT_TRUE(client.Send(batch));  // no kFinish: drain an open run
+    ASSERT_TRUE(WaitUntil([&] {
+      return server.CountersSnapshot().tuples_in == events.size();
+    }));
+
+    // Live admin plane carries the WAL block once durability is on.
+    int code = 0;
+    std::string body = HttpGet(server.admin_port(), "/metrics", &code);
+    EXPECT_EQ(code, 200);
+    EXPECT_NE(body.find("oij_wal_appended_bytes"), std::string::npos);
+    EXPECT_NE(body.find("oij_wal_fsyncs_total"), std::string::npos);
+    body = HttpGet(server.admin_port(), "/statz", &code);
+    EXPECT_EQ(code, 200);
+    EXPECT_NE(body.find("\"wal\":{"), std::string::npos) << body;
+
+    server.Shutdown();
+    client.JoinReader();
+  }
+
+  WalReplayPlan plan;
+  const Status s = BuildReplayPlan(dir, &plan);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(plan.torn_tails, 0u);
+  uint64_t tuple_records = 0, watermark_records = 0;
+  for (const WalReplayRecord& r : plan.records) {
+    if (r.is_watermark) {
+      ++watermark_records;
+    } else {
+      ++tuple_records;
+    }
+  }
+  EXPECT_EQ(tuple_records, events.size())
+      << "Shutdown() dropped accepted records despite the Sync barrier";
+  EXPECT_EQ(watermark_records, watermarks_sent);
+
+  const std::string cleanup = std::string("rm -rf '") + dir + "'";
+  EXPECT_EQ(std::system(cleanup.c_str()), 0);
 }
 
 }  // namespace

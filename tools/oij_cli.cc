@@ -2,7 +2,11 @@
 //
 //   oij_cli run <workload.conf|preset> <engine> [joiners] [tuples]
 //       Run a workload (a WorkloadSpecToConfig file or a preset name)
-//       through an engine and print the run summary.
+//       through an engine and print the run summary. Durability flags
+//       (anywhere after `run`): --wal-dir <dir> logs the run to a
+//       per-joiner WAL, --fsync <none|interval|per_batch> picks the
+//       group-commit policy, --snapshot-every <n> snapshots the index
+//       every n records, --recover replays the WAL before ingesting.
 //   oij_cli config <preset>
 //       Print a preset as an editable workload config file.
 //   oij_cli trace-gen <workload.conf|preset> <out.trace[.csv]>
@@ -88,10 +92,46 @@ std::vector<StreamEvent> Materialize(const WorkloadSpec& spec) {
 }
 
 int CmdRun(int argc, char** argv) {
+  // Peel the durability flags off wherever they appear; the rest stay
+  // positional.
+  EngineOptions options;
+  bool recover = false;
+  std::vector<char*> pos;
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--wal-dir") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') return 2;
+      options.durability.wal_dir = v;
+    } else if (flag == "--fsync") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      const Status fs = FsyncPolicyFromName(v, &options.durability.fsync);
+      if (!fs.ok()) {
+        std::fprintf(stderr, "%s\n", fs.ToString().c_str());
+        return 2;
+      }
+    } else if (flag == "--snapshot-every") {
+      const char* v = value();
+      if (v == nullptr || std::atoll(v) < 0) return 2;
+      options.durability.snapshot_interval_records =
+          static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--recover") {
+      recover = true;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(pos.size());
+  argv = pos.data();
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: oij_cli run <workload> <engine> [joiners] "
-                 "[tuples] [batch]\n");
+                 "[tuples] [batch] [--wal-dir <dir>] [--fsync <policy>] "
+                 "[--snapshot-every <n>] [--recover]\n");
     return 2;
   }
   WorkloadSpec workload;
@@ -102,7 +142,6 @@ int CmdRun(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  EngineOptions options;
   options.num_joiners = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2]))
                                  : 4;
   if (argc > 3) {
@@ -121,8 +160,10 @@ int CmdRun(int argc, char** argv) {
   WorkloadGenerator gen(workload);
   PipelineConfig config;
   // SIGINT/SIGTERM stop the source and drain normally, so an interrupted
-  // run still prints a consistent summary.
+  // run still prints a consistent summary (and, with --wal-dir, a fully
+  // synced log).
   config.stop = InstallStopSignalHandlers();
+  config.recover = recover;
   const RunResult run = RunPipeline(engine.get(), &gen, config);
   if (config.stop->load(std::memory_order_relaxed)) {
     std::fprintf(stderr, "interrupted: drained after %llu tuples\n",

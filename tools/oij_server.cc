@@ -13,11 +13,28 @@
 //     --port <n>                   data port (default 0 = ephemeral)
 //     --admin-port <n>             admin HTTP port (default 0 = ephemeral)
 //     --bind <addr>                bind address (default 127.0.0.1)
+//     --wal-dir <dir>              enable durability: per-joiner WAL +
+//                                  snapshots under <dir>; on restart the
+//                                  server recovers from it before serving
+//     --fsync <none|interval|per_batch>
+//                                  WAL group-commit policy (default
+//                                  interval; per_batch = zero loss)
+//     --fsync-interval-us <n>      max us between fsyncs (interval mode)
+//     --snapshot-every <n>         snapshot the index every <n> appended
+//                                  records (0 = never; log-only recovery)
+//     --no-recover                 skip WAL replay on start (fresh run;
+//                                  stale state in --wal-dir is discarded)
+//     --wal-short-write-prob <p>   disk-fault harness: probability a WAL
+//                                  drain writes only a prefix (test only)
+//     --wal-fsync-fail-prob <p>    disk-fault harness: probability an
+//                                  fsync silently fails (test only)
 //
 // Clients speak the wire protocol of src/net/wire_codec.h on the data
 // port (oij_loadgen is the reference client). The admin port answers
-// GET /metrics, /healthz and /statz. SIGINT/SIGTERM drain gracefully:
-// the run is finalized (FlushPending + Finish) and pending summaries are
+// GET /metrics, /healthz and /statz; during WAL replay /healthz reports
+// 503 "recovering" and data tuples are rejected. SIGINT/SIGTERM drain
+// gracefully: the run is finalized (FlushPending + Sync + Finish, so
+// every accepted WAL byte reaches disk) and pending summaries are
 // flushed before the process exits.
 
 #include <atomic>
@@ -44,7 +61,11 @@ int Usage() {
       "usage: oij_server [--workload <preset|config>] [--sql <query>]\n"
       "                  [--engine <name>] [--joiners <n>] [--batch <n>]\n"
       "                  [--emit <eager|watermark>] [--port <n>]\n"
-      "                  [--admin-port <n>] [--bind <addr>]\n");
+      "                  [--admin-port <n>] [--bind <addr>]\n"
+      "                  [--wal-dir <dir>] [--fsync <none|interval|"
+      "per_batch>]\n"
+      "                  [--fsync-interval-us <n>] [--snapshot-every <n>]\n"
+      "                  [--no-recover]\n");
   return 2;
 }
 
@@ -75,6 +96,9 @@ int main(int argc, char** argv) {
   config.query.emit_mode = EmitMode::kWatermark;
   std::string workload_arg = "default";
   std::string sql;
+  // Disk-fault harness knobs; outlives the server (EngineOptions keeps a
+  // pointer). Only wired in when a probability is set.
+  static FaultInjector disk_faults;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -125,6 +149,38 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return Usage();
       config.bind_address = v;
+    } else if (flag == "--wal-dir") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') return Usage();
+      config.options.durability.wal_dir = v;
+    } else if (flag == "--fsync") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      const Status s =
+          FsyncPolicyFromName(v, &config.options.durability.fsync);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 2;
+      }
+    } else if (flag == "--fsync-interval-us") {
+      const char* v = value();
+      if (v == nullptr || std::atoll(v) <= 0) return Usage();
+      config.options.durability.fsync_interval_us = std::atoll(v);
+    } else if (flag == "--snapshot-every") {
+      const char* v = value();
+      if (v == nullptr || std::atoll(v) < 0) return Usage();
+      config.options.durability.snapshot_interval_records =
+          static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--no-recover") {
+      config.recover = false;
+    } else if (flag == "--wal-short-write-prob") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      disk_faults.short_write_probability = std::atof(v);
+    } else if (flag == "--wal-fsync-fail-prob") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      disk_faults.fsync_failure_probability = std::atof(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return Usage();
@@ -159,6 +215,10 @@ int main(int argc, char** argv) {
     config.query.window = workload.window;
     config.query.lateness_us = workload.lateness_us;
     config.workload_name = workload.name;
+  }
+
+  if (disk_faults.InjectsDiskFaults()) {
+    config.options.fault_injector = &disk_faults;
   }
 
   OijServer server(config);

@@ -27,7 +27,7 @@ for bin in "$BENCH_DIR"/bench_*; do
     # google-benchmark harnesses: force one minimal repetition. The
     # packaged benchmark library predates the "<N>x" min-time syntax,
     # so pass a small double instead.
-    bench_micro_structures|bench_wire_codec)
+    bench_micro_structures|bench_wire_codec|bench_wal_append)
       args=(--benchmark_min_time=0.01)
       ;;
     # figure/table harnesses: one repetition by construction, sized by
