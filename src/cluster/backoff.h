@@ -1,0 +1,51 @@
+#ifndef OIJ_CLUSTER_BACKOFF_H_
+#define OIJ_CLUSTER_BACKOFF_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace oij {
+
+/// Exponential backoff with deterministic full jitter.
+///
+/// Delay for failure n is uniform in [base/2, base * 2^n], capped at
+/// `max_ms` — the AWS "full jitter" shape, which avoids reconnect
+/// stampedes when many peers lose the same backend at once. The jitter
+/// stream is seeded, not wall-clock derived, so tests replay exactly.
+class Backoff {
+ public:
+  Backoff(int64_t base_ms, int64_t max_ms, uint64_t seed)
+      : base_ms_(base_ms < 1 ? 1 : base_ms),
+        max_ms_(max_ms < base_ms_ ? base_ms_ : max_ms),
+        rng_(seed) {}
+
+  /// Registers one failure and returns the delay before the next try.
+  int64_t NextDelayMs() {
+    if (failures_ < 63) ++failures_;
+    int64_t ceiling = base_ms_;
+    for (uint32_t i = 1; i < failures_ && ceiling < max_ms_; ++i) {
+      ceiling *= 2;
+    }
+    if (ceiling > max_ms_) ceiling = max_ms_;
+    const int64_t floor = base_ms_ / 2;
+    rng_ = Mix64(rng_);
+    const int64_t span = ceiling - floor + 1;
+    return floor + static_cast<int64_t>(rng_ % static_cast<uint64_t>(span));
+  }
+
+  /// A success: the next failure starts the schedule over.
+  void Reset() { failures_ = 0; }
+
+  uint32_t failures() const { return failures_; }
+
+ private:
+  int64_t base_ms_;
+  int64_t max_ms_;
+  uint64_t rng_;
+  uint32_t failures_ = 0;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_CLUSTER_BACKOFF_H_

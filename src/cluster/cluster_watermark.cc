@@ -1,0 +1,39 @@
+#include "cluster/cluster_watermark.h"
+
+namespace oij {
+
+void ClusterWatermark::Add(uint32_t backend) {
+  acked_.emplace(backend, kMinTimestamp);
+}
+
+void ClusterWatermark::Remove(uint32_t backend) { acked_.erase(backend); }
+
+void ClusterWatermark::RecordAck(uint32_t backend, Timestamp acked) {
+  const auto it = acked_.find(backend);
+  if (it == acked_.end()) return;
+  if (acked > it->second) it->second = acked;
+}
+
+Timestamp ClusterWatermark::MinAcked() const {
+  Timestamp min = kMaxTimestamp;
+  for (const auto& [backend, acked] : acked_) {
+    if (acked < min) min = acked;
+  }
+  return min;
+}
+
+bool ClusterWatermark::TryAdvance(Timestamp* advanced_to) {
+  if (acked_.empty()) return false;
+  const Timestamp min = MinAcked();
+  if (min <= emitted_) return false;
+  emitted_ = min;
+  if (advanced_to != nullptr) *advanced_to = min;
+  return true;
+}
+
+Timestamp ClusterWatermark::AckedOf(uint32_t backend) const {
+  const auto it = acked_.find(backend);
+  return it != acked_.end() ? it->second : kMinTimestamp;
+}
+
+}  // namespace oij

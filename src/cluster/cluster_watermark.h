@@ -1,0 +1,68 @@
+#ifndef OIJ_CLUSTER_CLUSTER_WATERMARK_H_
+#define OIJ_CLUSTER_CLUSTER_WATERMARK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "common/types.h"
+
+namespace oij {
+
+/// Min-of-backends cluster watermark with per-shard punctuation.
+///
+/// Each backend acks watermarks independently (after its WAL sync);
+/// the cluster-level watermark the router may externalize is the min
+/// over *participating* backends' acked values — a result finalized at
+/// cluster watermark W is only announced once every shard's state is
+/// durable through W.
+///
+/// The two invariants the dedicated test asserts across an
+/// eject/re-admit cycle:
+///
+///   1. Monotone: emitted() never decreases.
+///   2. Safe:     every emission is <= the min of participating
+///                backends' acked watermarks at that moment.
+///
+/// An *ejected* backend keeps participating with its acked value
+/// frozen — the cluster watermark stalls rather than run past state an
+/// absent shard has not made durable (it resumes when the backend
+/// returns and re-acks). Only Remove() — the router's decision that a
+/// non-durable backend's keys failed over for good — takes a backend
+/// out of the min, and removal can only raise the min, never violate
+/// monotonicity.
+class ClusterWatermark {
+ public:
+  /// Registers a participant (initial acked = kMinTimestamp, so the
+  /// cluster watermark cannot advance past a backend that has never
+  /// acked).
+  void Add(uint32_t backend);
+
+  /// Permanently removes a participant (failover of a non-durable
+  /// backend). Its frozen ack no longer holds the min down.
+  void Remove(uint32_t backend);
+
+  /// Records `backend`'s latest durability ack. Regressions are
+  /// ignored (acks are monotone per backend; a recovered backend
+  /// re-acks from its cut forward).
+  void RecordAck(uint32_t backend, Timestamp acked);
+
+  /// Minimum acked over current participants; kMaxTimestamp when none.
+  Timestamp MinAcked() const;
+
+  /// Advances the emitted watermark to MinAcked() when that is
+  /// strictly greater; returns true (and the new value) on advance.
+  bool TryAdvance(Timestamp* advanced_to);
+
+  Timestamp emitted() const { return emitted_; }
+  Timestamp AckedOf(uint32_t backend) const;
+  size_t participants() const { return acked_.size(); }
+
+ private:
+  std::map<uint32_t, Timestamp> acked_;
+  Timestamp emitted_ = kMinTimestamp;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_CLUSTER_CLUSTER_WATERMARK_H_

@@ -1,0 +1,80 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace oij {
+
+namespace {
+uint64_t VnodePoint(uint32_t backend, uint32_t vnode) {
+  // Two rounds decorrelate (backend, vnode) pairs that differ in one
+  // coordinate; a single mix of the packed word leaves diagonal
+  // structure on small ids.
+  return Mix64(Mix64(static_cast<uint64_t>(backend) << 32 | vnode) +
+               0x5851f42d4c957f2dULL);
+}
+}  // namespace
+
+void HashRing::AddBackend(uint32_t id) {
+  if (!ids_.insert(id).second) return;
+  points_.reserve(points_.size() + vnodes_);
+  for (uint32_t v = 0; v < vnodes_; ++v) {
+    points_.push_back(Point{VnodePoint(id, v), id});
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+void HashRing::RemoveBackend(uint32_t id) {
+  if (ids_.erase(id) == 0) return;
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [id](const Point& p) {
+                                 return p.backend == id;
+                               }),
+                points_.end());
+}
+
+size_t HashRing::LowerBound(uint64_t hash) const {
+  Point probe{hash, 0};
+  const auto it = std::lower_bound(points_.begin(), points_.end(), probe);
+  return it == points_.end() ? 0 : static_cast<size_t>(it - points_.begin());
+}
+
+int HashRing::PickOwner(Key key) const {
+  if (points_.empty()) return -1;
+  return static_cast<int>(points_[LowerBound(Mix64(key))].backend);
+}
+
+int HashRing::PickEligible(
+    Key key, const std::function<bool(uint32_t)>& eligible) const {
+  if (points_.empty()) return -1;
+  const size_t start = LowerBound(Mix64(key));
+  // Walk clockwise; remember verdicts so each backend is asked once.
+  std::vector<uint32_t> rejected;
+  for (size_t step = 0; step < points_.size(); ++step) {
+    const uint32_t candidate =
+        points_[(start + step) % points_.size()].backend;
+    if (std::find(rejected.begin(), rejected.end(), candidate) !=
+        rejected.end()) {
+      continue;
+    }
+    if (eligible(candidate)) return static_cast<int>(candidate);
+    rejected.push_back(candidate);
+    if (rejected.size() == ids_.size()) break;
+  }
+  return -1;
+}
+
+double HashRing::OwnershipFraction(uint32_t id) const {
+  if (points_.empty()) return 0.0;
+  int owned = 0;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    if (PickOwner(static_cast<Key>(i * 0x9e3779b97f4a7c15ULL)) ==
+        static_cast<int>(id)) {
+      ++owned;
+    }
+  }
+  return owned / 4096.0;
+}
+
+}  // namespace oij

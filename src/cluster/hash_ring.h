@@ -1,0 +1,65 @@
+#ifndef OIJ_CLUSTER_HASH_RING_H_
+#define OIJ_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace oij {
+
+/// Consistent-hash ring over backend ids (Karger-style, virtual nodes).
+///
+/// Every backend owns `vnodes` pseudo-random points on the 64-bit ring;
+/// a key routes to the owner of the first point clockwise from
+/// Mix64(key). Adding or removing one backend therefore moves only
+/// ~1/N of the keyspace, which is what keeps a failover from
+/// reshuffling every backend's working set.
+///
+/// Lookup is O(log points); the filtered variant walks clockwise past
+/// ineligible owners (ejected/disconnected backends), so failover picks
+/// the *ring-adjacent* survivor deterministically.
+class HashRing {
+ public:
+  explicit HashRing(uint32_t vnodes_per_backend = 64)
+      : vnodes_(vnodes_per_backend == 0 ? 1 : vnodes_per_backend) {}
+
+  void AddBackend(uint32_t id);
+  void RemoveBackend(uint32_t id);
+  bool Contains(uint32_t id) const { return ids_.count(id) != 0; }
+  size_t backends() const { return ids_.size(); }
+
+  /// Owner of `key`; -1 on an empty ring.
+  int PickOwner(Key key) const;
+
+  /// First eligible owner clockwise from `key`'s point; -1 when no
+  /// backend passes the filter. `eligible` is consulted at most once
+  /// per distinct backend.
+  int PickEligible(Key key,
+                   const std::function<bool(uint32_t)>& eligible) const;
+
+  /// Fraction of 4096 sample points owned by `id` (diagnostics/tests).
+  double OwnershipFraction(uint32_t id) const;
+
+ private:
+  struct Point {
+    uint64_t hash;
+    uint32_t backend;
+    bool operator<(const Point& other) const {
+      return hash != other.hash ? hash < other.hash
+                                : backend < other.backend;
+    }
+  };
+
+  size_t LowerBound(uint64_t hash) const;
+
+  uint32_t vnodes_;
+  std::vector<Point> points_;  ///< sorted by hash
+  std::set<uint32_t> ids_;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_CLUSTER_HASH_RING_H_

@@ -1,0 +1,216 @@
+#include "cluster/health_checker.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include "net/socket.h"
+
+namespace oij {
+
+namespace {
+constexpr char kProbeRequest[] = "GET /healthz HTTP/1.0\r\n\r\n";
+}  // namespace
+
+HealthChecker::HealthChecker(EventLoop* loop, TimerQueue* timers,
+                             HealthCheckConfig config,
+                             TransitionCallback on_transition)
+    : loop_(loop),
+      timers_(timers),
+      config_(config),
+      on_transition_(std::move(on_transition)) {}
+
+HealthChecker::~HealthChecker() { Stop(); }
+
+void HealthChecker::AddTarget(uint32_t id, const std::string& host,
+                              uint16_t admin_port) {
+  Target& target = targets_[id];
+  target.id = id;
+  target.host = host;
+  target.port = admin_port;
+  if (running_) ScheduleProbe(&target, config_.interval_ms);
+}
+
+void HealthChecker::Start() {
+  if (running_) return;
+  running_ = true;
+  int64_t stagger = 0;
+  for (auto& [id, target] : targets_) {
+    // Stagger first probes so N targets do not thundering-herd the
+    // admin planes in lockstep forever after.
+    ScheduleProbe(&target, stagger);
+    stagger += config_.interval_ms / (targets_.empty() ? 1 : targets_.size());
+  }
+}
+
+void HealthChecker::Stop() {
+  if (!running_) return;
+  running_ = false;
+  for (auto& [id, target] : targets_) {
+    AbortProbe(&target);
+    if (target.next_probe_timer != 0) {
+      timers_->Cancel(target.next_probe_timer);
+      target.next_probe_timer = 0;
+    }
+  }
+}
+
+void HealthChecker::ReportPassiveFailure(uint32_t id) {
+  const auto it = targets_.find(id);
+  if (it == targets_.end()) return;
+  ApplyResult(&it->second, false);
+}
+
+bool HealthChecker::IsHealthy(uint32_t id) const {
+  const auto it = targets_.find(id);
+  return it != targets_.end() && it->second.healthy;
+}
+
+HealthChecker::TargetStats HealthChecker::StatsOf(uint32_t id) const {
+  TargetStats stats;
+  const auto it = targets_.find(id);
+  if (it == targets_.end()) return stats;
+  stats.healthy = it->second.healthy;
+  stats.probes = it->second.probes;
+  stats.failures = it->second.failures;
+  stats.ejections = it->second.ejections;
+  stats.readmissions = it->second.readmissions;
+  return stats;
+}
+
+void HealthChecker::ScheduleProbe(Target* target, int64_t delay_ms) {
+  if (!running_) return;
+  if (target->next_probe_timer != 0) timers_->Cancel(target->next_probe_timer);
+  const uint32_t id = target->id;
+  target->next_probe_timer =
+      timers_->Schedule(TimerQueue::NowMs(), delay_ms, [this, id] {
+        const auto it = targets_.find(id);
+        if (it == targets_.end()) return;
+        it->second.next_probe_timer = 0;
+        StartProbe(&it->second);
+      });
+}
+
+void HealthChecker::StartProbe(Target* target) {
+  if (target->fd >= 0) return;  // previous probe still in flight
+  ++target->probes;
+  int fd = -1;
+  bool in_progress = false;
+  const Status s =
+      ConnectTcpNonBlocking(target->host, target->port, &fd, &in_progress);
+  if (!s.ok()) {
+    FinishProbe(target, false);
+    return;
+  }
+  target->fd = fd;
+  target->request_sent = false;
+  target->response.clear();
+  const uint32_t id = target->id;
+  loop_->Add(fd, kLoopWritable, [this, id](uint32_t ready) {
+    const auto it = targets_.find(id);
+    if (it == targets_.end()) return;
+    OnProbeEvent(&it->second, ready);
+  });
+  target->timeout_timer =
+      timers_->Schedule(TimerQueue::NowMs(), config_.timeout_ms, [this, id] {
+        const auto it = targets_.find(id);
+        if (it == targets_.end()) return;
+        it->second.timeout_timer = 0;
+        FinishProbe(&it->second, false);
+      });
+}
+
+void HealthChecker::OnProbeEvent(Target* target, uint32_t ready) {
+  if (ready & kLoopError) {
+    FinishProbe(target, false);
+    return;
+  }
+  if ((ready & kLoopWritable) && !target->request_sent) {
+    if (!FinishConnect(target->fd).ok()) {
+      FinishProbe(target, false);
+      return;
+    }
+    // The request is a handful of bytes; a kernel that cannot take them
+    // on a fresh socket is as good as down.
+    const ssize_t sent = ::send(target->fd, kProbeRequest,
+                                sizeof(kProbeRequest) - 1, MSG_NOSIGNAL);
+    if (sent != static_cast<ssize_t>(sizeof(kProbeRequest) - 1)) {
+      FinishProbe(target, false);
+      return;
+    }
+    target->request_sent = true;
+    loop_->SetInterest(target->fd, kLoopReadable);
+    return;
+  }
+  if (ready & kLoopReadable) {
+    char buf[1024];
+    while (true) {
+      const ssize_t got = ::recv(target->fd, buf, sizeof(buf), 0);
+      if (got > 0) {
+        target->response.append(buf, static_cast<size_t>(got));
+        if (target->response.size() > 4096) {
+          FinishProbe(target, false);  // /healthz is tiny; this is not it
+          return;
+        }
+        continue;
+      }
+      if (got == 0) {
+        // Admin plane closes after the response; parse the status line.
+        const bool pass =
+            target->response.rfind("HTTP/1.0 200", 0) == 0 ||
+            target->response.rfind("HTTP/1.1 200", 0) == 0;
+        FinishProbe(target, pass);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // more later
+      if (errno == EINTR) continue;
+      FinishProbe(target, false);
+      return;
+    }
+  }
+}
+
+void HealthChecker::AbortProbe(Target* target) {
+  if (target->timeout_timer != 0) {
+    timers_->Cancel(target->timeout_timer);
+    target->timeout_timer = 0;
+  }
+  if (target->fd >= 0) {
+    loop_->Remove(target->fd);
+    CloseFd(target->fd);
+    target->fd = -1;
+  }
+  target->response.clear();
+  target->request_sent = false;
+}
+
+void HealthChecker::FinishProbe(Target* target, bool pass) {
+  AbortProbe(target);
+  ApplyResult(target, pass);
+  ScheduleProbe(target, config_.interval_ms);
+}
+
+void HealthChecker::ApplyResult(Target* target, bool pass) {
+  if (pass) {
+    target->consecutive_fail = 0;
+    ++target->consecutive_ok;
+    if (!target->healthy &&
+        target->consecutive_ok >= config_.healthy_threshold) {
+      target->healthy = true;
+      ++target->readmissions;
+      if (on_transition_) on_transition_(target->id, true);
+    }
+  } else {
+    ++target->failures;
+    target->consecutive_ok = 0;
+    ++target->consecutive_fail;
+    if (target->healthy &&
+        target->consecutive_fail >= config_.unhealthy_threshold) {
+      target->healthy = false;
+      ++target->ejections;
+      if (on_transition_) on_transition_(target->id, false);
+    }
+  }
+}
+
+}  // namespace oij

@@ -1,0 +1,112 @@
+#ifndef OIJ_CLUSTER_HEALTH_CHECKER_H_
+#define OIJ_CLUSTER_HEALTH_CHECKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/event_loop.h"
+#include "net/timer_queue.h"
+
+namespace oij {
+
+/// Active health-check knobs (Envoy-style outlier thresholds).
+struct HealthCheckConfig {
+  int64_t interval_ms = 200;  ///< gap between probes of one target
+  int64_t timeout_ms = 500;   ///< whole-probe bound (connect + response)
+  /// Consecutive failed probes before a healthy target is ejected.
+  uint32_t unhealthy_threshold = 2;
+  /// Consecutive passing probes before an ejected target is re-admitted.
+  uint32_t healthy_threshold = 2;
+};
+
+/// Active /healthz poller for the router's backend pool.
+///
+/// Runs entirely on the owner's event-loop thread: each target gets a
+/// repeating probe (non-blocking connect to the backend's admin port,
+/// `GET /healthz`, HTTP/1.0 200 = pass) with a per-probe timeout on the
+/// shared TimerQueue. Consecutive-failure / consecutive-success
+/// thresholds debounce flapping; only threshold crossings invoke the
+/// transition callback (ejection / re-admission).
+///
+/// Passive detection folds in through ReportPassiveFailure: an I/O
+/// error on the data path counts like a failed probe immediately, so a
+/// crashed backend is ejected at I/O-error speed, not at probe-interval
+/// speed.
+class HealthChecker {
+ public:
+  /// `healthy=false` = ejected, `healthy=true` = re-admitted.
+  using TransitionCallback = std::function<void(uint32_t id, bool healthy)>;
+
+  HealthChecker(EventLoop* loop, TimerQueue* timers, HealthCheckConfig config,
+                TransitionCallback on_transition);
+  ~HealthChecker();
+
+  HealthChecker(const HealthChecker&) = delete;
+  HealthChecker& operator=(const HealthChecker&) = delete;
+
+  /// Registers a target (initially healthy — traffic flows until probes
+  /// prove otherwise) and schedules its first probe if running.
+  void AddTarget(uint32_t id, const std::string& host, uint16_t admin_port);
+
+  /// Schedules the first probe of every registered target.
+  void Start();
+
+  /// Cancels timers and aborts in-flight probes.
+  void Stop();
+
+  /// Data-path failure evidence: counts as one failed probe now.
+  void ReportPassiveFailure(uint32_t id);
+
+  bool IsHealthy(uint32_t id) const;
+
+  struct TargetStats {
+    bool healthy = true;
+    uint64_t probes = 0;
+    uint64_t failures = 0;
+    uint64_t ejections = 0;
+    uint64_t readmissions = 0;
+  };
+  TargetStats StatsOf(uint32_t id) const;
+
+ private:
+  struct Target {
+    uint32_t id = 0;
+    std::string host;
+    uint16_t port = 0;
+
+    bool healthy = true;
+    uint32_t consecutive_fail = 0;
+    uint32_t consecutive_ok = 0;
+    uint64_t probes = 0;
+    uint64_t failures = 0;
+    uint64_t ejections = 0;
+    uint64_t readmissions = 0;
+
+    // In-flight probe.
+    int fd = -1;
+    bool request_sent = false;
+    std::string response;
+    TimerQueue::TimerId timeout_timer = 0;
+    TimerQueue::TimerId next_probe_timer = 0;
+  };
+
+  void ScheduleProbe(Target* target, int64_t delay_ms);
+  void StartProbe(Target* target);
+  void OnProbeEvent(Target* target, uint32_t ready);
+  void AbortProbe(Target* target);
+  void FinishProbe(Target* target, bool pass);
+  void ApplyResult(Target* target, bool pass);
+
+  EventLoop* loop_;
+  TimerQueue* timers_;
+  HealthCheckConfig config_;
+  TransitionCallback on_transition_;
+  bool running_ = false;
+  std::map<uint32_t, Target> targets_;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_CLUSTER_HEALTH_CHECKER_H_

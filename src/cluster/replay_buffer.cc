@@ -1,0 +1,71 @@
+#include "cluster/replay_buffer.h"
+
+#include "net/wire_codec.h"
+
+namespace oij {
+
+namespace {
+// Approximate in-memory cost of one buffered tuple.
+constexpr uint64_t kTupleCost = sizeof(StreamEvent);
+}  // namespace
+
+void ReplayBuffer::Append(const StreamEvent& event) {
+  open_.push_back(event);
+  ++buffered_tuples_;
+  buffered_bytes_ += kTupleCost;
+  while (buffered_bytes_ > max_bytes_ && !segments_.empty()) {
+    DropOldestSealed();
+  }
+}
+
+void ReplayBuffer::Seal(Timestamp watermark) {
+  Segment segment;
+  segment.bound = watermark;
+  segment.events.swap(open_);
+  segments_.push_back(std::move(segment));
+}
+
+void ReplayBuffer::Ack(Timestamp watermark) {
+  if (watermark > acked_) acked_ = watermark;
+  while (!segments_.empty() && segments_.front().bound <= watermark) {
+    const Segment& front = segments_.front();
+    buffered_tuples_ -= front.events.size();
+    buffered_bytes_ -= front.events.size() * kTupleCost;
+    segments_.pop_front();
+  }
+}
+
+uint64_t ReplayBuffer::EncodeUnacked(Timestamp recovered_watermark,
+                                     std::string* out) const {
+  uint64_t tuples = 0;
+  for (const Segment& segment : segments_) {
+    if (segment.bound <= recovered_watermark) continue;
+    for (const StreamEvent& event : segment.events) {
+      AppendTupleFrame(out, event);
+      ++tuples;
+    }
+    AppendWatermarkFrame(out, segment.bound);
+  }
+  for (const StreamEvent& event : open_) {
+    AppendTupleFrame(out, event);
+    ++tuples;
+  }
+  return tuples;
+}
+
+void ReplayBuffer::Clear() {
+  segments_.clear();
+  open_.clear();
+  buffered_tuples_ = 0;
+  buffered_bytes_ = 0;
+}
+
+void ReplayBuffer::DropOldestSealed() {
+  const Segment& front = segments_.front();
+  buffered_tuples_ -= front.events.size();
+  buffered_bytes_ -= front.events.size() * kTupleCost;
+  dropped_tuples_ += front.events.size();
+  segments_.pop_front();
+}
+
+}  // namespace oij

@@ -1,0 +1,91 @@
+#ifndef OIJ_CLUSTER_REPLAY_BUFFER_H_
+#define OIJ_CLUSTER_REPLAY_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/generator.h"
+
+namespace oij {
+
+/// Per-backend in-flight buffer for crash-exact rerouting.
+///
+/// The router appends every tuple it sends (or would send — tuples for
+/// a sticky backend that is temporarily down queue here too) into the
+/// *open* segment. Broadcasting watermark W seals the open segment at
+/// bound W: "these tuples were delivered before W". The backend acks W
+/// only after its WAL sync for W, so Ack(W) proves every sealed
+/// segment with bound <= W is durable over there and can be dropped
+/// here.
+///
+/// After a backend crash + restart, its hello reply carries the
+/// watermark R its recovered state is complete through
+/// (recover_to_watermark cuts the WAL exactly there). EncodeUnacked(R)
+/// then re-encodes precisely the segments with bound > R plus the open
+/// tail — no tuple is both recovered *and* resent, which is what makes
+/// rerouting exactly-once instead of at-least-once.
+///
+/// Watermark values key segments, so the router must only seal at
+/// strictly increasing watermarks (it enforces that before
+/// broadcasting).
+///
+/// Memory is bounded by `max_bytes` (approximate, counting tuple
+/// payloads): overflow drops the *oldest* sealed segments first and
+/// records the loss — at that point exactness degrades to bounded
+/// loss, surfaced via dropped_tuples() and the router's metrics.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(size_t max_bytes = 256u << 20)
+      : max_bytes_(max_bytes) {}
+
+  /// Records one routed tuple (call at send *or* queue time).
+  void Append(const StreamEvent& event);
+
+  /// Seals the open segment at `watermark` (must exceed every earlier
+  /// seal; the router enforces monotonicity). An empty open segment
+  /// still seals — acks must line up with broadcasts one-to-one.
+  void Seal(Timestamp watermark);
+
+  /// Durability ack: drops sealed segments with bound <= `watermark`.
+  void Ack(Timestamp watermark);
+
+  /// Re-encodes everything not covered by `recovered_watermark` as wire
+  /// frames: each surviving sealed segment's tuples followed by its
+  /// watermark, then the open tail's tuples. Returns the tuple count.
+  uint64_t EncodeUnacked(Timestamp recovered_watermark,
+                         std::string* out) const;
+
+  /// Tuples currently held (sealed + open).
+  uint64_t buffered_tuples() const { return buffered_tuples_; }
+  uint64_t buffered_bytes() const { return buffered_bytes_; }
+  /// Tuples lost to overflow since construction (0 = still exact).
+  uint64_t dropped_tuples() const { return dropped_tuples_; }
+  /// Highest ack seen (kMinTimestamp before the first).
+  Timestamp acked() const { return acked_; }
+  size_t sealed_segments() const { return segments_.size(); }
+
+  void Clear();
+
+ private:
+  struct Segment {
+    Timestamp bound;  ///< watermark this segment was sealed at
+    std::vector<StreamEvent> events;
+  };
+
+  void DropOldestSealed();
+
+  size_t max_bytes_;
+  std::deque<Segment> segments_;   ///< sealed, bound strictly ascending
+  std::vector<StreamEvent> open_;  ///< tuples since the last seal
+  uint64_t buffered_tuples_ = 0;
+  uint64_t buffered_bytes_ = 0;
+  uint64_t dropped_tuples_ = 0;
+  Timestamp acked_ = kMinTimestamp;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_CLUSTER_REPLAY_BUFFER_H_

@@ -680,6 +680,28 @@ Status ParallelEngineBase::BeginRecovery() {
   auto plan = std::make_unique<WalReplayPlan>();
   const Status s = BuildReplayPlan(wal_->dir(), plan.get());
   if (!s.ok()) return s;
+  if (options_.durability.recover_to_watermark) {
+    // Stop the replay at the watermark-consistent cut and physically
+    // truncate past it: a later recovery must not resurrect records
+    // this one logically discarded (the router replays them itself,
+    // and LSN-dedup cannot catch records that only *look* new).
+    const uint64_t cut = plan->watermark_cut_lsn;
+    uint64_t dropped = 0;
+    while (!plan->records.empty() && plan->records.back().lsn > cut) {
+      plan->records.pop_back();
+      ++dropped;
+    }
+    const Status ts = TruncateLogPastLsn(wal_->dir(), cut, nullptr);
+    if (!ts.ok()) return ts;
+    if (plan->max_lsn > cut) plan->max_lsn = cut;
+    recovered_watermark_ = plan->watermark_cut;
+    if (dropped > 0) {
+      wal_warnings_.push_back(
+          "watermark-cut recovery dropped " + std::to_string(dropped) +
+          " record(s) past lsn " + std::to_string(cut) +
+          "; a router replays them from its un-acked buffer");
+    }
+  }
   replay_plan_ = std::move(plan);
   replay_stage_ = 0;
   replay_pos_ = 0;

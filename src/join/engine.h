@@ -352,6 +352,14 @@ class JoinEngine {
   /// serving layer's /healthz answers 503 from this).
   virtual bool Recovering() const { return false; }
 
+  /// Watermark the recovered state is complete through (driver thread,
+  /// meaningful once recovery finished). kMinTimestamp unless the run
+  /// recovered under DurabilityOptions::recover_to_watermark, in which
+  /// case it is the watermark-consistent cut the replay stopped at —
+  /// the value a server advertises in its hello reply so a router can
+  /// resend exactly the un-acked suffix.
+  virtual Timestamp RecoveredWatermark() const { return kMinTimestamp; }
+
   /// Live durability counters (any thread); all-zero without a WAL.
   virtual WalStats SampleWal() const { return WalStats{}; }
 
@@ -388,6 +396,7 @@ class ParallelEngineBase : public JoinEngine {
   Status BeginRecovery() final;
   bool RecoveryStep(size_t max_events) final;
   bool Recovering() const final;
+  Timestamp RecoveredWatermark() const final { return recovered_watermark_; }
   WalStats SampleWal() const final;
   Status Health() const final;
   WatchdogSample SampleProgress() const final;
@@ -567,6 +576,7 @@ class ParallelEngineBase : public JoinEngine {
   size_t replay_pos_ = 0;   ///< cursor within the current stage
   uint64_t replayed_tuples_ = 0;
   uint64_t replayed_watermarks_ = 0;
+  Timestamp recovered_watermark_ = kMinTimestamp;
   int64_t recovery_start_us_ = 0;
   std::vector<std::string> wal_warnings_;
 };

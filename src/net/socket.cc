@@ -106,6 +106,50 @@ Status ConnectTcp(const std::string& host, uint16_t port, int* fd_out) {
   return Status::OK();
 }
 
+Status ConnectTcpNonBlocking(const std::string& host, uint16_t port,
+                             int* fd_out, bool* in_progress_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  Status s = SetNonBlocking(fd);
+  if (!s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && errno != EINPROGRESS) {
+    const Status es = Errno(("connect " + host).c_str());
+    CloseFd(fd);
+    return es;
+  }
+  SetNoDelay(fd);
+  *fd_out = fd;
+  *in_progress_out = (rc < 0);
+  return Status::OK();
+}
+
+Status FinishConnect(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    return Errno("getsockopt(SO_ERROR)");
+  }
+  if (err != 0) {
+    return Status::Internal(std::string("connect: ") + std::strerror(err));
+  }
+  return Status::OK();
+}
+
 Status SendAll(int fd, const void* data, size_t n) {
   const char* p = static_cast<const char*>(data);
   size_t sent = 0;

@@ -29,6 +29,19 @@ Status ListenTcp(const std::string& bind_address, uint16_t port, int* fd_out,
 /// Blocking TCP connect (numeric IPv4 host, e.g. "127.0.0.1").
 Status ConnectTcp(const std::string& host, uint16_t port, int* fd_out);
 
+/// Non-blocking TCP connect for event-loop clients (the router's backend
+/// pool). On success `*fd_out` holds a non-blocking, TCP_NODELAY socket
+/// and `*in_progress_out` says whether the three-way handshake is still
+/// pending (EINPROGRESS): if true, wait for writability and then call
+/// FinishConnect; if false, the connection completed immediately
+/// (loopback fast path).
+Status ConnectTcpNonBlocking(const std::string& host, uint16_t port,
+                             int* fd_out, bool* in_progress_out);
+
+/// Resolves a pending non-blocking connect once the fd polls writable:
+/// reads SO_ERROR and returns OK iff the handshake succeeded.
+Status FinishConnect(int fd);
+
 /// Blocking full-buffer send; loops over partial writes and EINTR.
 Status SendAll(int fd, const void* data, size_t n);
 

@@ -1,0 +1,56 @@
+#include "net/timer_queue.h"
+
+#include <time.h>
+
+#include <utility>
+
+namespace oij {
+
+int64_t TimerQueue::NowMs() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 +
+         static_cast<int64_t>(ts.tv_nsec) / 1000000;
+}
+
+TimerQueue::TimerId TimerQueue::Schedule(int64_t now_ms, int64_t delay_ms,
+                                         std::function<void()> callback) {
+  const TimerId id = next_id_++;
+  Entry e;
+  e.deadline_ms = now_ms + (delay_ms > 0 ? delay_ms : 0);
+  e.id = id;
+  e.callback = std::move(callback);
+  heap_.push(std::move(e));
+  live_.insert(id);
+  return id;
+}
+
+void TimerQueue::Cancel(TimerId id) {
+  // Cancelled entries stay in the heap until they pop (lazy deletion);
+  // RunExpired recognizes them by their absence from `live_`.
+  live_.erase(id);
+}
+
+int TimerQueue::NextTimeoutMs(int64_t now_ms, int cap_ms) const {
+  if (live_.empty()) return cap_ms;
+  // The heap top may be a cancelled entry; reporting its earlier
+  // deadline is harmless — Poll just returns a bit sooner.
+  const int64_t wait = heap_.empty() ? 0 : heap_.top().deadline_ms - now_ms;
+  if (wait <= 0) return 0;
+  if (wait >= cap_ms) return cap_ms;
+  return static_cast<int>(wait);
+}
+
+size_t TimerQueue::RunExpired(int64_t now_ms) {
+  size_t fired = 0;
+  while (!heap_.empty() && heap_.top().deadline_ms <= now_ms) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if (live_.erase(e.id) == 0) continue;  // cancelled
+    ++fired;
+    e.callback();
+  }
+  return fired;
+}
+
+}  // namespace oij

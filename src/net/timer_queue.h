@@ -1,0 +1,72 @@
+#ifndef OIJ_NET_TIMER_QUEUE_H_
+#define OIJ_NET_TIMER_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace oij {
+
+/// Monotonic deadline timers for an EventLoop owner thread.
+///
+/// The loop pattern is:
+///
+///   loop.Poll(timers.NextTimeoutMs(TimerQueue::NowMs()));
+///   timers.RunExpired(TimerQueue::NowMs());
+///
+/// Single-threaded like the loop itself: Schedule/Cancel/RunExpired must
+/// all happen on the owner thread (timer callbacks may schedule or cancel
+/// further timers, including themselves). Cancellation is lazy — the heap
+/// entry stays until it pops — so Cancel is O(1) and the heap is only
+/// ever popped from the top.
+class TimerQueue {
+ public:
+  using TimerId = uint64_t;
+
+  /// CLOCK_MONOTONIC milliseconds; immune to wall-clock steps.
+  static int64_t NowMs();
+
+  /// Runs `callback` once, `delay_ms` from `now_ms` (delay <= 0 fires on
+  /// the next RunExpired). Returns an id usable with Cancel.
+  TimerId Schedule(int64_t now_ms, int64_t delay_ms,
+                   std::function<void()> callback);
+
+  /// Prevents a pending timer from firing. No-op on unknown/fired ids.
+  void Cancel(TimerId id);
+
+  /// Milliseconds until the earliest live deadline, clamped to
+  /// [0, `cap_ms`]; `cap_ms` when no timer is pending. Feed to Poll.
+  int NextTimeoutMs(int64_t now_ms, int cap_ms = 1000) const;
+
+  /// Fires every timer whose deadline is <= `now_ms`, in deadline order.
+  /// Returns the number fired. Callbacks may Schedule/Cancel freely;
+  /// a timer scheduled during dispatch with delay <= 0 fires in this
+  /// same call.
+  size_t RunExpired(int64_t now_ms);
+
+  /// Live (scheduled, not cancelled, not fired) timers.
+  size_t pending() const { return live_.size(); }
+
+ private:
+  struct Entry {
+    int64_t deadline_ms = 0;
+    TimerId id = 0;
+    std::function<void()> callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.deadline_ms != b.deadline_ms) return a.deadline_ms > b.deadline_ms;
+      return a.id > b.id;  // FIFO among equal deadlines
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<TimerId> live_;
+  TimerId next_id_ = 1;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_NET_TIMER_QUEUE_H_

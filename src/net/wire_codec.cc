@@ -16,6 +16,11 @@ void PutU32(std::string* out, uint32_t v) {
   out->push_back(static_cast<char>((v >> 24) & 0xff));
 }
 
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
 void PutU64(std::string* out, uint64_t v) {
   for (int i = 0; i < 8; ++i) {
     out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
@@ -37,6 +42,12 @@ uint32_t GetU32(const char* p) {
          (static_cast<uint32_t>(u[3]) << 24);
 }
 
+uint16_t GetU16(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(static_cast<uint16_t>(u[0]) |
+                               (static_cast<uint16_t>(u[1]) << 8));
+}
+
 uint64_t GetU64(const char* p) {
   const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
   uint64_t v = 0;
@@ -51,6 +62,8 @@ double GetF64(const char* p) { return std::bit_cast<double>(GetU64(p)); }
 constexpr size_t kTupleBytes = 1 + 8 + 8 + 8;
 constexpr size_t kWatermarkBytes = 8;
 constexpr size_t kResultBytes = 24 + 8 + 8 + 24 + 16;
+constexpr size_t kHelloBytes = 4 + 2 + 2 + 8;
+constexpr size_t kWatermarkAckBytes = 8 + 8;
 
 void PutTuple(std::string* out, const Tuple& t) {
   PutI64(out, t.ts);
@@ -103,6 +116,21 @@ void AppendResultFrame(std::string* out, const JoinResult& result) {
 void AppendTextFrame(std::string* out, FrameType type, std::string_view text) {
   BeginFrame(out, type, text.size());
   out->append(text);
+}
+
+void AppendHelloFrame(std::string* out, const HelloInfo& hello) {
+  BeginFrame(out, FrameType::kHello, kHelloBytes);
+  PutU32(out, hello.magic);
+  PutU16(out, hello.version);
+  PutU16(out, hello.flags);
+  PutI64(out, hello.recovered_watermark);
+}
+
+void AppendWatermarkAckFrame(std::string* out, Timestamp watermark,
+                             uint64_t tuples_ingested) {
+  BeginFrame(out, FrameType::kWatermarkAck, kWatermarkAckBytes);
+  PutI64(out, watermark);
+  PutU64(out, tuples_ingested);
 }
 
 void AppendCanonicalResult(std::string* out, const JoinResult& result) {
@@ -189,6 +217,24 @@ WireDecoder::Result WireDecoder::Next(WireFrame* out) {
     case FrameType::kError:
       out->type = static_cast<FrameType>(type_byte);
       out->text.assign(payload, payload_bytes);
+      break;
+    case FrameType::kHello:
+      // Size is syntax; magic/version are *negotiation* and stay with
+      // the caller, which answers a mismatch with a clean kError frame.
+      if (!expect(kHelloBytes, "hello")) return Result::kCorrupt;
+      out->type = FrameType::kHello;
+      out->hello.magic = GetU32(payload);
+      out->hello.version = GetU16(payload + 4);
+      out->hello.flags = GetU16(payload + 6);
+      out->hello.recovered_watermark = GetI64(payload + 8);
+      break;
+    case FrameType::kWatermarkAck:
+      if (!expect(kWatermarkAckBytes, "watermark-ack")) {
+        return Result::kCorrupt;
+      }
+      out->type = FrameType::kWatermarkAck;
+      out->watermark = GetI64(payload);
+      out->ack_tuples = GetU64(payload + 8);
       break;
     default:
       return Fail("unknown frame type " + std::to_string(type_byte));

@@ -19,8 +19,8 @@ namespace oij {
 /// rejected unless their length matches exactly, so a corrupted stream
 /// fails loudly instead of desynchronizing.
 ///
-/// Client -> server: kTuple / kWatermark / kSubscribe / kFinish.
-/// Server -> client: kResult / kSummary / kError.
+/// Client -> server: kHello / kTuple / kWatermark / kSubscribe / kFinish.
+/// Server -> client: kHello / kResult / kSummary / kError / kWatermarkAck.
 enum class FrameType : uint8_t {
   kTuple = 1,      ///< stream(u8) ts(i64) key(u64) payload(f64)
   kWatermark = 2,  ///< watermark(i64)
@@ -29,6 +29,18 @@ enum class FrameType : uint8_t {
   kResult = 5,     ///< JoinResult (base tuple, aggregates, timing stamps)
   kSummary = 6,    ///< UTF-8 run summary (kFinish acknowledgement)
   kError = 7,      ///< UTF-8 error message; the server closes afterwards
+  /// Versioned handshake: magic(u32) version(u16) flags(u16)
+  /// recovered_watermark(i64). Optional, but when a client sends one it
+  /// must be the first frame; the server answers with its own kHello (or
+  /// a clean kError on a version/magic mismatch — the decoder is never
+  /// poisoned by a well-formed hello from the wrong era).
+  kHello = 8,
+  /// Server -> client durability acknowledgement for one kWatermark:
+  /// watermark(i64) tuples_ingested(u64). Sent only to peers whose hello
+  /// requested acks; under --fsync per_batch it is emitted after the WAL
+  /// sync that precedes the watermark broadcast, so an acked watermark
+  /// means every earlier tuple on this connection is durable.
+  kWatermarkAck = 9,
 };
 
 /// Upper bound on `length`; anything larger is a protocol violation.
@@ -37,12 +49,45 @@ inline constexpr uint32_t kMaxFramePayload = 1u << 20;
 /// Bytes of the length prefix.
 inline constexpr size_t kFrameHeaderBytes = 4;
 
+/// Handshake constants. The magic pins the protocol family ("OIJ1");
+/// the version is bumped whenever a frame's layout or semantics change
+/// incompatibly. Peers reject a mismatched hello with a kError frame and
+/// close — never by poisoning the decoder, since a well-formed hello
+/// from a newer/older peer is valid *syntax*, just an unacceptable
+/// *negotiation*.
+inline constexpr uint32_t kWireMagic = 0x314A494Fu;  // "OIJ1" little-endian
+inline constexpr uint16_t kWireVersion = 1;
+
+/// Hello flag bits (u16).
+/// Client -> server: request kWatermarkAck frames for every kWatermark.
+inline constexpr uint16_t kHelloWantAcks = 1u << 0;
+/// Server -> client: this backend runs --fsync per_batch with
+/// watermark-cut recovery, so acked state survives kill -9 exactly and
+/// a router may replay the un-acked suffix without creating duplicates.
+inline constexpr uint16_t kHelloDurableExact = 1u << 1;
+
+/// Decoded kHello payload.
+struct HelloInfo {
+  uint32_t magic = kWireMagic;
+  uint16_t version = kWireVersion;
+  uint16_t flags = 0;
+  /// Server -> client: watermark its recovered state is complete
+  /// through (kMinTimestamp when fresh). Clients send kMinTimestamp.
+  Timestamp recovered_watermark = kMinTimestamp;
+
+  bool Compatible() const {
+    return magic == kWireMagic && version == kWireVersion;
+  }
+};
+
 /// One decoded frame. Only the fields of the decoded `type` are
 /// meaningful.
 struct WireFrame {
   FrameType type = FrameType::kFinish;
   StreamEvent event;                 // kTuple
-  Timestamp watermark = 0;           // kWatermark
+  Timestamp watermark = 0;           // kWatermark / kWatermarkAck
+  uint64_t ack_tuples = 0;           // kWatermarkAck
+  HelloInfo hello;                   // kHello
   JoinResult result;                 // kResult
   std::string text;                  // kSummary / kError
 };
@@ -54,6 +99,9 @@ void AppendWatermarkFrame(std::string* out, Timestamp watermark);
 void AppendControlFrame(std::string* out, FrameType type);  // finish/subscribe
 void AppendResultFrame(std::string* out, const JoinResult& result);
 void AppendTextFrame(std::string* out, FrameType type, std::string_view text);
+void AppendHelloFrame(std::string* out, const HelloInfo& hello);
+void AppendWatermarkAckFrame(std::string* out, Timestamp watermark,
+                             uint64_t tuples_ingested);
 
 /// Canonical encoding of a result *excluding* the wall-clock stamps
 /// (arrival/emit), so two runs over the same input are byte-comparable.

@@ -146,6 +146,15 @@ std::string RenderPrometheusMetrics(const AdminSnapshot& snap) {
             static_cast<double>(c.results_streamed));
   w.Gauge("oij_subscribers", "Connections subscribed to results",
           static_cast<double>(c.subscribers));
+  w.Counter("oij_subscribers_evicted_total",
+            "Subscribers dropped for exceeding the egress backlog bound",
+            static_cast<double>(c.subscribers_evicted));
+  w.Counter("oij_watermark_acks_total",
+            "Watermark acknowledgements sent to hello'd peers",
+            static_cast<double>(c.watermark_acks));
+  w.Counter("oij_hellos_rejected_total",
+            "Handshake frames refused (magic/version/order)",
+            static_cast<double>(c.hellos_rejected));
 
   // Live engine progress: router intake and the per-joiner rings.
   w.Counter("oij_engine_accepted_tuples_total",
@@ -317,6 +326,12 @@ std::string RenderStatzJson(const AdminSnapshot& snap) {
   j.Number(c.results_streamed);
   j.Key("subscribers");
   j.Number(c.subscribers);
+  j.Key("subscribers_evicted");
+  j.Number(c.subscribers_evicted);
+  j.Key("watermark_acks");
+  j.Number(c.watermark_acks);
+  j.Key("hellos_rejected");
+  j.Number(c.hellos_rejected);
   j.Close('}');
 
   j.Key("engine_progress");

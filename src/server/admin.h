@@ -27,6 +27,14 @@ struct ServerCounters {
   uint64_t frames_rejected = 0;
   uint64_t results_streamed = 0;
   uint64_t subscribers = 0;
+  /// Subscribers force-dropped because their write backlog exceeded
+  /// ServerConfig::max_subscriber_backlog_bytes (stalled/half-open
+  /// peers must not wedge the egress path for everyone else).
+  uint64_t subscribers_evicted = 0;
+  /// kWatermarkAck frames sent to hello'd peers that requested them.
+  uint64_t watermark_acks = 0;
+  /// kHello frames refused (bad magic/version, or not the first frame).
+  uint64_t hellos_rejected = 0;
 };
 
 /// Everything the admin pages render, assembled by the server thread.

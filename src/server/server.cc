@@ -123,6 +123,10 @@ ServerCounters OijServer::CountersSnapshot() const {
   c.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
   c.results_streamed = results_streamed_.load(std::memory_order_relaxed);
   c.subscribers = subscribers_.load(std::memory_order_relaxed);
+  c.subscribers_evicted =
+      subscribers_evicted_.load(std::memory_order_relaxed);
+  c.watermark_acks = watermark_acks_.load(std::memory_order_relaxed);
+  c.hellos_rejected = hellos_rejected_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -254,9 +258,60 @@ void OijServer::ProcessDataInput(Conn* conn) {
 }
 
 bool OijServer::HandleFrame(Conn* conn, const WireFrame& frame) {
+  const bool first_frame = !conn->saw_frame;
+  conn->saw_frame = true;
   switch (frame.type) {
+    case FrameType::kHello: {
+      // Handshake is optional (bare clients keep working), but when a
+      // peer does send one it must lead, and a mismatched magic/version
+      // gets a clean kError — the frame itself decoded fine, so the
+      // refusal never poisons the decoder or strands buffered bytes.
+      if (!first_frame) {
+        hellos_rejected_.fetch_add(1, std::memory_order_relaxed);
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, "hello must be the first frame");
+        return false;
+      }
+      if (!frame.hello.Compatible()) {
+        hellos_rejected_.fetch_add(1, std::memory_order_relaxed);
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn,
+                  "incompatible wire protocol: peer magic=" +
+                      std::to_string(frame.hello.magic) + " version=" +
+                      std::to_string(frame.hello.version) + ", want magic=" +
+                      std::to_string(kWireMagic) + " version=" +
+                      std::to_string(kWireVersion));
+        return false;
+      }
+      if (engine_->Recovering()) {
+        // A well-meaning peer this early is told to come back; the
+        // router treats it like a failed connect and backs off.
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, "engine recovering; retry later");
+        return false;
+      }
+      conn->wants_acks = (frame.hello.flags & kHelloWantAcks) != 0;
+      HelloInfo reply;
+      reply.recovered_watermark = engine_->RecoveredWatermark();
+      const DurabilityOptions& d = config_.options.durability;
+      if (d.enabled() && d.fsync == FsyncPolicy::kPerBatch &&
+          d.recover_to_watermark) {
+        reply.flags |= kHelloDurableExact;
+      }
+      std::string out;
+      AppendHelloFrame(&out, reply);
+      const int fd = conn->tcp.fd();
+      conn->tcp.QueueWrite(out);
+      FlushConn(conn);
+      return conns_.count(fd) != 0;
+    }
+    case FrameType::kWatermarkAck:
+      frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, "server-to-client frame type received from client");
+      return false;
     case FrameType::kTuple: {
       tuples_in_.fetch_add(1, std::memory_order_relaxed);
+      ++conn->tuples_received;
       if (run_finished_.load(std::memory_order_relaxed)) {
         frames_rejected_.fetch_add(1, std::memory_order_relaxed);
         SendError(conn, "run already finalized; tuple rejected");
@@ -274,13 +329,27 @@ bool OijServer::HandleFrame(Conn* conn, const WireFrame& frame) {
       engine_->Push(frame.event, MonotonicNowUs());
       return true;
     }
-    case FrameType::kWatermark:
+    case FrameType::kWatermark: {
       watermarks_in_.fetch_add(1, std::memory_order_relaxed);
-      if (!run_finished_.load(std::memory_order_relaxed) &&
-          !engine_->Recovering()) {
-        engine_->SignalWatermark(frame.watermark);
+      const bool applied = !run_finished_.load(std::memory_order_relaxed) &&
+                           !engine_->Recovering();
+      if (applied) engine_->SignalWatermark(frame.watermark);
+      if (applied && conn->wants_acks) {
+        // SignalWatermark has already passed the WAL commit barrier
+        // (under kPerBatch, a full sync), so this ack certifies every
+        // earlier tuple on this connection as durable — the router
+        // trims its replay buffer on it.
+        std::string out;
+        AppendWatermarkAckFrame(&out, frame.watermark,
+                                conn->tuples_received);
+        watermark_acks_.fetch_add(1, std::memory_order_relaxed);
+        const int fd = conn->tcp.fd();
+        conn->tcp.QueueWrite(out);
+        FlushConn(conn);
+        return conns_.count(fd) != 0;
       }
       return true;
+    }
     case FrameType::kSubscribe:
       if (!conn->subscriber) {
         conn->subscriber = true;
@@ -385,6 +454,18 @@ void OijServer::DrainEgress() {
     if (it == conns_.end()) continue;
     it->second->tcp.QueueWrite(frames);
     FlushConn(it->second.get());
+    // A subscriber that has stopped reading (stalled or silently gone)
+    // accumulates backlog; past the bound it is evicted so the run
+    // keeps serving the live ones. An outright write error was already
+    // closed by FlushConn above.
+    auto again = conns_.find(fd);
+    if (again != conns_.end() &&
+        again->second->tcp.pending_write_bytes() >
+            config_.max_subscriber_backlog_bytes) {
+      subscribers_evicted_.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(fd);
+      continue;
+    }
     delivered = true;
   }
   if (delivered) {

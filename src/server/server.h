@@ -32,6 +32,13 @@ struct ServerConfig {
   /// Label shown on the admin pages (preset/config name).
   std::string workload_name = "network";
 
+  /// Upper bound on one subscriber's unflushed egress backlog. A peer
+  /// that stops reading (stalled, half-open, silently gone) is evicted
+  /// once its queued bytes cross this, so one dead subscriber can never
+  /// wedge the loop or grow memory without bound while the run keeps
+  /// serving everyone else.
+  size_t max_subscriber_backlog_bytes = 64u << 20;
+
   /// Recover from `options.durability.wal_dir` before serving traffic.
   /// Replay runs on the loop thread interleaved with admin polls, so
   /// /healthz answers 503 "recovering" and data tuples are rejected
@@ -98,6 +105,11 @@ class OijServer {
     WireDecoder decoder;
     bool is_admin = false;
     bool subscriber = false;
+    /// Handshake state: a kHello is only legal as the first frame; a
+    /// peer that sent one may request per-watermark acks.
+    bool saw_frame = false;
+    bool wants_acks = false;
+    uint64_t tuples_received = 0;
   };
 
   /// Joiner-thread entry: encodes results into the egress buffer.
@@ -159,6 +171,9 @@ class OijServer {
   std::atomic<uint64_t> frames_rejected_{0};
   std::atomic<uint64_t> results_streamed_{0};
   std::atomic<uint64_t> subscribers_{0};
+  std::atomic<uint64_t> subscribers_evicted_{0};
+  std::atomic<uint64_t> watermark_acks_{0};
+  std::atomic<uint64_t> hellos_rejected_{0};
 };
 
 }  // namespace oij

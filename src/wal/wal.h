@@ -61,6 +61,17 @@ struct DurabilityOptions {
   /// boundary).
   uint32_t group_commit_bytes = 64 * 1024;
 
+  /// Recover to the watermark-consistent cut instead of the raw torn
+  /// tail: replay stops at the last watermark present in *every* shard,
+  /// and later records are physically truncated. This makes the
+  /// recovered state exactly "durable through watermark W, nothing
+  /// after", which is what a router needs to replay the un-acked
+  /// suffix without duplicating anything. Most useful with kPerBatch
+  /// (where the cut loses nothing that was acked); with weaker
+  /// policies it trades a bounded extra loss for the same exactness of
+  /// the recovered prefix.
+  bool recover_to_watermark = false;
+
   bool enabled() const { return !wal_dir.empty(); }
   Status Validate() const;
 };

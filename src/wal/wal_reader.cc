@@ -1,6 +1,8 @@
 #include "wal/wal_reader.h"
 
 #include <dirent.h>
+#include <sys/types.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -233,8 +235,20 @@ Status BuildReplayPlan(const std::string& dir, WalReplayPlan* out) {
 
   // Read every segment (any generation/shard — stale generations below
   // the snapshot barrier are filtered by lsn), then merge by lsn.
+  // Alongside, track per *shard* the highest watermark LSN that
+  // survived: the min over shards is the watermark-consistent cut.
   std::vector<WalReplayRecord> merged;
+  std::map<uint32_t, uint64_t> shard_last_wm_lsn;  // shard -> max wm lsn
+  std::map<uint64_t, Timestamp> wm_value_by_lsn;
   for (const std::string& name : segment_names) {
+    uint64_t generation = 0;
+    uint32_t shard = 0;
+    ParseWalSegmentName(name, &generation, &shard);
+    // A shard is a cut participant even when its surviving records hold
+    // no watermark — an absent entry would silently drop it from the
+    // min below.
+    uint64_t& shard_wm = shard_last_wm_lsn[shard];
+    shard_wm = std::max(shard_wm, snapshot_lsn);
     WalFileReader reader(dir + "/" + name);
     const Status s = reader.OpenFile();
     if (!s.ok()) continue;  // raced truncation; lsn filter keeps us safe
@@ -242,12 +256,27 @@ Status BuildReplayPlan(const std::string& dir, WalReplayPlan* out) {
     while (reader.Next(&record)) {
       if (record.lsn > snapshot_lsn) merged.push_back(record);
       if (record.lsn > out->max_lsn) out->max_lsn = record.lsn;
+      if (record.is_watermark && record.lsn > shard_wm) {
+        shard_wm = record.lsn;
+        wm_value_by_lsn[record.lsn] = record.watermark;
+      }
     }
     if (reader.torn()) {
       ++out->torn_tails;
       out->torn_bytes += reader.torn_bytes();
     }
   }
+  uint64_t cut = snapshot_lsn;
+  if (!shard_last_wm_lsn.empty()) {
+    cut = UINT64_MAX;
+    for (const auto& [shard, wm_lsn] : shard_last_wm_lsn) {
+      cut = std::min(cut, wm_lsn);
+    }
+  }
+  out->watermark_cut_lsn = cut;
+  const auto wm_it = wm_value_by_lsn.find(cut);
+  out->watermark_cut =
+      wm_it != wm_value_by_lsn.end() ? wm_it->second : out->restore_watermark;
   std::stable_sort(merged.begin(), merged.end(),
                    [](const WalReplayRecord& a, const WalReplayRecord& b) {
                      return a.lsn < b.lsn;
@@ -261,6 +290,51 @@ Status BuildReplayPlan(const std::string& dir, WalReplayPlan* out) {
     out->records.push_back(record);
   }
   return Status::OK();
+}
+
+Status TruncateLogPastLsn(const std::string& dir, uint64_t cut_lsn,
+                          uint64_t* dropped_records_out) {
+  uint64_t dropped = 0;
+  std::vector<std::string> segment_names;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return Status::OK();
+  while (dirent* entry = readdir(d)) {
+    uint64_t generation = 0;
+    uint32_t shard = 0;
+    if (ParseWalSegmentName(entry->d_name, &generation, &shard)) {
+      segment_names.push_back(entry->d_name);
+    }
+  }
+  closedir(d);
+
+  Status first_error = Status::OK();
+  for (const std::string& name : segment_names) {
+    const std::string path = dir + "/" + name;
+    WalFileReader reader(path);
+    if (!reader.OpenFile().ok()) continue;
+    // Records within one segment strictly ascend in LSN, so the keep
+    // boundary is the consumed() offset just before the first
+    // past-the-cut record; everything after (and any torn tail) goes.
+    uint64_t keep_bytes = 0;
+    WalReplayRecord record;
+    while (reader.Next(&record)) {
+      if (record.lsn > cut_lsn) {
+        ++dropped;
+        continue;
+      }
+      keep_bytes = reader.consumed();
+    }
+    const uint64_t total_bytes = reader.consumed() + reader.torn_bytes();
+    if (keep_bytes < total_bytes) {
+      if (::truncate(path.c_str(), static_cast<off_t>(keep_bytes)) != 0) {
+        if (first_error.ok()) {
+          first_error = Status::Internal("truncate failed: " + path);
+        }
+      }
+    }
+  }
+  if (dropped_records_out != nullptr) *dropped_records_out = dropped;
+  return first_error;
 }
 
 }  // namespace oij

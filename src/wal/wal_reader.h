@@ -54,6 +54,9 @@ class WalFileReader {
   bool Next(WalReplayRecord* out);
 
   uint64_t records_read() const { return records_read_; }
+  /// Byte offset just past the last *valid* record (a clean prefix
+  /// boundary — the file may be truncated to it without tearing).
+  uint64_t consumed() const { return consumed_; }
   /// True when the file ended mid-record or at a corrupt one.
   bool torn() const { return torn_; }
   /// Bytes not consumed as valid records (0 on a clean file).
@@ -89,6 +92,20 @@ struct WalReplayPlan {
   uint64_t max_lsn = 0;      ///< highest lsn seen anywhere (0 = none)
   uint64_t torn_tails = 0;   ///< files that ended at a torn/corrupt record
   uint64_t torn_bytes = 0;   ///< bytes discarded across those tails
+
+  /// --- Watermark-consistent cut (recover_to_watermark) ---
+  ///
+  /// Watermarks are replicated to every shard under one LSN, and
+  /// kPerBatch syncs all shards before each broadcast; so the min over
+  /// shards of "last watermark LSN present in that shard" is a
+  /// *consistent global prefix*: every record with lsn <= the cut is in
+  /// its shard's surviving file. Recovering exactly to this cut (and
+  /// physically truncating past it — see TruncateLogPastLsn) gives a
+  /// state a router can reason about: "durable through watermark W,
+  /// nothing after", which is what makes crash rerouting exact.
+  /// A shard with no watermark record contributes the snapshot barrier.
+  uint64_t watermark_cut_lsn = 0;        ///< snapshot_lsn when no wm seen
+  Timestamp watermark_cut = kMinTimestamp;  ///< wm value at the cut
 };
 
 /// Scans `dir` and builds the replay plan. Fails (ParseError /
@@ -98,6 +115,16 @@ struct WalReplayPlan {
 /// damage and are absorbed into `torn_*`, not errors. An empty or
 /// absent directory yields an empty plan and OK.
 Status BuildReplayPlan(const std::string& dir, WalReplayPlan* out);
+
+/// Physically truncates every segment in `dir` to its last record with
+/// lsn <= `cut_lsn` (torn/corrupt tails go too). Required after a
+/// watermark-cut recovery: a later recovery of the same directory must
+/// not resurrect past-the-cut records the router already replayed
+/// elsewhere — LSN-dedup only collapses *equal* LSNs, it cannot know a
+/// record was logically discarded. Returns the number of records
+/// removed via `*dropped_records_out` (may be null).
+Status TruncateLogPastLsn(const std::string& dir, uint64_t cut_lsn,
+                          uint64_t* dropped_records_out);
 
 }  // namespace oij
 

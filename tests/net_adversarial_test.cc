@@ -1,0 +1,376 @@
+// Net-layer behavior under adversarial I/O: frames fragmented into
+// one-byte writes, peers that disconnect mid-frame, and slow-loris
+// clients that open a frame and never finish it (caught by the router's
+// stall timeout). Also unit coverage for the TimerQueue those timeouts
+// run on.
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "join/reference_join.h"
+#include "join/watermark.h"
+#include "net/socket.h"
+#include "net/timer_queue.h"
+#include "net/wire_codec.h"
+#include "server/server.h"
+#include "stream/generator.h"
+#include "stream/presets.h"
+
+namespace oij {
+namespace {
+
+bool WaitUntil(const std::function<bool()>& pred, int64_t timeout_ms = 15000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+std::vector<StreamEvent> Generate(const WorkloadSpec& spec) {
+  WorkloadGenerator gen(spec);
+  std::vector<StreamEvent> events;
+  StreamEvent ev;
+  while (gen.Next(&ev)) events.push_back(ev);
+  return events;
+}
+
+// -------------------------------------------------------- timer queue
+
+TEST(TimerQueueTest, FiresInDeadlineOrder) {
+  TimerQueue timers;
+  std::vector<int> fired;
+  timers.Schedule(1000, 30, [&] { fired.push_back(3); });
+  timers.Schedule(1000, 10, [&] { fired.push_back(1); });
+  timers.Schedule(1000, 20, [&] { fired.push_back(2); });
+  EXPECT_EQ(timers.pending(), 3u);
+
+  EXPECT_EQ(timers.RunExpired(1009), 0u);
+  EXPECT_EQ(timers.RunExpired(1010), 1u);
+  EXPECT_EQ(timers.RunExpired(1030), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(timers.pending(), 0u);
+}
+
+TEST(TimerQueueTest, EqualDeadlinesFireInScheduleOrder) {
+  TimerQueue timers;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    timers.Schedule(0, 10, [&fired, i] { fired.push_back(i); });
+  }
+  timers.RunExpired(10);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TimerQueueTest, CancelPreventsFiring) {
+  TimerQueue timers;
+  int fired = 0;
+  const TimerQueue::TimerId keep = timers.Schedule(0, 10, [&] { ++fired; });
+  const TimerQueue::TimerId gone = timers.Schedule(0, 10, [&] { ++fired; });
+  timers.Cancel(gone);
+  EXPECT_EQ(timers.pending(), 1u);
+  EXPECT_EQ(timers.RunExpired(100), 1u);
+  EXPECT_EQ(fired, 1);
+  // Cancelling an already-fired or unknown id is harmless.
+  timers.Cancel(keep);
+  timers.Cancel(999999);
+}
+
+TEST(TimerQueueTest, NextTimeoutTracksEarliestDeadline) {
+  TimerQueue timers;
+  EXPECT_EQ(timers.NextTimeoutMs(0, 250), 250) << "idle queue returns cap";
+  timers.Schedule(0, 100, [] {});
+  EXPECT_EQ(timers.NextTimeoutMs(0, 250), 100);
+  EXPECT_EQ(timers.NextTimeoutMs(40, 250), 60);
+  EXPECT_EQ(timers.NextTimeoutMs(100, 250), 0) << "due now = poll returns";
+  EXPECT_EQ(timers.NextTimeoutMs(500, 250), 0) << "overdue clamps at zero";
+  timers.Schedule(0, 10, [] {});
+  EXPECT_EQ(timers.NextTimeoutMs(0, 250), 10);
+}
+
+TEST(TimerQueueTest, TimersMayRescheduleFromTheirCallback) {
+  TimerQueue timers;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 3) timers.Schedule(fired * 10, 10, tick);
+  };
+  timers.Schedule(0, 10, tick);
+  timers.RunExpired(10);
+  timers.RunExpired(20);
+  timers.RunExpired(30);
+  EXPECT_EQ(fired, 3);
+}
+
+// ------------------------------------------- one-byte fragmented writes
+
+/// The decoder must reassemble frames from arbitrarily hostile
+/// fragmentation. A complete small run delivered one byte per send()
+/// still produces exactly the oracle's results.
+TEST(NetAdversarialTest, OneByteWritesStillDecodeToAnExactRun) {
+  WorkloadSpec workload;
+  ASSERT_TRUE(FindPreset("default", &workload));
+  workload.total_tuples = 400;
+
+  ServerConfig config;
+  config.query.window = workload.window;
+  config.query.lateness_us = workload.lateness_us;
+  config.query.emit_mode = EmitMode::kWatermark;
+  config.options.num_joiners = 2;
+  OijServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto events = Generate(workload);
+  constexpr uint64_t kWmEvery = 64;
+  auto expected = ReferenceJoinWithPolicy(events, config.query, kWmEvery);
+
+  // Build the whole session up front: hello, subscribe, tuples with
+  // punctuation, finish.
+  std::string session;
+  HelloInfo hello;
+  AppendHelloFrame(&session, hello);
+  AppendControlFrame(&session, FrameType::kSubscribe);
+  WatermarkTracker tracker(config.query.lateness_us);
+  uint64_t n = 0;
+  for (const StreamEvent& ev : events) {
+    tracker.Observe(ev.tuple.ts);
+    AppendTupleFrame(&session, ev);
+    if (++n % kWmEvery == 0) {
+      AppendWatermarkFrame(&session, tracker.watermark());
+    }
+  }
+  AppendControlFrame(&session, FrameType::kFinish);
+
+  int fd = -1;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server.data_port(), &fd).ok());
+
+  // Reader runs concurrently: results stream back while we drip bytes.
+  size_t results = 0;
+  std::string summary;
+  std::vector<std::string> errors;
+  bool saw_hello_reply = false;
+  std::thread reader([&] {
+    WireDecoder decoder;
+    char buf[16384];
+    WireFrame frame;
+    int64_t got;
+    while ((got = RecvSome(fd, buf, sizeof(buf))) > 0) {
+      decoder.Feed(buf, static_cast<size_t>(got));
+      while (decoder.Next(&frame) == WireDecoder::Result::kFrame) {
+        if (frame.type == FrameType::kResult) ++results;
+        if (frame.type == FrameType::kHello) saw_hello_reply = true;
+        if (frame.type == FrameType::kSummary) summary = frame.text;
+        if (frame.type == FrameType::kError) errors.push_back(frame.text);
+      }
+    }
+  });
+
+  for (size_t i = 0; i < session.size(); ++i) {
+    ASSERT_TRUE(SendAll(fd, session.data() + i, 1).ok()) << "byte " << i;
+  }
+  reader.join();
+  CloseFd(fd);
+
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  EXPECT_TRUE(saw_hello_reply) << "fragmented hello never answered";
+  EXPECT_FALSE(summary.empty());
+  EXPECT_EQ(results, expected.size());
+  server.Shutdown();
+}
+
+// ------------------------------------------------ mid-frame disconnect
+
+/// A peer that dies halfway through a frame must cost the server
+/// nothing: the connection is reaped and the next client runs a full
+/// session on a healthy server.
+TEST(NetAdversarialTest, MidFrameDisconnectDoesNotWedgeTheServer) {
+  WorkloadSpec workload;
+  ASSERT_TRUE(FindPreset("default", &workload));
+  workload.total_tuples = 300;
+
+  ServerConfig config;
+  config.query.window = workload.window;
+  config.query.lateness_us = workload.lateness_us;
+  config.query.emit_mode = EmitMode::kWatermark;
+  config.options.num_joiners = 1;
+  OijServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Several abrupt deaths at different cut points, including inside the
+  // length prefix itself.
+  std::string frame;
+  AppendTupleFrame(&frame, StreamEvent{});
+  for (const size_t cut : {size_t{1}, size_t{3}, size_t{7},
+                           frame.size() - 1}) {
+    int fd = -1;
+    ASSERT_TRUE(ConnectTcp("127.0.0.1", server.data_port(), &fd).ok());
+    ASSERT_TRUE(SendAll(fd, frame.data(), cut).ok());
+    CloseFd(fd);  // mid-frame EOF
+  }
+  ASSERT_TRUE(WaitUntil([&] {
+    return server.CountersSnapshot().connections_open == 0;
+  })) << "half-dead connections were never reaped";
+
+  // The server still serves a complete, correct run.
+  const auto events = Generate(workload);
+  auto expected = ReferenceJoinWithPolicy(events, config.query, 64);
+  int fd = -1;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server.data_port(), &fd).ok());
+  std::string session;
+  AppendControlFrame(&session, FrameType::kSubscribe);
+  WatermarkTracker tracker(config.query.lateness_us);
+  uint64_t n = 0;
+  for (const StreamEvent& ev : events) {
+    tracker.Observe(ev.tuple.ts);
+    AppendTupleFrame(&session, ev);
+    if (++n % 64 == 0) AppendWatermarkFrame(&session, tracker.watermark());
+  }
+  AppendControlFrame(&session, FrameType::kFinish);
+  size_t results = 0;
+  std::string summary;
+  std::thread reader([&] {
+    WireDecoder decoder;
+    char buf[16384];
+    WireFrame f;
+    int64_t got;
+    while ((got = RecvSome(fd, buf, sizeof(buf))) > 0) {
+      decoder.Feed(buf, static_cast<size_t>(got));
+      while (decoder.Next(&f) == WireDecoder::Result::kFrame) {
+        if (f.type == FrameType::kResult) ++results;
+        if (f.type == FrameType::kSummary) summary = f.text;
+      }
+    }
+  });
+  ASSERT_TRUE(SendAll(fd, session.data(), session.size()).ok());
+  reader.join();
+  CloseFd(fd);
+  EXPECT_FALSE(summary.empty());
+  EXPECT_EQ(results, expected.size());
+  server.Shutdown();
+}
+
+// ------------------------------------------------------- slow loris
+
+/// A client that opens a frame and then trickles nothing must be
+/// evicted by the router's stall sweep — holding a byte of a frame
+/// forever may not pin router memory. A well-behaved idle client (no
+/// partial frame buffered) is NOT evicted.
+TEST(NetAdversarialTest, SlowLorisClientHitsTheStallTimeout) {
+  // One real backend so the router starts; the client plane is what is
+  // under test.
+  ServerConfig backend_config;
+  backend_config.options.num_joiners = 1;
+  OijServer backend(backend_config);
+  ASSERT_TRUE(backend.Start().ok());
+
+  RouterConfig config;
+  config.backends.push_back(
+      {"127.0.0.1", backend.data_port(), backend.admin_port()});
+  config.client_stall_timeout_ms = 300;  // sweep interval scales with it
+  OijRouter router(config);
+  ASSERT_TRUE(router.Start().ok());
+
+  // The slow loris: one byte of a tuple frame, then silence.
+  int loris = -1;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", router.data_port(), &loris).ok());
+  std::string frame;
+  AppendTupleFrame(&frame, StreamEvent{});
+  ASSERT_TRUE(SendAll(loris, frame.data(), 1).ok());
+
+  // An idle-but-honest client: a complete watermark frame, then quiet.
+  int honest = -1;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", router.data_port(), &honest).ok());
+  std::string wm;
+  AppendWatermarkFrame(&wm, 1);
+  ASSERT_TRUE(SendAll(honest, wm.data(), wm.size()).ok());
+
+  // The loris gets evicted: its socket reports EOF.
+  char buf[16];
+  ASSERT_TRUE(WaitUntil([&] {
+    const int64_t n = RecvSome(loris, buf, sizeof(buf));
+    return n == 0;  // clean close from the router
+  })) << "slow loris was never evicted";
+  EXPECT_TRUE(WaitUntil([&] {
+    return router.CountersSnapshot().clients_stalled_evicted == 1;
+  }));
+  CloseFd(loris);
+
+  // The honest client survived the sweeps: its socket is still open
+  // (a fresh frame still routes without error).
+  EXPECT_TRUE(SendAll(honest, wm.data(), wm.size()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(SendAll(honest, wm.data(), wm.size()).ok())
+      << "honest idle client was evicted";
+  EXPECT_EQ(router.CountersSnapshot().clients_stalled_evicted, 1u);
+  CloseFd(honest);
+
+  router.Shutdown();
+  backend.Shutdown();
+}
+
+/// A backend that accepts TCP but never answers the hello handshake
+/// must trip the router's connect/handshake timeout and go through
+/// backoff retries instead of wedging the backend pool.
+TEST(NetAdversarialTest, SilentBackendTripsHandshakeTimeoutAndRetries) {
+  // A listener that accepts and then says nothing, ever.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 16), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const uint16_t silent_port = ntohs(addr.sin_port);
+
+  std::atomic<bool> stop{false};
+  std::thread acceptor([&] {
+    std::vector<int> held;
+    while (!stop.load()) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd >= 0) held.push_back(fd);  // hold open, never speak
+    }
+    for (const int fd : held) ::close(fd);
+  });
+
+  RouterConfig config;
+  config.backends.push_back({"127.0.0.1", silent_port, silent_port});
+  config.connect_timeout_ms = 100;
+  config.backoff_base_ms = 20;
+  config.backoff_max_ms = 100;
+  OijRouter router(config);
+  ASSERT_TRUE(router.Start().ok());
+
+  // Multiple timeout -> backoff -> retry cycles, and the mute backend
+  // never reaches Active (no connects counted).
+  EXPECT_TRUE(WaitUntil([&] {
+    return router.CountersSnapshot().backend_retries >= 3;
+  })) << "handshake timeout never fired";
+  EXPECT_EQ(router.CountersSnapshot().backend_connects, 0u);
+
+  router.Shutdown();
+  stop.store(true);
+  ::shutdown(listener, SHUT_RDWR);
+  ::close(listener);
+  acceptor.join();
+}
+
+}  // namespace
+}  // namespace oij

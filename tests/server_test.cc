@@ -620,5 +620,301 @@ TEST(ServerDurabilityTest, ShutdownDrainSyncsWalUnderFsyncNone) {
   EXPECT_EQ(std::system(cleanup.c_str()), 0);
 }
 
+// ---------------------------------------------------- hello handshake
+
+/// DataClient plus the handshake surfaces: the kHello reply and the
+/// kWatermarkAck stream a hello'd peer may request.
+class HandshakeClient {
+ public:
+  explicit HandshakeClient(uint16_t port) {
+    const Status s = ConnectTcp("127.0.0.1", port, &fd_);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    if (fd_ >= 0) reader_ = std::thread(&HandshakeClient::ReadLoop, this);
+  }
+
+  ~HandshakeClient() {
+    JoinReader();
+    CloseFd(fd_);
+  }
+
+  bool Send(const std::string& bytes) {
+    return SendAll(fd_, bytes.data(), bytes.size()).ok();
+  }
+
+  void JoinReader() {
+    if (reader_.joinable()) reader_.join();
+  }
+
+  std::vector<HelloInfo> hellos;
+  std::vector<std::pair<Timestamp, uint64_t>> acks;  // (watermark, tuples)
+  std::vector<JoinResult> results;
+  std::string summary;
+  std::vector<std::string> errors;
+  bool corrupt = false;
+
+ private:
+  void ReadLoop() {
+    WireDecoder decoder;
+    char buf[16384];
+    WireFrame frame;
+    while (true) {
+      const int64_t n = RecvSome(fd_, buf, sizeof(buf));
+      if (n <= 0) return;
+      decoder.Feed(buf, static_cast<size_t>(n));
+      while (true) {
+        const WireDecoder::Result r = decoder.Next(&frame);
+        if (r == WireDecoder::Result::kNeedMore) break;
+        if (r == WireDecoder::Result::kCorrupt) {
+          corrupt = true;
+          return;
+        }
+        switch (frame.type) {
+          case FrameType::kHello:
+            hellos.push_back(frame.hello);
+            break;
+          case FrameType::kWatermarkAck:
+            acks.emplace_back(frame.watermark, frame.ack_tuples);
+            break;
+          case FrameType::kResult:
+            results.push_back(frame.result);
+            break;
+          case FrameType::kSummary:
+            summary = frame.text;
+            break;
+          case FrameType::kError:
+            errors.push_back(frame.text);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  int fd_ = -1;
+  std::thread reader_;
+};
+
+/// A hello'd peer that requests acks gets exactly one kWatermarkAck per
+/// applied watermark, in order, with a nondecreasing tuple count — and
+/// a durable-exact server (per_batch + recover-to-watermark) advertises
+/// that in its hello reply, which is what the router's sticky-replay
+/// decision keys on.
+TEST(ServerHandshakeTest, HelloNegotiatesAcksAndDurableExactFlag) {
+  WorkloadSpec workload;
+  ASSERT_TRUE(FindPreset("default", &workload));
+  workload.total_tuples = 1'500;
+
+  char tmpl[] = "/tmp/oij_server_hello_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+
+  ServerConfig config;
+  config.engine = EngineKind::kKeyOij;
+  config.query.window = workload.window;
+  config.query.lateness_us = workload.lateness_us;
+  config.query.emit_mode = EmitMode::kWatermark;
+  config.options.num_joiners = 1;
+  config.options.durability.wal_dir = dir;
+  config.options.durability.fsync = FsyncPolicy::kPerBatch;
+  config.options.durability.recover_to_watermark = true;
+  OijServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto events = Generate(workload);
+  constexpr uint64_t kWmEvery = 128;
+  std::vector<Timestamp> sent_watermarks;
+  {
+    HandshakeClient client(server.data_port());
+    std::string batch;
+    HelloInfo hello;
+    hello.flags = kHelloWantAcks;
+    AppendHelloFrame(&batch, hello);
+    WatermarkTracker tracker(config.query.lateness_us);
+    uint64_t n = 0;
+    for (const StreamEvent& ev : events) {
+      tracker.Observe(ev.tuple.ts);
+      AppendTupleFrame(&batch, ev);
+      if (++n % kWmEvery == 0) {
+        AppendWatermarkFrame(&batch, tracker.watermark());
+        sent_watermarks.push_back(tracker.watermark());
+      }
+    }
+    AppendControlFrame(&batch, FrameType::kFinish);
+    ASSERT_TRUE(client.Send(batch));
+    client.JoinReader();
+
+    EXPECT_FALSE(client.corrupt);
+    ASSERT_TRUE(client.errors.empty())
+        << "server error: " << client.errors.front();
+    ASSERT_EQ(client.hellos.size(), 1u) << "no hello reply";
+    EXPECT_TRUE(client.hellos[0].Compatible());
+    EXPECT_NE(client.hellos[0].flags & kHelloDurableExact, 0)
+        << "per_batch + recover-to-watermark server must advertise "
+           "durable-exact";
+    EXPECT_EQ(client.hellos[0].recovered_watermark, kMinTimestamp)
+        << "fresh server advertised a recovered watermark";
+
+    ASSERT_EQ(client.acks.size(), sent_watermarks.size())
+        << "one ack per applied watermark";
+    for (size_t i = 0; i < client.acks.size(); ++i) {
+      EXPECT_EQ(client.acks[i].first, sent_watermarks[i]) << "ack " << i;
+      if (i > 0) {
+        EXPECT_GE(client.acks[i].second, client.acks[i - 1].second)
+            << "acked tuple count regressed";
+      }
+    }
+    // The last ack certifies the tuples received up to that watermark;
+    // the tail past the final punctuation is unacked by design.
+    EXPECT_EQ(client.acks.back().second,
+              (events.size() / kWmEvery) * kWmEvery);
+    EXPECT_FALSE(client.summary.empty());
+  }
+  EXPECT_EQ(server.CountersSnapshot().watermark_acks, sent_watermarks.size());
+
+  server.Shutdown();
+  const std::string cleanup = std::string("rm -rf '") + dir + "'";
+  EXPECT_EQ(std::system(cleanup.c_str()), 0);
+}
+
+/// A hello from the wrong protocol era (or in the wrong place) must be
+/// refused with a clean kError frame — never by poisoning the decoder —
+/// and the next well-formed connection must work.
+TEST(ServerHandshakeTest, MismatchedOrMisplacedHelloRejectedCleanly) {
+  ServerConfig config;
+  config.options.num_joiners = 1;
+  OijServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  {  // Future version: syntactically valid, semantically refused.
+    HandshakeClient client(server.data_port());
+    std::string bytes;
+    HelloInfo hello;
+    hello.version = kWireVersion + 7;
+    AppendHelloFrame(&bytes, hello);
+    ASSERT_TRUE(client.Send(bytes));
+    client.JoinReader();
+    EXPECT_FALSE(client.corrupt) << "rejection poisoned the decoder";
+    ASSERT_EQ(client.errors.size(), 1u);
+    EXPECT_NE(client.errors[0].find("version"), std::string::npos)
+        << client.errors[0];
+    EXPECT_TRUE(client.hellos.empty());
+  }
+  EXPECT_EQ(server.CountersSnapshot().hellos_rejected, 1u);
+
+  {  // Hello as the second frame is a protocol error.
+    HandshakeClient client(server.data_port());
+    std::string bytes;
+    AppendWatermarkFrame(&bytes, 1);
+    HelloInfo hello;
+    AppendHelloFrame(&bytes, hello);
+    ASSERT_TRUE(client.Send(bytes));
+    client.JoinReader();
+    EXPECT_FALSE(client.corrupt);
+    ASSERT_EQ(client.errors.size(), 1u);
+  }
+  EXPECT_EQ(server.CountersSnapshot().hellos_rejected, 2u);
+
+  {  // The data plane is not wedged for well-behaved peers.
+    HandshakeClient client(server.data_port());
+    std::string bytes;
+    HelloInfo hello;
+    AppendHelloFrame(&bytes, hello);
+    AppendControlFrame(&bytes, FrameType::kFinish);
+    ASSERT_TRUE(client.Send(bytes));
+    client.JoinReader();
+    ASSERT_EQ(client.hellos.size(), 1u);
+    EXPECT_TRUE(client.errors.empty());
+    EXPECT_FALSE(client.summary.empty());
+  }
+
+  server.Shutdown();
+}
+
+// ------------------------------------------- subscriber disconnection
+
+/// Regression for the mid-run subscriber disconnect: a subscriber that
+/// vanishes (EPIPE/ECONNRESET on its egress) must be evicted from the
+/// fan-out set, and the run must complete exactly for everyone else.
+TEST(ServerSubscriberTest, DeadSubscriberIsEvictedAndRunCompletesExactly) {
+  WorkloadSpec workload;
+  ASSERT_TRUE(FindPreset("default", &workload));
+  workload.total_tuples = 4'000;
+
+  QuerySpec query;
+  query.window = workload.window;
+  query.lateness_us = workload.lateness_us;
+  query.emit_mode = EmitMode::kWatermark;
+
+  ServerConfig config;
+  config.engine = EngineKind::kScaleOij;
+  config.query = query;
+  config.options.num_joiners = 2;
+  OijServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The doomed subscriber: subscribes, then vanishes without so much as
+  // a FIN handshake dance — the server discovers it on egress.
+  int doomed = -1;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server.data_port(), &doomed).ok());
+  {
+    std::string sub;
+    AppendControlFrame(&sub, FrameType::kSubscribe);
+    ASSERT_TRUE(SendAll(doomed, sub.data(), sub.size()).ok());
+  }
+  ASSERT_TRUE(WaitUntil([&] {
+    return server.CountersSnapshot().subscribers == 1;
+  }));
+
+  const auto events = Generate(workload);
+  constexpr uint64_t kWmEvery = 256;
+  DataClient client(server.data_port());
+  std::string batch;
+  AppendControlFrame(&batch, FrameType::kSubscribe);
+  WatermarkTracker tracker(query.lateness_us);
+  uint64_t n = 0;
+  size_t half = 0;
+  for (const StreamEvent& ev : events) {
+    tracker.Observe(ev.tuple.ts);
+    AppendTupleFrame(&batch, ev);
+    if (++n % kWmEvery == 0) AppendWatermarkFrame(&batch, tracker.watermark());
+    if (n == events.size() / 2) {
+      // Half the stream in, kill the subscriber mid-run.
+      ASSERT_TRUE(client.Send(batch));
+      batch.clear();
+      half = n;
+      ASSERT_TRUE(WaitUntil([&] {
+        return server.CountersSnapshot().tuples_in >= half;
+      }));
+      CloseFd(doomed);
+      doomed = -1;
+    }
+  }
+  AppendControlFrame(&batch, FrameType::kFinish);
+  ASSERT_TRUE(client.Send(batch));
+  client.JoinReader();
+
+  // The run completed for the surviving subscriber, exactly.
+  EXPECT_TRUE(client.errors.empty())
+      << "server error: " << client.errors.front();
+  ASSERT_FALSE(client.summary.empty()) << "dead subscriber wedged the run";
+  std::vector<ReferenceResult> got;
+  got.reserve(client.results.size());
+  for (const JoinResult& r : client.results) {
+    got.push_back({r.base, r.aggregate, r.match_count});
+  }
+  SortResults(&got);
+  auto expected = ReferenceJoinWithPolicy(events, query, kWmEvery);
+  SortResults(&expected);
+  ExpectResultsEqual(got, expected, "surviving subscriber");
+
+  // And the dead one is actually gone from the connection table.
+  EXPECT_TRUE(WaitUntil([&] {
+    return server.CountersSnapshot().connections_open == 0;
+  })) << "dead subscriber connection never cleaned up";
+
+  server.Shutdown();
+}
+
 }  // namespace
 }  // namespace oij

@@ -2,6 +2,11 @@
 //
 //   oij_loadgen --port <n> [flags]
 //     --host <addr>        server address (default 127.0.0.1)
+//     --targets <list>     multi-target mode: comma-separated host:port
+//                          peers; the workload is split round-robin and
+//                          each target gets its own connection with
+//                          reconnect + exponential backoff (replaces
+//                          --host/--port)
 //     --workload <preset|config>  arrival sequence to replay (default:
 //                          the "default" preset)
 //     --tuples <n>         override the workload's total_tuples
@@ -15,13 +20,23 @@
 // kFinish and waits for the kSummary reply. With --subscribe a reader
 // thread decodes the streamed kResult frames and reports client-side
 // result latency percentiles alongside the send-side throughput.
+//
+// Multi-target mode is open-loop: a dead target never stalls the
+// stream. Tuples due while a target is down (and the batches a failed
+// send takes with it) count as that target's loss, reconnect attempts
+// pace out on full-jitter exponential backoff, and the final report
+// lists sent/lost/reconnects plus latency percentiles per target.
+
+#include <sys/socket.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "cluster/backoff.h"
 #include "common/rate_limiter.h"
 #include "core/run_summary.h"
 #include "metrics/latency_recorder.h"
@@ -40,6 +55,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: oij_loadgen --port <n> [--host <addr>]\n"
+      "                   [--targets host:port[,host:port...]]\n"
       "                   [--workload <preset|config>] [--tuples <n>]\n"
       "                   [--rate <n>] [--wm-every <n>] [--subscribe]\n");
   return 2;
@@ -101,12 +117,221 @@ void ReadServerStream(int fd, ReaderReport* report) {
   }
 }
 
+/// One peer in --targets mode.
+struct Target {
+  std::string host;
+  uint16_t port = 0;
+
+  uint64_t sent = 0;
+  uint64_t lost = 0;        ///< tuples undeliverable while it was down
+  uint64_t reconnects = 0;  ///< successful reconnects after a drop
+  bool summary_ok = false;
+  ReaderReport report;
+};
+
+bool ParseTargetList(const std::string& list, std::vector<Target>* out) {
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const std::string spec =
+        comma == std::string::npos ? list.substr(start)
+                                   : list.substr(start, comma - start);
+    Target t;
+    const size_t colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+      t.host = "127.0.0.1";
+      const long p = std::atol(spec.c_str());
+      if (p <= 0 || p > 65535) return false;
+      t.port = static_cast<uint16_t>(p);
+    } else {
+      t.host = spec.substr(0, colon);
+      const long p = std::atol(spec.c_str() + colon + 1);
+      if (t.host.empty() || p <= 0 || p > 65535) return false;
+      t.port = static_cast<uint16_t>(p);
+    }
+    out->push_back(std::move(t));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
+/// Drives one target with its round-robin share of the workload
+/// (tuple index % stride == slot). Open-loop: while the target is down
+/// its tuples count as loss and reconnects pace out on backoff; only
+/// one reader thread is alive at a time, so `target->report`
+/// accumulates across connection incarnations without locking.
+void DriveTarget(const WorkloadSpec& workload, size_t slot, size_t stride,
+                 uint64_t rate, uint64_t wm_every, bool subscribe,
+                 Target* target) {
+  constexpr uint64_t kBatchTuples = 256;
+  Backoff backoff(100, 3000, 0x851f42d4c957f2dULL + slot);
+  RateLimiter limiter(rate);
+  WorkloadGenerator gen(workload);
+  std::thread reader;
+  int fd = -1;
+  int64_t next_retry_ms = 0;
+
+  auto now_ms = [] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  auto drop_connection = [&] {
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      if (reader.joinable()) reader.join();
+      CloseFd(fd);
+      fd = -1;
+    }
+    next_retry_ms = now_ms() + backoff.NextDelayMs();
+  };
+  auto try_connect = [&]() -> bool {
+    if (fd >= 0) return true;
+    if (now_ms() < next_retry_ms) return false;
+    int new_fd = -1;
+    if (!ConnectTcp(target->host, target->port, &new_fd).ok()) {
+      next_retry_ms = now_ms() + backoff.NextDelayMs();
+      return false;
+    }
+    fd = new_fd;
+    if (backoff.failures() > 0) ++target->reconnects;
+    backoff.Reset();
+    reader = std::thread(ReadServerStream, fd, &target->report);
+    if (subscribe) {
+      std::string sub;
+      AppendControlFrame(&sub, FrameType::kSubscribe);
+      if (!SendAll(fd, sub.data(), sub.size()).ok()) drop_connection();
+    }
+    return fd >= 0;
+  };
+  auto send_batch = [&](std::string* out, uint64_t batch_tuples) {
+    if (out->empty()) return;
+    if (!try_connect()) {
+      target->lost += batch_tuples;
+      out->clear();
+      return;
+    }
+    if (SendAll(fd, out->data(), out->size()).ok()) {
+      target->sent += batch_tuples;
+    } else {
+      // The whole batch is in doubt; count it lost and back off.
+      target->lost += batch_tuples;
+      drop_connection();
+    }
+    out->clear();
+  };
+
+  std::string out;
+  StreamEvent ev;
+  uint64_t index = 0;
+  uint64_t in_batch = 0;
+  uint64_t since_wm = 0;
+  while (gen.Next(&ev)) {
+    const bool mine = index++ % stride == slot;
+    if (!mine) continue;
+    AppendTupleFrame(&out, ev);
+    ++in_batch;
+    if (++since_wm >= wm_every) {
+      since_wm = 0;
+      AppendWatermarkFrame(&out, gen.watermark());
+    }
+    if (in_batch >= kBatchTuples) {
+      if (!limiter.unlimited()) limiter.AcquireBatch(in_batch);
+      send_batch(&out, in_batch);
+      in_batch = 0;
+    }
+  }
+  send_batch(&out, in_batch);
+
+  // Finish: one last reconnect window so a briefly-down target still
+  // hands back its summary.
+  std::string fin;
+  AppendControlFrame(&fin, FrameType::kFinish);
+  for (int attempt = 0; fd < 0 && attempt < 10; ++attempt) {
+    if (!try_connect()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  if (fd >= 0 && SendAll(fd, fin.data(), fin.size()).ok()) {
+    if (reader.joinable()) reader.join();  // until summary + EOF
+    CloseFd(fd);
+    fd = -1;
+    target->summary_ok = !target->report.summary.empty();
+  } else {
+    drop_connection();
+  }
+  if (reader.joinable()) reader.join();
+  if (fd >= 0) CloseFd(fd);
+}
+
+int RunMultiTarget(std::vector<Target>* targets, const WorkloadSpec& workload,
+                   uint64_t rate, uint64_t wm_every, bool subscribe) {
+  const size_t n = targets->size();
+  const uint64_t per_target_rate = rate == 0 ? 0 : (rate + n - 1) / n;
+  ThroughputMeter meter;
+  meter.Start();
+  std::vector<std::thread> drivers;
+  drivers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    drivers.emplace_back(DriveTarget, workload, i, n, per_target_rate,
+                         wm_every, subscribe, &(*targets)[i]);
+  }
+  for (auto& t : drivers) t.join();
+  meter.Stop();
+
+  uint64_t sent = 0;
+  uint64_t lost = 0;
+  size_t summaries = 0;
+  for (const Target& t : *targets) {
+    sent += t.sent;
+    lost += t.lost;
+    summaries += t.summary_ok ? 1 : 0;
+  }
+  meter.AddTuples(sent);
+  std::printf("sent %llu tuples to %zu target(s) in %.3f s (%s), "
+              "%llu lost\n",
+              static_cast<unsigned long long>(sent), n,
+              meter.elapsed_seconds(),
+              HumanRate(meter.TuplesPerSecond()).c_str(),
+              static_cast<unsigned long long>(lost));
+  for (const Target& t : *targets) {
+    std::printf("target %s:%u: sent=%llu lost=%llu reconnects=%llu "
+                "results=%llu",
+                t.host.c_str(), t.port,
+                static_cast<unsigned long long>(t.sent),
+                static_cast<unsigned long long>(t.lost),
+                static_cast<unsigned long long>(t.reconnects),
+                static_cast<unsigned long long>(t.report.results));
+    if (subscribe && t.report.results > 0) {
+      std::printf(" p50=%s p99=%s",
+                  HumanDurationUs(t.report.latency.Percentile(0.50)).c_str(),
+                  HumanDurationUs(t.report.latency.Percentile(0.99)).c_str());
+    }
+    std::printf(" summary=%s\n", t.summary_ok ? "ok" : "missing");
+    if (!t.report.error.empty()) {
+      std::fprintf(stderr, "target %s:%u error: %s\n", t.host.c_str(),
+                   t.port, t.report.error.c_str());
+    }
+  }
+  for (const Target& t : *targets) {
+    if (t.summary_ok) {
+      std::printf("--- %s:%u summary ---\n%s", t.host.c_str(), t.port,
+                  t.report.summary.c_str());
+    }
+  }
+  // Success = every target answered the finish; loss alone is reported,
+  // not fatal (that is the point of open-loop).
+  return summaries == n ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
   bool have_port = false;
+  std::vector<Target> targets;
   std::string workload_arg = "default";
   uint64_t tuples_override = 0;
   bool have_tuples = false;
@@ -131,6 +356,12 @@ int main(int argc, char** argv) {
       if (p <= 0 || p > 65535) return Usage();
       port = static_cast<uint16_t>(p);
       have_port = true;
+    } else if (flag == "--targets") {
+      const char* v = value();
+      if (v == nullptr || !ParseTargetList(v, &targets)) {
+        std::fprintf(stderr, "bad --targets list\n");
+        return Usage();
+      }
     } else if (flag == "--workload") {
       const char* v = value();
       if (v == nullptr) return Usage();
@@ -156,8 +387,12 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (!have_port) {
-    std::fprintf(stderr, "--port is required\n");
+  if (!have_port && targets.empty()) {
+    std::fprintf(stderr, "--port or --targets is required\n");
+    return Usage();
+  }
+  if (have_port && !targets.empty()) {
+    std::fprintf(stderr, "--port and --targets are mutually exclusive\n");
     return Usage();
   }
 
@@ -178,6 +413,10 @@ int main(int argc, char** argv) {
   }
   if (have_tuples) workload.total_tuples = tuples_override;
   if (!have_rate) rate = workload.pace_rate_per_sec;
+
+  if (!targets.empty()) {
+    return RunMultiTarget(&targets, workload, rate, wm_every, subscribe);
+  }
 
   int fd = -1;
   Status s = ConnectTcp(host, port, &fd);

@@ -1,0 +1,224 @@
+// Cluster ingress tier: health-gated consistent-hash router over N
+// oij_server backends (src/cluster/router.h).
+//
+//   oij_router --backends <spec>[,<spec>...] [flags]
+//     --backends <list>          comma-separated backends, each
+//                                host:data_port:admin_port (host may be
+//                                omitted: data_port:admin_port binds to
+//                                127.0.0.1)
+//     --port <n>                 client data port (default 0 = ephemeral)
+//     --admin-port <n>           admin HTTP port (default 0 = ephemeral)
+//     --bind <addr>              bind address (default 127.0.0.1)
+//     --vnodes <n>               virtual nodes per backend (default 64)
+//     --health-interval-ms <n>   gap between /healthz probes (default 200)
+//     --health-timeout-ms <n>    per-probe bound (default 500)
+//     --unhealthy-threshold <n>  consecutive failures before ejection
+//     --healthy-threshold <n>    consecutive passes before re-admission
+//     --connect-timeout-ms <n>   backend connect+handshake bound
+//     --backoff-base-ms <n>      reconnect backoff base (default 50)
+//     --backoff-max-ms <n>       reconnect backoff cap (default 2000)
+//     --stall-timeout-ms <n>     slow-loris client eviction (default 30000)
+//     --finish-timeout-ms <n>    finish barrier bound (default 30000)
+//     --replay-max-mb <n>        per-backend replay buffer (default 256)
+//     --seed <n>                 backoff jitter seed (default 1)
+//
+// Clients speak the same wire protocol as against a single oij_server;
+// the router partitions tuples over the backends by key on a consistent
+// -hash ring, fans subscribed results back, and emits the min-of-
+// backends cluster watermark. Backends running --fsync per_batch
+// --recover-to-watermark survive kill -9 without losing or duplicating
+// a single routed tuple (see DESIGN.md §5f).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "server/signal_stop.h"
+
+namespace {
+
+using namespace oij;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: oij_router --backends host:data:admin[,host:data:admin...]\n"
+      "                  [--port <n>] [--admin-port <n>] [--bind <addr>]\n"
+      "                  [--vnodes <n>] [--health-interval-ms <n>]\n"
+      "                  [--health-timeout-ms <n>]\n"
+      "                  [--unhealthy-threshold <n>]\n"
+      "                  [--healthy-threshold <n>]\n"
+      "                  [--connect-timeout-ms <n>] [--backoff-base-ms <n>]\n"
+      "                  [--backoff-max-ms <n>] [--stall-timeout-ms <n>]\n"
+      "                  [--finish-timeout-ms <n>] [--replay-max-mb <n>]\n"
+      "                  [--seed <n>]\n");
+  return 2;
+}
+
+bool ParsePort(const std::string& arg, uint16_t* out) {
+  char* end = nullptr;
+  const long v = std::strtol(arg.c_str(), &end, 10);
+  if (end == arg.c_str() || *end != '\0' || v < 0 || v > 65535) return false;
+  *out = static_cast<uint16_t>(v);
+  return true;
+}
+
+/// "host:data:admin" or "data:admin" (host defaults to 127.0.0.1).
+bool ParseBackendSpec(const std::string& spec, RouterBackendAddress* out) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.size() == 2) {
+    out->host = "127.0.0.1";
+    return ParsePort(parts[0], &out->data_port) &&
+           ParsePort(parts[1], &out->admin_port) && out->data_port != 0 &&
+           out->admin_port != 0;
+  }
+  if (parts.size() == 3) {
+    if (parts[0].empty()) return false;
+    out->host = parts[0];
+    return ParsePort(parts[1], &out->data_port) &&
+           ParsePort(parts[2], &out->admin_port) && out->data_port != 0 &&
+           out->admin_port != 0;
+  }
+  return false;
+}
+
+bool ParseBackendList(const std::string& list,
+                      std::vector<RouterBackendAddress>* out) {
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const std::string spec =
+        comma == std::string::npos ? list.substr(start)
+                                   : list.substr(start, comma - start);
+    RouterBackendAddress addr;
+    if (!ParseBackendSpec(spec, &addr)) return false;
+    out->push_back(addr);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RouterConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto positive = [&](int64_t* out) {
+      const char* v = value();
+      if (v == nullptr || std::atoll(v) <= 0) return false;
+      *out = std::atoll(v);
+      return true;
+    };
+    if (flag == "--backends") {
+      const char* v = value();
+      if (v == nullptr || !ParseBackendList(v, &config.backends)) {
+        std::fprintf(stderr, "bad --backends list\n");
+        return Usage();
+      }
+    } else if (flag == "--port") {
+      const char* v = value();
+      if (v == nullptr || !ParsePort(v, &config.data_port)) return Usage();
+    } else if (flag == "--admin-port") {
+      const char* v = value();
+      if (v == nullptr || !ParsePort(v, &config.admin_port)) return Usage();
+    } else if (flag == "--bind") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      config.bind_address = v;
+    } else if (flag == "--vnodes") {
+      const char* v = value();
+      if (v == nullptr || std::atoi(v) <= 0) return Usage();
+      config.ring_vnodes = static_cast<uint32_t>(std::atoi(v));
+    } else if (flag == "--health-interval-ms") {
+      if (!positive(&config.health.interval_ms)) return Usage();
+    } else if (flag == "--health-timeout-ms") {
+      if (!positive(&config.health.timeout_ms)) return Usage();
+    } else if (flag == "--unhealthy-threshold") {
+      const char* v = value();
+      if (v == nullptr || std::atoi(v) <= 0) return Usage();
+      config.health.unhealthy_threshold =
+          static_cast<uint32_t>(std::atoi(v));
+    } else if (flag == "--healthy-threshold") {
+      const char* v = value();
+      if (v == nullptr || std::atoi(v) <= 0) return Usage();
+      config.health.healthy_threshold = static_cast<uint32_t>(std::atoi(v));
+    } else if (flag == "--connect-timeout-ms") {
+      if (!positive(&config.connect_timeout_ms)) return Usage();
+    } else if (flag == "--backoff-base-ms") {
+      if (!positive(&config.backoff_base_ms)) return Usage();
+    } else if (flag == "--backoff-max-ms") {
+      if (!positive(&config.backoff_max_ms)) return Usage();
+    } else if (flag == "--stall-timeout-ms") {
+      if (!positive(&config.client_stall_timeout_ms)) return Usage();
+    } else if (flag == "--finish-timeout-ms") {
+      if (!positive(&config.finish_timeout_ms)) return Usage();
+    } else if (flag == "--replay-max-mb") {
+      int64_t mb = 0;
+      if (!positive(&mb)) return Usage();
+      config.replay_max_bytes = static_cast<size_t>(mb) << 20;
+    } else if (flag == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      config.seed = static_cast<uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return Usage();
+    }
+  }
+  if (config.backends.empty()) {
+    std::fprintf(stderr, "--backends is required\n");
+    return Usage();
+  }
+
+  OijRouter router(config);
+  const std::atomic<bool>* stop = InstallStopSignalHandlers();
+  const Status s = router.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "router start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("oij_router: %zu backend(s), %u vnodes each\n",
+              config.backends.size(), config.ring_vnodes);
+  std::printf("data port:  %u\n", router.data_port());
+  std::printf("admin port: %u  (GET /metrics /healthz /statz)\n",
+              router.admin_port());
+  std::fflush(stdout);
+
+  while (!stop->load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "signal received; shutting down\n");
+  router.Shutdown();
+
+  const RouterCounters c = router.CountersSnapshot();
+  std::printf("routed %llu/%llu tuples (%llu failed over, %llu dropped), "
+              "%llu watermarks, %llu results fanned\n",
+              static_cast<unsigned long long>(c.tuples_routed),
+              static_cast<unsigned long long>(c.tuples_in),
+              static_cast<unsigned long long>(c.tuples_failed_over),
+              static_cast<unsigned long long>(c.tuples_dropped),
+              static_cast<unsigned long long>(c.watermarks_broadcast),
+              static_cast<unsigned long long>(c.results_fanned));
+  return 0;
+}

@@ -24,6 +24,15 @@
 //                                  records (0 = never; log-only recovery)
 //     --no-recover                 skip WAL replay on start (fresh run;
 //                                  stale state in --wal-dir is discarded)
+//     --recover-to-watermark       truncate recovery at the last watermark
+//                                  durable on *every* shard, and advertise
+//                                  the cut in the hello reply — with
+//                                  --fsync per_batch this is what lets a
+//                                  router replay the un-acked suffix
+//                                  exactly once after kill -9
+//     --max-subscriber-backlog-mb <n>
+//                                  evict a subscriber whose un-flushed
+//                                  egress exceeds this (default 64)
 //     --wal-short-write-prob <p>   disk-fault harness: probability a WAL
 //                                  drain writes only a prefix (test only)
 //     --wal-fsync-fail-prob <p>    disk-fault harness: probability an
@@ -65,7 +74,8 @@ int Usage() {
       "                  [--wal-dir <dir>] [--fsync <none|interval|"
       "per_batch>]\n"
       "                  [--fsync-interval-us <n>] [--snapshot-every <n>]\n"
-      "                  [--no-recover]\n");
+      "                  [--no-recover] [--recover-to-watermark]\n"
+      "                  [--max-subscriber-backlog-mb <n>]\n");
   return 2;
 }
 
@@ -173,6 +183,13 @@ int main(int argc, char** argv) {
           static_cast<uint64_t>(std::atoll(v));
     } else if (flag == "--no-recover") {
       config.recover = false;
+    } else if (flag == "--recover-to-watermark") {
+      config.options.durability.recover_to_watermark = true;
+    } else if (flag == "--max-subscriber-backlog-mb") {
+      const char* v = value();
+      if (v == nullptr || std::atoll(v) <= 0) return Usage();
+      config.max_subscriber_backlog_bytes =
+          static_cast<size_t>(std::atoll(v)) << 20;
     } else if (flag == "--wal-short-write-prob") {
       const char* v = value();
       if (v == nullptr) return Usage();
