@@ -303,6 +303,14 @@ void OijRouter::BackendActivated(Backend* backend, const HelloInfo& hello) {
   AppendControlFrame(&out, FrameType::kSubscribe);
   backend->conn->QueueWrite(out);
 
+  // Catalog convergence: replay the full standing-query journal before
+  // any data. A freshly restarted durable backend already restored its
+  // catalog from its own WAL manifest and treats the duplicates as
+  // no-ops; a wiped or never-connected one catches up here.
+  if (!catalog_journal_.empty()) {
+    backend->conn->QueueWrite(catalog_journal_);
+  }
+
   if (durable) {
     // The backend recovered exactly to `hello.recovered_watermark`
     // (watermark-cut recovery): everything it acked before the crash
@@ -553,6 +561,27 @@ bool OijRouter::HandleClientFrame(ClientConn* conn, const WireFrame& frame) {
         MaybeFinish();
       }
       return true;
+    case FrameType::kAddQuery:
+    case FrameType::kRemoveQuery: {
+      if (run_finished_.load(std::memory_order_relaxed)) {
+        SendClientError(conn, "run already finalized; catalog change "
+                              "rejected");
+        return false;
+      }
+      std::string out;
+      if (frame.type == FrameType::kAddQuery) {
+        AppendAddQueryFrame(&out, frame.query_id, frame.query_spec);
+      } else {
+        AppendRemoveQueryFrame(&out, frame.query_id);
+      }
+      // Journal first (so a backend that is down right now still gets
+      // the change on reconnect), then broadcast to the reachable ones.
+      catalog_journal_ += out;
+      for (auto& backend : backends_) {
+        if (Eligible(*backend)) backend->conn->QueueWrite(out);
+      }
+      return true;
+    }
     default:
       SendClientError(conn, "unexpected frame type from client");
       return false;

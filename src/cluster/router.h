@@ -264,6 +264,11 @@ class OijRouter {
   std::unique_ptr<HealthChecker> health_;
   std::unordered_map<int, std::unique_ptr<ClientConn>> clients_;
   Timestamp last_broadcast_wm_ = kMinTimestamp;
+  /// Every kAddQuery/kRemoveQuery frame accepted, in order. Broadcast
+  /// to all backends as it arrives and resent in full to every backend
+  /// that (re)connects, so the whole cluster serves the same catalog;
+  /// backends treat duplicate catalog frames as idempotent.
+  std::string catalog_journal_;
   bool finish_requested_ = false;
   bool finish_broadcast_ = false;
   int64_t finish_requested_ms_ = 0;

@@ -71,6 +71,12 @@ struct JoinResult {
   int64_t arrival_us = 0;
   /// Monotonic-clock time the result was emitted.
   int64_t emit_us = 0;
+
+  /// Ordinal of the standing query this result belongs to. 0 is the
+  /// primary query an engine was constructed with; additional standing
+  /// queries registered through the catalog get 1, 2, ... in
+  /// registration order.
+  uint32_t query = 0;
 };
 
 }  // namespace oij

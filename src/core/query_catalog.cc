@@ -1,0 +1,172 @@
+#include "core/query_catalog.h"
+
+#include <charconv>
+
+namespace oij {
+
+namespace {
+
+bool IdChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+bool ParseI64(std::string_view text, int64_t* out) {
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+Status QueryCatalog::ValidateId(std::string_view id) {
+  if (id.empty()) return Status::InvalidArgument("query id must be non-empty");
+  if (id.size() > 64) {
+    return Status::InvalidArgument("query id exceeds 64 characters");
+  }
+  for (char c : id) {
+    if (!IdChar(c)) {
+      return Status::InvalidArgument(
+          "query id may only contain [A-Za-z0-9_.-]");
+    }
+  }
+  return Status::OK();
+}
+
+Status QueryCatalog::Add(std::string_view id, const QuerySpec& spec,
+                         uint32_t* ord_out) {
+  if (Status s = ValidateId(id); !s.ok()) return s;
+  if (Status s = spec.Validate(); !s.ok()) return s;
+  for (const QueryEntry& e : entries_) {
+    if (e.active && e.id == id) {
+      return Status::InvalidArgument("query id '" + std::string(id) +
+                                     "' already exists");
+    }
+  }
+  QueryEntry entry;
+  entry.ord = static_cast<uint32_t>(entries_.size());
+  entry.id = std::string(id);
+  entry.spec = spec;
+  entries_.push_back(std::move(entry));
+  if (ord_out != nullptr) *ord_out = entries_.back().ord;
+  return Status::OK();
+}
+
+Status QueryCatalog::Remove(std::string_view id, uint32_t* ord_out) {
+  for (QueryEntry& e : entries_) {
+    if (e.active && e.id == id) {
+      e.active = false;
+      if (ord_out != nullptr) *ord_out = e.ord;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no active query with id '" + std::string(id) +
+                          "'");
+}
+
+Status QueryCatalog::Append(std::string_view id, const QuerySpec& spec,
+                            bool active) {
+  uint32_t ord = 0;
+  if (Status s = Add(id, spec, &ord); !s.ok()) return s;
+  entries_[ord].active = active;
+  return Status::OK();
+}
+
+const QueryEntry* QueryCatalog::Find(std::string_view id) const {
+  const QueryEntry* found = nullptr;
+  for (const QueryEntry& e : entries_) {
+    if (e.id == id) found = &e;
+  }
+  return found;
+}
+
+size_t QueryCatalog::active_count() const {
+  size_t n = 0;
+  for (const QueryEntry& e : entries_) {
+    if (e.active) ++n;
+  }
+  return n;
+}
+
+std::string QueryCatalog::Serialize() const {
+  std::string out;
+  for (const QueryEntry& e : entries_) {
+    out += "query=" + e.id;
+    out += " pre=" + std::to_string(e.spec.window.pre);
+    out += " fol=" + std::to_string(e.spec.window.fol);
+    out += " lateness=" + std::to_string(e.spec.lateness_us);
+    out += " agg=" + std::string(AggKindName(e.spec.agg));
+    out += " emit=" + std::string(EmitModeName(e.spec.emit_mode));
+    out += " late=" + std::string(LatePolicyName(e.spec.late_policy));
+    out += " active=" + std::string(e.active ? "1" : "0");
+    out += "\n";
+  }
+  return out;
+}
+
+Status QueryCatalog::Parse(std::string_view text, QueryCatalog* out) {
+  QueryCatalog parsed;
+  while (!text.empty()) {
+    size_t eol = text.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text = eol == std::string_view::npos ? std::string_view()
+                                         : text.substr(eol + 1);
+    if (line.empty()) continue;
+
+    QueryEntry entry;
+    bool saw_id = false;
+    bool active = true;
+    while (!line.empty()) {
+      size_t space = line.find(' ');
+      std::string_view field =
+          space == std::string_view::npos ? line : line.substr(0, space);
+      line = space == std::string_view::npos ? std::string_view()
+                                             : line.substr(space + 1);
+      size_t eq = field.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::ParseError("catalog field without '=': " +
+                                  std::string(field));
+      }
+      std::string_view key = field.substr(0, eq);
+      std::string_view value = field.substr(eq + 1);
+      int64_t i64 = 0;
+      if (key == "query") {
+        entry.id = std::string(value);
+        saw_id = true;
+      } else if (key == "pre" && ParseI64(value, &i64)) {
+        entry.spec.window.pre = i64;
+      } else if (key == "fol" && ParseI64(value, &i64)) {
+        entry.spec.window.fol = i64;
+      } else if (key == "lateness" && ParseI64(value, &i64)) {
+        entry.spec.lateness_us = i64;
+      } else if (key == "agg") {
+        if (Status s = AggKindFromName(value, &entry.spec.agg); !s.ok()) {
+          return s;
+        }
+      } else if (key == "emit") {
+        if (Status s = EmitModeFromName(value, &entry.spec.emit_mode);
+            !s.ok()) {
+          return s;
+        }
+      } else if (key == "late") {
+        if (Status s = LatePolicyFromName(value, &entry.spec.late_policy);
+            !s.ok()) {
+          return s;
+        }
+      } else if (key == "active") {
+        active = value != "0";
+      } else {
+        return Status::ParseError("bad catalog field: " + std::string(field));
+      }
+    }
+    if (!saw_id) return Status::ParseError("catalog line without query id");
+    uint32_t ord = 0;
+    if (Status s = parsed.Add(entry.id, entry.spec, &ord); !s.ok()) return s;
+    parsed.entries_[ord].active = active;
+  }
+  *out = std::move(parsed);
+  return Status::OK();
+}
+
+}  // namespace oij

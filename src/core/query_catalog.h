@@ -1,0 +1,78 @@
+#ifndef OIJ_CORE_QUERY_CATALOG_H_
+#define OIJ_CORE_QUERY_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query_spec.h"
+
+namespace oij {
+
+/// One standing query registered with an engine. Ordinals are assigned in
+/// registration order and never reused: a removed query keeps its ordinal
+/// (with active = false) so that result tags and WAL replay stay stable.
+struct QueryEntry {
+  uint32_t ord = 0;
+  std::string id;
+  QuerySpec spec;
+  bool active = true;
+};
+
+/// The set of standing queries sharing one engine's time-travel index.
+///
+/// This is the pure data + serialization layer: the engines keep their own
+/// runtime bookkeeping (per-query pendings, counters) keyed by ordinal, and
+/// use the catalog for id/spec validation, manifest serialization, and the
+/// admin plane. Entry 0 is always the primary query the engine was
+/// constructed with.
+///
+/// Catalog text format (one line per entry, ordinal order — the parser
+/// assigns ordinals sequentially so a round trip preserves them):
+///
+///   query=<id> pre=<i64> fol=<i64> lateness=<i64> agg=<name>
+///       emit=<name> late=<name> active=<0|1>   (one line per entry)
+class QueryCatalog {
+ public:
+  /// Ids are restricted to [A-Za-z0-9_.-]{1,64} so they can be embedded in
+  /// URLs, Prometheus label values, and the space-separated catalog lines
+  /// without quoting.
+  static Status ValidateId(std::string_view id);
+
+  /// Appends an entry with the next ordinal. Rejects invalid ids/specs and
+  /// ids that collide with any *active* entry. Re-adding a removed id
+  /// creates a fresh entry under a new ordinal.
+  Status Add(std::string_view id, const QuerySpec& spec, uint32_t* ord_out);
+
+  /// Marks the active entry with this id inactive. NotFound if no active
+  /// entry has the id.
+  Status Remove(std::string_view id, uint32_t* ord_out);
+
+  /// Appends an entry preserving an explicit active flag (for engines
+  /// exporting their runtime catalog; ordinals are still assigned
+  /// sequentially, so the export preserves them).
+  Status Append(std::string_view id, const QuerySpec& spec, bool active);
+
+  /// Latest entry with this id (active or not); nullptr if never added.
+  const QueryEntry* Find(std::string_view id) const;
+
+  const std::vector<QueryEntry>& entries() const { return entries_; }
+  size_t active_count() const;
+
+  /// Serializes every entry (including inactive ones, to keep ordinals
+  /// stable across a round trip) as newline-terminated catalog lines.
+  std::string Serialize() const;
+
+  /// Parses catalog lines produced by Serialize into *out (replacing its
+  /// contents). ParseError on any malformed line.
+  static Status Parse(std::string_view text, QueryCatalog* out);
+
+ private:
+  std::vector<QueryEntry> entries_;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_CORE_QUERY_CATALOG_H_

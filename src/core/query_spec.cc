@@ -14,6 +14,41 @@ std::string_view LatePolicyName(LatePolicy policy) {
   return "unknown";
 }
 
+Status LatePolicyFromName(std::string_view name, LatePolicy* out) {
+  if (name == "best_effort_join") {
+    *out = LatePolicy::kBestEffortJoin;
+  } else if (name == "drop_and_count") {
+    *out = LatePolicy::kDropAndCount;
+  } else if (name == "side_channel") {
+    *out = LatePolicy::kSideChannel;
+  } else {
+    return Status::ParseError("unknown late policy '" + std::string(name) +
+                              "'");
+  }
+  return Status::OK();
+}
+
+std::string_view EmitModeName(EmitMode mode) {
+  switch (mode) {
+    case EmitMode::kEager:
+      return "eager";
+    case EmitMode::kWatermark:
+      return "watermark";
+  }
+  return "unknown";
+}
+
+Status EmitModeFromName(std::string_view name, EmitMode* out) {
+  if (name == "eager") {
+    *out = EmitMode::kEager;
+  } else if (name == "watermark") {
+    *out = EmitMode::kWatermark;
+  } else {
+    return Status::ParseError("unknown emit mode '" + std::string(name) + "'");
+  }
+  return Status::OK();
+}
+
 Status QuerySpec::Validate() const {
   if (window.pre < 0 || window.fol < 0) {
     return Status::InvalidArgument("window offsets must be non-negative");

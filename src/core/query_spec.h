@@ -46,6 +46,16 @@ enum class LatePolicy : uint8_t {
 
 std::string_view LatePolicyName(LatePolicy policy);
 
+/// Parses a (case-sensitive, lower-case) late-policy name as produced by
+/// LatePolicyName. Returns ParseError for unknown names.
+Status LatePolicyFromName(std::string_view name, LatePolicy* out);
+
+/// "eager" / "watermark".
+std::string_view EmitModeName(EmitMode mode);
+
+/// Parses an emit-mode name as produced by EmitModeName.
+Status EmitModeFromName(std::string_view name, EmitMode* out);
+
 /// The online interval join query (Definition 2): join base stream S with
 /// probe stream R on key equality and relative window containment, then
 /// aggregate per base tuple.

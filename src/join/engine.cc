@@ -125,6 +125,22 @@ Status ParallelEngineBase::Start() {
   }
 
   late_gate_.Configure(spec_.late_policy, options_.late_sink);
+
+  // Catalog entry 0 is always the primary query; every joiner starts with
+  // it in view, so the single-query path is just the one-entry case.
+  queries_.clear();
+  queries_.emplace_back();
+  queries_[0].ord = 0;
+  queries_[0].id = "main";
+  queries_[0].spec = spec_;
+  multi_mode_ = false;
+  RecomputeLatePolicies();
+  joiner_views_.assign(options_.num_joiners, JoinerView{});
+  for (auto& view : joiner_views_) {
+    view.queries.push_back(&queries_[0]);
+    view.accepting.push_back(true);
+  }
+
   consumed_ = std::make_unique<PaddedCounter[]>(options_.num_joiners);
   stop_.store(false, std::memory_order_release);
   exited_.store(0, std::memory_order_release);
@@ -180,13 +196,50 @@ void ParallelEngineBase::Push(const StreamEvent& event, int64_t arrival_us) {
     wal_->CommitGroup(arrival_us, /*watermark_barrier=*/false);
     wal_->PollSnapshotCompletion();
   }
-  if (!late_gate_.Admit(event)) return;
+  bool late = false;
+  if (!multi_mode_) {
+    if (!late_gate_.Admit(event)) return;
+  } else {
+    // Per-query late policies: "late" is global (every query shares the
+    // primary's lateness bound), but each query disposes of the tuple by
+    // its own policy. The tuple is routed at all only when a best-effort
+    // query wants it, flagged so drop/side-channel queries never see it.
+    const Timestamp wm = late_gate_.last_watermark();
+    if (wm != kMinTimestamp && event.tuple.ts < wm) {
+      for (QueryRuntime& q : queries_) {
+        if (!q.active) continue;
+        ++q.late.tuples;
+        if (event.stream == StreamId::kBase) {
+          ++q.late.base;
+        } else {
+          ++q.late.probe;
+        }
+        switch (q.spec.late_policy) {
+          case LatePolicy::kBestEffortJoin:
+            ++q.late.joined;
+            break;
+          case LatePolicy::kDropAndCount:
+            ++q.late.dropped;
+            break;
+          case LatePolicy::kSideChannel:
+            ++q.late.side_channel;
+            break;
+        }
+      }
+      if (any_side_channel_ && options_.late_sink != nullptr) {
+        options_.late_sink->OnLateTuple(event, wm);
+      }
+      if (!any_best_effort_) return;
+      late = true;
+    }
+  }
 
   Event ev;
   ev.kind = Event::Kind::kTuple;
   ev.stream = event.stream;
   ev.tuple = event.tuple;
   ev.arrival_us = arrival_us;
+  ev.late = late;
   ev.seq = seq_++;
   Route(ev);
 
@@ -236,8 +289,8 @@ void ParallelEngineBase::SignalWatermark(Timestamp watermark) {
       // Snapshot barrier: rotate the log, then ask every joiner (via an
       // ordinary control event, so FIFO order makes the cut consistent)
       // to persist its state for this epoch.
-      const uint64_t epoch =
-          wal_->BeginSnapshot(late_gate_.last_watermark());
+      const uint64_t epoch = wal_->BeginSnapshot(
+          late_gate_.last_watermark(), SerializeCatalog());
       Event snap;
       snap.kind = Event::Kind::kSnapshot;
       snap.watermark = static_cast<Timestamp>(epoch);
@@ -254,6 +307,163 @@ void ParallelEngineBase::SignalWatermark(Timestamp watermark) {
 }
 
 void ParallelEngineBase::FlushPending() { FlushAllStaged(/*deadline_ns=*/-1); }
+
+Status ParallelEngineBase::AddQuery(std::string_view id,
+                                    const QuerySpec& spec) {
+  if (!started_ || finished_) {
+    return Status::FailedPrecondition(
+        "AddQuery needs a started, unfinished engine");
+  }
+  if (!SupportsMultiQuery()) {
+    return Status::FailedPrecondition(
+        std::string(name()) + " does not support a standing-query catalog");
+  }
+  if (Status s = QueryCatalog::ValidateId(id); !s.ok()) return s;
+  if (Status s = spec.Validate(); !s.ok()) return s;
+  if (spec.lateness_us != spec_.lateness_us) {
+    return Status::InvalidArgument(
+        "standing queries must share the primary query's lateness bound (" +
+        std::to_string(spec_.lateness_us) + " us)");
+  }
+  if (spec.emit_mode != spec_.emit_mode) {
+    return Status::InvalidArgument(
+        "standing queries must share the primary query's emit mode (" +
+        std::string(EmitModeName(spec_.emit_mode)) + ")");
+  }
+  for (const QueryRuntime& q : queries_) {
+    if (q.active && q.id == id) {
+      return Status::InvalidArgument("query id '" + std::string(id) +
+                                     "' already exists");
+    }
+  }
+  return ApplyCatalogAdd(id, spec);
+}
+
+Status ParallelEngineBase::ApplyCatalogAdd(std::string_view id,
+                                           const QuerySpec& spec) {
+  const bool wal_live =
+      wal_ != nullptr && !replaying_.load(std::memory_order_relaxed);
+  if (wal_live) {
+    if (!ingest_begun_) ArmWalIngest();
+    wal_->AppendAddQuery(id, spec);
+    // Catalog changes are rare and load-bearing: always sync them like a
+    // watermark barrier so a recovered run serves the same catalog.
+    wal_->CommitGroup(MonotonicNowUs(), /*watermark_barrier=*/true);
+  }
+  if (!multi_mode_) {
+    multi_mode_ = true;
+    // The gate counted the primary query's violations until now; hand
+    // its tallies over so per-query counters stay continuous.
+    queries_[0].late = late_gate_.stats();
+  }
+  queries_.emplace_back();
+  QueryRuntime& q = queries_.back();
+  q.ord = static_cast<uint32_t>(queries_.size() - 1);
+  q.id = std::string(id);
+  q.spec = spec;
+  RecomputeLatePolicies();
+
+  Event ev;
+  ev.kind = Event::Kind::kAddQuery;
+  ev.query = &q;
+  ev.seq = seq_++;
+  for (uint32_t j = 0; j < options_.num_joiners; ++j) {
+    if (!EnqueueControl(j, ev, -1)) ++control_lost_per_joiner_[j];
+  }
+  return Status::OK();
+}
+
+Status ParallelEngineBase::RemoveQuery(std::string_view id) {
+  if (!started_ || finished_) {
+    return Status::FailedPrecondition(
+        "RemoveQuery needs a started, unfinished engine");
+  }
+  if (!SupportsMultiQuery()) {
+    return Status::FailedPrecondition(
+        std::string(name()) + " does not support a standing-query catalog");
+  }
+  for (QueryRuntime& q : queries_) {
+    if (!q.active || q.id != id) continue;
+    if (q.ord == 0) {
+      return Status::InvalidArgument("the primary query cannot be removed");
+    }
+    const bool wal_live =
+        wal_ != nullptr && !replaying_.load(std::memory_order_relaxed);
+    if (wal_live) {
+      if (!ingest_begun_) ArmWalIngest();
+      wal_->AppendRemoveQuery(id);
+      wal_->CommitGroup(MonotonicNowUs(), /*watermark_barrier=*/true);
+    }
+    ApplyCatalogRemove(q);
+    return Status::OK();
+  }
+  return Status::NotFound("no active query with id '" + std::string(id) +
+                          "'");
+}
+
+void ParallelEngineBase::ApplyCatalogRemove(QueryRuntime& query) {
+  query.active = false;
+  RecomputeLatePolicies();
+  Event ev;
+  ev.kind = Event::Kind::kRemoveQuery;
+  ev.query = &query;
+  ev.seq = seq_++;
+  for (uint32_t j = 0; j < options_.num_joiners; ++j) {
+    if (!EnqueueControl(j, ev, -1)) ++control_lost_per_joiner_[j];
+  }
+}
+
+void ParallelEngineBase::RecomputeLatePolicies() {
+  any_best_effort_ = false;
+  any_side_channel_ = false;
+  for (const QueryRuntime& q : queries_) {
+    if (!q.active) continue;
+    if (q.spec.late_policy == LatePolicy::kBestEffortJoin) {
+      any_best_effort_ = true;
+    }
+    if (q.spec.late_policy == LatePolicy::kSideChannel) {
+      any_side_channel_ = true;
+    }
+  }
+}
+
+std::string ParallelEngineBase::SerializeCatalog() const {
+  QueryCatalog catalog;
+  for (const QueryRuntime& q : queries_) {
+    catalog.Append(q.id, q.spec, q.active);
+  }
+  return catalog.Serialize();
+}
+
+void ParallelEngineBase::ApplyManifestCatalog(const QueryCatalog& catalog) {
+  for (const QueryEntry& e : catalog.entries()) {
+    if (e.ord == 0) continue;  // the primary comes from our own spec
+    if (!SupportsMultiQuery()) {
+      wal_warnings_.push_back(
+          "snapshot manifest carries standing queries but this engine "
+          "cannot serve them; catalog dropped");
+      return;
+    }
+    ApplyCatalogAdd(e.id, e.spec);
+    if (!e.active) ApplyCatalogRemove(queries_.back());
+  }
+}
+
+std::vector<QueryStatsRow> ParallelEngineBase::QuerySnapshot() const {
+  std::vector<QueryStatsRow> rows;
+  rows.reserve(queries_.size());
+  for (const QueryRuntime& q : queries_) {
+    QueryStatsRow row;
+    row.ord = q.ord;
+    row.id = q.id;
+    row.spec = q.spec;
+    row.active = q.active;
+    row.results = q.results.load(std::memory_order_relaxed);
+    row.late = (q.ord == 0 && !multi_mode_) ? late_gate_.stats() : q.late;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
 
 void ParallelEngineBase::EnqueueTo(uint32_t joiner, const Event& event) {
   if (event.kind != Event::Kind::kTuple) {
@@ -492,7 +702,7 @@ EngineStats ParallelEngineBase::Finish() {
   stats.per_joiner_overload_dropped = dropped_per_joiner_;
   stats.per_joiner_control_lost = control_lost_per_joiner_;
   for (uint64_t lost : control_lost_per_joiner_) stats.control_lost += lost;
-  stats.late = late_gate_.stats();
+  stats.late = multi_mode_ ? queries_[0].late : late_gate_.stats();
   stats.warnings = watchdog_.TakeWarnings();
   stats.warnings.insert(stats.warnings.end(), wal_warnings_.begin(),
                         wal_warnings_.end());
@@ -572,6 +782,22 @@ void ParallelEngineBase::JoinerMain(uint32_t joiner) {
           case Event::Kind::kSnapshot:
             HandleSnapshotEvent(joiner,
                                 static_cast<uint64_t>(ev.watermark));
+            break;
+          case Event::Kind::kAddQuery: {
+            JoinerView& view = joiner_views_[joiner];
+            QueryRuntime* q = ev.query;
+            if (view.queries.size() <= q->ord) {
+              view.queries.resize(q->ord + 1, nullptr);
+              view.accepting.resize(q->ord + 1, false);
+            }
+            view.queries[q->ord] = q;
+            view.accepting[q->ord] = true;
+            OnAddQuery(joiner, *q);
+            break;
+          }
+          case Event::Kind::kRemoveQuery:
+            joiner_views_[joiner].accepting[ev.query->ord] = false;
+            OnRemoveQuery(joiner, ev.query->ord);
             break;
         }
         if (flushed) break;
@@ -708,6 +934,22 @@ Status ParallelEngineBase::BeginRecovery() {
   replayed_tuples_ = 0;
   replayed_watermarks_ = 0;
   replaying_.store(true, std::memory_order_release);
+  if (!replay_plan_->catalog.empty()) {
+    // Restore the standing-query catalog in force at the snapshot
+    // barrier *before* any snapshot event is pushed, so restored probes
+    // and pendings land under the right set of queries. With replaying_
+    // set, the adds do not re-log themselves.
+    QueryCatalog catalog;
+    const Status cs = QueryCatalog::Parse(replay_plan_->catalog, &catalog);
+    if (!cs.ok()) {
+      // The manifest is CRC-guarded; a catalog that fails to parse is
+      // real damage, not a torn tail.
+      replay_plan_.reset();
+      replaying_.store(false, std::memory_order_release);
+      return cs;
+    }
+    ApplyManifestCatalog(catalog);
+  }
   return Status::OK();
 }
 
@@ -745,12 +987,33 @@ bool ParallelEngineBase::RecoveryStep(size_t max_events) {
         break;
       }
       const WalReplayRecord& record = plan.records[replay_pos_++];
-      if (record.is_watermark) {
-        SignalWatermark(record.watermark);
-        ++replayed_watermarks_;
-      } else {
-        Push(record.event, MonotonicNowUs());
-        ++replayed_tuples_;
+      switch (record.kind) {
+        case WalReplayRecord::Kind::kWatermark:
+          SignalWatermark(record.watermark);
+          ++replayed_watermarks_;
+          break;
+        case WalReplayRecord::Kind::kAddQuery: {
+          const Status s = AddQuery(record.query_id, record.query_spec);
+          if (!s.ok()) {
+            wal_warnings_.push_back("replayed add-query '" +
+                                    record.query_id +
+                                    "' rejected: " + s.message());
+          }
+          break;
+        }
+        case WalReplayRecord::Kind::kRemoveQuery: {
+          const Status s = RemoveQuery(record.query_id);
+          if (!s.ok()) {
+            wal_warnings_.push_back("replayed remove-query '" +
+                                    record.query_id +
+                                    "' rejected: " + s.message());
+          }
+          break;
+        }
+        case WalReplayRecord::Kind::kTuple:
+          Push(record.event, MonotonicNowUs());
+          ++replayed_tuples_;
+          break;
       }
       --budget;
     } else {

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "common/watchdog.h"
+#include "core/query_catalog.h"
 #include "core/query_spec.h"
 #include "join/late_gate.h"
 #include "metrics/breakdown.h"
@@ -27,6 +28,8 @@
 
 namespace oij {
 
+struct QueryRuntime;
+
 /// Message flowing through a router -> joiner queue.
 struct Event {
   enum class Kind : uint8_t {
@@ -35,6 +38,8 @@ struct Event {
     kFlush,      ///< end of stream: finalize everything and exit
     kSnapshot,   ///< durability barrier: write this joiner's snapshot
                  ///< shard for the epoch carried in `watermark`
+    kAddQuery,   ///< catalog barrier: activate the standing query `query`
+    kRemoveQuery,  ///< catalog barrier: deactivate `query`
   };
 
   Kind kind = Kind::kTuple;
@@ -43,6 +48,41 @@ struct Event {
   Timestamp watermark = kMinTimestamp;
   int64_t arrival_us = 0;  ///< router monotonic stamp (latency origin)
   uint64_t seq = 0;        ///< router-assigned global sequence number
+
+  /// kAddQuery/kRemoveQuery: the catalog entry this barrier activates or
+  /// retires. Carried by pointer so joiners never index the driver's
+  /// catalog container concurrently with its growth.
+  QueryRuntime* query = nullptr;
+
+  /// Multi-query mode only: this tuple violated the lateness bound and
+  /// was admitted solely for the best-effort queries; drop/side-channel
+  /// queries must not observe it.
+  bool late = false;
+};
+
+/// Runtime record of one standing query sharing an engine's index.
+///
+/// Entries live in a std::deque owned by the driver thread: growth never
+/// moves existing entries, and a joiner reaches an entry only through the
+/// pointer its kAddQuery barrier carried, so every field a joiner touches
+/// is either immutable after construction (ord/id/spec) or atomic.
+struct QueryRuntime {
+  uint32_t ord = 0;
+  std::string id;
+  QuerySpec spec;
+  bool active = true;                ///< driver-thread view
+  std::atomic<uint64_t> results{0};  ///< bumped by joiners, relaxed
+  LateStats late;                    ///< driver thread only
+};
+
+/// Point-in-time view of one standing query for the admin plane.
+struct QueryStatsRow {
+  uint32_t ord = 0;
+  std::string id;
+  QuerySpec spec;
+  bool active = true;
+  uint64_t results = 0;
+  LateStats late;
 };
 
 /// Copies a fully materialized window's statistics into a result (the
@@ -318,6 +358,31 @@ class JoinEngine {
   /// Injects a watermark punctuation (driver thread).
   virtual void SignalWatermark(Timestamp watermark) = 0;
 
+  /// --- Standing-query catalog (driver thread) ---
+  ///
+  /// Registers one more standing query sharing this engine's index: one
+  /// insert per tuple, a window read per active query. The new query must
+  /// share the primary query's lateness bound and emit mode (so "late" is
+  /// a global property of a tuple); window, aggregate, and late policy
+  /// are free. It covers base tuples pushed after the call returns — the
+  /// catalog change rides the joiner control rings like a snapshot
+  /// barrier, so its first finalized window is exact.
+  virtual Status AddQuery(std::string_view /*id*/, const QuerySpec&) {
+    return Status::FailedPrecondition(
+        "this engine does not support a standing-query catalog");
+  }
+
+  /// Deactivates a standing query: base tuples pushed after the call no
+  /// longer enter it, while windows already pending finalize normally
+  /// (draining removal). The primary query cannot be removed.
+  virtual Status RemoveQuery(std::string_view /*id*/) {
+    return Status::FailedPrecondition(
+        "this engine does not support a standing-query catalog");
+  }
+
+  /// Catalog contents + per-query counters (driver thread).
+  virtual std::vector<QueryStatsRow> QuerySnapshot() const { return {}; }
+
   /// Flushes any router-side staged batches into the joiner rings
   /// (driver thread). The pipeline calls this before blocking on the
   /// pacer so staged tuples are never held across an idle gap; no-op for
@@ -390,6 +455,9 @@ class ParallelEngineBase : public JoinEngine {
   Status Start() final;
   void Push(const StreamEvent& event, int64_t arrival_us) final;
   void SignalWatermark(Timestamp watermark) final;
+  Status AddQuery(std::string_view id, const QuerySpec& spec) final;
+  Status RemoveQuery(std::string_view id) final;
+  std::vector<QueryStatsRow> QuerySnapshot() const final;
   void FlushPending() final;
   EngineStats Finish() final;
   void Sync() final;
@@ -416,6 +484,15 @@ class ParallelEngineBase : public JoinEngine {
   /// the base loop after calling OnFlush.
   virtual void OnTuple(uint32_t joiner, const Event& event) = 0;
   virtual void OnWatermark(uint32_t joiner, Timestamp watermark) = 0;
+
+  /// Whether this engine implements the standing-query catalog hooks.
+  /// AddQuery refuses on engines that leave this false.
+  virtual bool SupportsMultiQuery() const { return false; }
+
+  /// Catalog barriers on joiner `j`'s thread, after the base has updated
+  /// the joiner's catalog view: allocate / retire per-query joiner state.
+  virtual void OnAddQuery(uint32_t /*joiner*/, QueryRuntime& /*query*/) {}
+  virtual void OnRemoveQuery(uint32_t /*joiner*/, uint32_t /*ord*/) {}
 
   /// Called when the joiner's queue is momentarily empty; engines poll
   /// deferred work (pending base tuples waiting on teammates) here.
@@ -468,6 +545,32 @@ class ParallelEngineBase : public JoinEngine {
   const EngineOptions& options() const { return options_; }
   ResultSink* sink() const { return sink_; }
 
+  /// --- Standing-query catalog plumbing for subclasses ---
+
+  /// Joiner `j`'s current view of the catalog, indexed by ordinal; only
+  /// joiner `j`'s thread may call these. Entries are never null (an
+  /// ordinal becomes visible to a joiner only via its kAddQuery
+  /// barrier), and `accepting` flips false at the kRemoveQuery barrier
+  /// while already-pending windows keep draining.
+  const std::vector<QueryRuntime*>& JoinerQueries(uint32_t joiner) const {
+    return joiner_views_[joiner].queries;
+  }
+  bool JoinerAccepting(uint32_t joiner, uint32_t ord) const {
+    return joiner_views_[joiner].accepting[ord];
+  }
+
+  /// Tags, counts, and forwards one finalized result (joiner threads).
+  void EmitResult(QueryRuntime& query, JoinResult& result) {
+    result.query = query.ord;
+    query.results.fetch_add(1, std::memory_order_relaxed);
+    sink_->OnResult(result);
+  }
+
+  /// True once a second standing query has ever been registered (driver
+  /// thread). Single-query runs never flip this, keeping their Push path
+  /// identical to the pre-catalog engine.
+  bool multi_query_mode() const { return multi_mode_; }
+
   /// Per-joiner utilization trackers (populated when collect_cpu_util).
   std::vector<CpuUtilTracker> util_trackers_;
 
@@ -476,6 +579,30 @@ class ParallelEngineBase : public JoinEngine {
 
  private:
   void JoinerMain(uint32_t joiner);
+
+  /// One joiner's private catalog view (only that joiner's thread
+  /// touches it after Start).
+  struct JoinerView {
+    std::vector<QueryRuntime*> queries;  ///< indexed by ordinal
+    std::vector<bool> accepting;         ///< false past a remove barrier
+  };
+
+  /// Appends a catalog entry (WAL-logging it unless a replay is feeding
+  /// us) and broadcasts its kAddQuery barrier. Validation is the
+  /// caller's job.
+  Status ApplyCatalogAdd(std::string_view id, const QuerySpec& spec);
+
+  /// Deactivates `query` and broadcasts its kRemoveQuery barrier.
+  void ApplyCatalogRemove(QueryRuntime& query);
+
+  /// Re-derives which late policies the active queries span (driver).
+  void RecomputeLatePolicies();
+
+  /// Catalog text for the snapshot MANIFEST (QueryCatalog format).
+  std::string SerializeCatalog() const;
+
+  /// Restores standing queries recorded in a snapshot manifest.
+  void ApplyManifestCatalog(const QueryCatalog& catalog);
 
   /// First WAL append of a run: fresh-start semantics — stale on-disk
   /// state that no recovery consumed is discarded (with a warning) so
@@ -546,6 +673,13 @@ class ParallelEngineBase : public JoinEngine {
   std::vector<std::vector<Event>> staged_;
   size_t staged_total_ = 0;
   int64_t earliest_staged_us_ = 0;  ///< arrival stamp of oldest staged
+
+  // --- standing-query catalog ---
+  std::deque<QueryRuntime> queries_;      // driver thread; entry 0 = primary
+  std::vector<JoinerView> joiner_views_;  // [j] owned by joiner j's thread
+  bool multi_mode_ = false;               // driver thread
+  bool any_best_effort_ = true;           // driver thread
+  bool any_side_channel_ = false;         // driver thread
 
   // --- overload & fault tolerance ---
   LatenessGate late_gate_;                 // driver thread only

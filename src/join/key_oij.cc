@@ -1,6 +1,8 @@
 #include "join/key_oij.h"
 
 #include <algorithm>
+#include <bit>
+#include <tuple>
 
 #include "common/clock.h"
 #include "common/hash.h"
@@ -13,9 +15,17 @@ KeyOijEngine::KeyOijEngine(const QuerySpec& spec,
   states_.reserve(options.num_joiners);
   for (uint32_t j = 0; j < options.num_joiners; ++j) {
     states_.push_back(std::make_unique<JoinerState>());
+    states_.back()->reach = spec.window.pre + spec.window.fol;
     states_.back()->cache_probe =
         SampledCacheProbe(options.cache_sim, options.cache_sample_period);
   }
+}
+
+void KeyOijEngine::OnAddQuery(uint32_t joiner, QueryRuntime& query) {
+  JoinerState& s = *states_[joiner];
+  if (query.ord >= s.slots.size()) s.slots.resize(query.ord + 1);
+  const Timestamp reach = query.spec.window.pre + query.spec.window.fol;
+  if (reach > s.reach) s.reach = reach;
 }
 
 void KeyOijEngine::Route(const Event& event) {
@@ -54,49 +64,63 @@ void KeyOijEngine::OnTuple(uint32_t joiner, const Event& event) {
   if (event.tuple.ts > s.max_seen) s.max_seen = event.tuple.ts;
 
   if (event.stream == StreamId::kProbe) {
-    s.buffers[event.tuple.key].push_back(event.tuple);
+    (event.late ? s.annex : s.buffers)[event.tuple.key].push_back(
+        event.tuple);
     ++s.buffered;
     if (s.buffered > s.peak_buffered) s.peak_buffered = s.buffered;
   } else {
-    if (event.tuple.ts + spec().window.fol <= FinalizeThreshold(s)) {
-      JoinOne(s, event.tuple, event.arrival_us);
-    } else {
-      s.pending.push(PendingBase{event.tuple, event.arrival_us});
+    for (QueryRuntime* q : JoinerQueries(joiner)) {
+      if (q == nullptr || !JoinerAccepting(joiner, q->ord)) continue;
+      if (event.late &&
+          q->spec.late_policy != LatePolicy::kBestEffortJoin) {
+        continue;
+      }
+      s.slots[q->ord].pending.push(
+          PendingBase{event.tuple, event.arrival_us});
     }
   }
-  DrainPending(s);
+  DrainPending(joiner, s);
 }
 
 void KeyOijEngine::OnWatermark(uint32_t joiner, Timestamp watermark) {
   JoinerState& s = *states_[joiner];
   if (watermark > s.last_wm) s.last_wm = watermark;
-  DrainPending(s);
+  DrainPending(joiner, s);
   Evict(s);
 }
 
-void KeyOijEngine::DrainPending(JoinerState& s) {
+void KeyOijEngine::DrainPending(uint32_t joiner, JoinerState& s) {
   const Timestamp threshold = FinalizeThreshold(s);
-  while (!s.pending.empty() &&
-         s.pending.top().tuple.ts + spec().window.fol <= threshold) {
-    const PendingBase pb = s.pending.top();
-    s.pending.pop();
-    JoinOne(s, pb.tuple, pb.arrival_us);
+  for (QueryRuntime* q : JoinerQueries(joiner)) {
+    if (q == nullptr) continue;  // not yet announced to this joiner
+    QuerySlot& qs = s.slots[q->ord];
+    while (!qs.pending.empty() &&
+           qs.pending.top().tuple.ts + q->spec.window.fol <= threshold) {
+      const PendingBase pb = qs.pending.top();
+      qs.pending.pop();
+      JoinOne(s, *q, pb.tuple, pb.arrival_us);
+    }
   }
 }
 
-void KeyOijEngine::JoinOne(JoinerState& s, const Tuple& base,
-                           int64_t arrival_us) {
-  const Timestamp start = spec().window.start_for(base.ts);
-  const Timestamp end = spec().window.end_for(base.ts);
+void KeyOijEngine::JoinOne(JoinerState& s, QueryRuntime& query,
+                           const Tuple& base, int64_t arrival_us) {
+  const QuerySpec& qspec = query.spec;
+  const Timestamp start = qspec.window.start_for(base.ts);
+  const Timestamp end = qspec.window.end_for(base.ts);
 
   // Lookup: the full scan over the key's buffer. The buffer is unsorted,
   // so every stored tuple of the key must be visited and filtered.
+  // Best-effort queries additionally scan the late-probe annex.
   s.scratch_matches.clear();
   uint64_t op_visited = 0;
   {
     ScopedTimerNs timer(&s.breakdown.lookup_ns);
-    auto it = s.buffers.find(base.key);
-    if (it != s.buffers.end()) {
+    auto scan_bucket = [&](const std::unordered_map<Key,
+                                                    std::vector<Tuple>>&
+                               buckets) {
+      auto it = buckets.find(base.key);
+      if (it == buckets.end()) return;
       for (const Tuple& r : it->second) {
         ++op_visited;
         s.cache_probe.Touch(&r);
@@ -104,6 +128,11 @@ void KeyOijEngine::JoinOne(JoinerState& s, const Tuple& base,
           s.scratch_matches.push_back(&r);
         }
       }
+    };
+    scan_bucket(s.buffers);
+    if (qspec.late_policy == LatePolicy::kBestEffortJoin &&
+        !s.annex.empty()) {
+      scan_bucket(s.annex);
     }
   }
 
@@ -127,32 +156,38 @@ void KeyOijEngine::JoinOne(JoinerState& s, const Tuple& base,
 
   JoinResult result;
   result.base = base;
-  result.aggregate = agg.Result(spec().agg);
+  result.aggregate = agg.Result(qspec.agg);
   result.match_count = agg.count;
   FillWindowStats(&result, agg);
   result.arrival_us = arrival_us;
   result.emit_us = MonotonicNowUs();
   s.latency.Record(result.emit_us - arrival_us);
-  sink()->OnResult(result);
+  EmitResult(query, result);
 }
 
 void KeyOijEngine::Evict(JoinerState& s) {
   if (s.last_wm == kMinTimestamp) return;
   // No future base tuple can have ts < last_wm (lateness bound), and
-  // pending ones have ts + FOL > last_wm, so no window reaches below:
-  const Timestamp bound = s.last_wm - spec().window.pre - spec().window.fol;
-  for (auto& [key, buffer] : s.buffers) {
-    auto keep_end = std::remove_if(
-        buffer.begin(), buffer.end(),
-        [bound](const Tuple& t) { return t.ts < bound; });
-    const size_t removed =
-        static_cast<size_t>(buffer.end() - keep_end);
-    if (removed > 0) {
-      buffer.erase(keep_end, buffer.end());
-      s.evicted += removed;
-      s.buffered -= removed;
-    }
-  }
+  // pending ones have ts + FOL > last_wm, so no window of any query
+  // (reach = max PRE+FOL over all of them) reaches below:
+  const Timestamp bound = s.last_wm - s.reach;
+  auto evict_buckets =
+      [&](std::unordered_map<Key, std::vector<Tuple>>& buckets) {
+        for (auto& [key, buffer] : buckets) {
+          auto keep_end = std::remove_if(
+              buffer.begin(), buffer.end(),
+              [bound](const Tuple& t) { return t.ts < bound; });
+          const size_t removed =
+              static_cast<size_t>(buffer.end() - keep_end);
+          if (removed > 0) {
+            buffer.erase(keep_end, buffer.end());
+            s.evicted += removed;
+            s.buffered -= removed;
+          }
+        }
+      };
+  evict_buckets(s.buffers);
+  evict_buckets(s.annex);
 }
 
 bool KeyOijEngine::CollectSnapshotState(uint32_t joiner,
@@ -161,8 +196,11 @@ bool KeyOijEngine::CollectSnapshotState(uint32_t joiner,
   // everything routed before the barrier is incorporated. Probes first
   // (the per-key buffers), then unfinalized bases — re-Pushing them in
   // this order through normal ingest rebuilds the state exactly.
+  // The late-probe annex is intentionally not snapshotted (late data is
+  // best-effort only); pending bases are deduplicated across query
+  // slots — replay fans them back out to every active query.
   const JoinerState& s = *states_[joiner];
-  out->reserve(out->size() + s.buffered + s.pending.size());
+  out->reserve(out->size() + s.buffered);
   for (const auto& [key, buffer] : s.buffers) {
     for (const Tuple& t : buffer) {
       StreamEvent ev;
@@ -171,13 +209,30 @@ bool KeyOijEngine::CollectSnapshotState(uint32_t joiner,
       out->push_back(ev);
     }
   }
-  auto pending = s.pending;
-  while (!pending.empty()) {
+  std::vector<Tuple> bases;
+  for (const QuerySlot& qs : s.slots) {
+    auto pending = qs.pending;
+    while (!pending.empty()) {
+      bases.push_back(pending.top().tuple);
+      pending.pop();
+    }
+  }
+  auto tuple_key = [](const Tuple& t) {
+    return std::make_tuple(t.ts, t.key, std::bit_cast<uint64_t>(t.payload));
+  };
+  std::sort(bases.begin(), bases.end(), [&](const Tuple& a, const Tuple& b) {
+    return tuple_key(a) < tuple_key(b);
+  });
+  bases.erase(std::unique(bases.begin(), bases.end(),
+                          [&](const Tuple& a, const Tuple& b) {
+                            return tuple_key(a) == tuple_key(b);
+                          }),
+              bases.end());
+  for (const Tuple& t : bases) {
     StreamEvent ev;
     ev.stream = StreamId::kBase;
-    ev.tuple = pending.top().tuple;
+    ev.tuple = t;
     out->push_back(ev);
-    pending.pop();
   }
   return true;
 }

@@ -32,6 +32,8 @@ class KeyOijEngine : public ParallelEngineBase {
   void Route(const Event& event) override;
   void OnTuple(uint32_t joiner, const Event& event) override;
   void OnWatermark(uint32_t joiner, Timestamp watermark) override;
+  bool SupportsMultiQuery() const override { return true; }
+  void OnAddQuery(uint32_t joiner, QueryRuntime& query) override;
   void CollectStats(EngineStats* stats) override;
   bool CollectSnapshotState(uint32_t joiner,
                             std::vector<StreamEvent>* out) override;
@@ -46,14 +48,29 @@ class KeyOijEngine : public ParallelEngineBase {
     }
   };
 
+  /// Per-(joiner, query) pending bases, indexed by query ordinal; every
+  /// query gates finalization on its own FOL offset but scans the one
+  /// shared set of per-key buffers.
+  struct QuerySlot {
+    std::priority_queue<PendingBase, std::vector<PendingBase>,
+                        std::greater<PendingBase>>
+        pending;
+  };
+
   /// All state owned by one joiner thread; padded out to its own cache
   /// lines via unique_ptr indirection.
   struct JoinerState {
     std::unordered_map<Key, std::vector<Tuple>> buffers;
-    std::priority_queue<PendingBase, std::vector<PendingBase>,
-                        std::greater<PendingBase>>
-        pending;
+    /// Lateness-violating probes, quarantined so drop/side-channel
+    /// queries keep exact windows; only best-effort queries scan these.
+    /// Key-partitioned routing makes this joiner-local (no atomics).
+    std::unordered_map<Key, std::vector<Tuple>> annex;
+    std::vector<QuerySlot> slots{1};  ///< indexed by query ordinal
     std::vector<const Tuple*> scratch_matches;
+
+    /// Max (PRE + FOL) over every query this joiner has ever been told
+    /// about — monotone, bounds eviction.
+    Timestamp reach = 0;
 
     Timestamp max_seen = kMinTimestamp;
     Timestamp last_wm = kMinTimestamp;
@@ -74,8 +91,9 @@ class KeyOijEngine : public ParallelEngineBase {
   /// Event-time threshold below which base tuples may finalize.
   Timestamp FinalizeThreshold(const JoinerState& s) const;
 
-  void DrainPending(JoinerState& s);
-  void JoinOne(JoinerState& s, const Tuple& base, int64_t arrival_us);
+  void DrainPending(uint32_t joiner, JoinerState& s);
+  void JoinOne(JoinerState& s, QueryRuntime& query, const Tuple& base,
+               int64_t arrival_us);
   void Evict(JoinerState& s);
 
   std::vector<std::unique_ptr<JoinerState>> states_;

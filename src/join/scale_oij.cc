@@ -1,8 +1,10 @@
 #include "join/scale_oij.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <thread>
+#include <tuple>
 
 #include "common/clock.h"
 
@@ -28,9 +30,20 @@ ScaleOijEngine::ScaleOijEngine(const QuerySpec& spec,
     states_.push_back(std::make_unique<JoinerState>(
         &ebr_, slot, /*seed=*/0x5ca1e + j, arena));
     states_.back()->schedule = router_schedule_;
+    states_.back()->reach =
+        spec.window.pre + (spec.window.pre + spec.window.fol) + 1;
     states_.back()->cache_probe =
         SampledCacheProbe(options.cache_sim, options.cache_sample_period);
   }
+}
+
+void ScaleOijEngine::OnAddQuery(uint32_t joiner, QueryRuntime& query) {
+  JoinerState& s = *states_[joiner];
+  if (query.ord >= s.slots.size()) s.slots.resize(query.ord + 1);
+  const Timestamp reach = query.spec.window.pre +
+                          (query.spec.window.pre + query.spec.window.fol) +
+                          1;
+  if (reach > s.reach) s.reach = reach;
 }
 
 void ScaleOijEngine::Route(const Event& event) {
@@ -84,12 +97,13 @@ void ScaleOijEngine::PublishProgress(JoinerState& s) {
 
 void ScaleOijEngine::PublishReadFloor(JoinerState& s) {
   Timestamp basis = s.last_wm;
-  if (!s.pending.empty()) {
-    basis = std::min(basis, s.pending.top().tuple.ts);
+  for (const QuerySlot& qs : s.slots) {
+    if (!qs.pending.empty()) {
+      basis = std::min(basis, qs.pending.top().tuple.ts);
+    }
   }
   if (basis == kMinTimestamp) return;  // nothing observed yet
-  const Timestamp reach =
-      spec().window.pre + (spec().window.pre + spec().window.fol) + 1;
+  const Timestamp reach = s.reach;
   const Timestamp floor =
       basis > kMinTimestamp + reach ? basis - reach : kMinTimestamp + 1;
   // Monotone by construction, but clamp defensively.
@@ -123,11 +137,26 @@ void ScaleOijEngine::OnTuple(uint32_t joiner, const Event& event) {
   if (event.tuple.ts > s.max_seen) s.max_seen = event.tuple.ts;
 
   if (event.stream == StreamId::kProbe) {
-    s.index.Insert(event.tuple);
-    const size_t size = s.index.size();
+    if (event.late) {
+      // Lateness-violating probe admitted for the best-effort queries:
+      // quarantined in the annex so exact queries never scan it.
+      s.annex.Insert(event.tuple);
+      annex_dirty_.store(true, std::memory_order_release);
+    } else {
+      s.index.Insert(event.tuple);
+    }
+    const size_t size = s.index.size() + s.annex.size();
     if (size > s.peak_buffered) s.peak_buffered = size;
   } else {
-    s.pending.push(PendingBase{event.tuple, event.arrival_us});
+    for (QueryRuntime* q : JoinerQueries(joiner)) {
+      if (q == nullptr || !JoinerAccepting(joiner, q->ord)) continue;
+      if (event.late &&
+          q->spec.late_policy != LatePolicy::kBestEffortJoin) {
+        continue;
+      }
+      s.slots[q->ord].pending.push(
+          PendingBase{event.tuple, event.arrival_us});
+    }
   }
 
   if (spec().emit_mode == EmitMode::kEager) {
@@ -156,15 +185,22 @@ void ScaleOijEngine::OnIdle(uint32_t joiner) {
   DrainPending(joiner, *states_[joiner]);
 }
 
+bool ScaleOijEngine::HavePending(const JoinerState& s) const {
+  for (const QuerySlot& qs : s.slots) {
+    if (!qs.pending.empty()) return true;
+  }
+  return false;
+}
+
 void ScaleOijEngine::OnFlush(uint32_t joiner) {
   JoinerState& s = *states_[joiner];
   // All joiners have published kMaxTimestamp progress by the time they
   // process their own flush; spin until ours drains. A teammate that died
   // before publishing would wedge this wait, so it also honors the stop
   // token.
-  while (!s.pending.empty() && !stop_requested()) {
+  while (HavePending(s) && !stop_requested()) {
     DrainPending(joiner, s);
-    if (!s.pending.empty()) std::this_thread::yield();
+    if (HavePending(s)) std::this_thread::yield();
   }
   PublishReadFloor(s);
 }
@@ -172,27 +208,41 @@ void ScaleOijEngine::OnFlush(uint32_t joiner) {
 void ScaleOijEngine::DrainPending(uint32_t joiner, JoinerState& s) {
   if (s.schedule == nullptr) s.schedule = table_.Snapshot();
   bool popped = false;
-  while (!s.pending.empty()) {
-    const PendingBase top = s.pending.top();
-    const uint32_t p = PartitionTable::PartitionOf(
-        top.tuple.key, options().num_partitions);
-    const Timestamp window_end = spec().window.end_for(top.tuple.ts);
-    if (window_end > TeamMinProgress(s.schedule->teams[p])) break;
-    s.pending.pop();
-    popped = true;
-    JoinOne(joiner, s, top.tuple, top.arrival_us);
+  for (QueryRuntime* q : JoinerQueries(joiner)) {
+    if (q == nullptr) continue;  // not yet announced to this joiner
+    QuerySlot& qs = s.slots[q->ord];
+    while (!qs.pending.empty()) {
+      const PendingBase top = qs.pending.top();
+      const uint32_t p = PartitionTable::PartitionOf(
+          top.tuple.key, options().num_partitions);
+      const Timestamp window_end = q->spec.window.end_for(top.tuple.ts);
+      if (window_end > TeamMinProgress(s.schedule->teams[p])) break;
+      qs.pending.pop();
+      popped = true;
+      JoinOne(joiner, s, *q, qs, top.tuple, top.arrival_us);
+    }
   }
   if (popped) PublishReadFloor(s);
 }
 
 void ScaleOijEngine::JoinOne(uint32_t joiner, JoinerState& s,
+                             QueryRuntime& query, QuerySlot& slot,
                              const Tuple& base, int64_t arrival_us) {
   (void)joiner;
-  const Timestamp start = spec().window.start_for(base.ts);
-  const Timestamp end = spec().window.end_for(base.ts);
+  const QuerySpec& qspec = query.spec;
+  const Timestamp start = qspec.window.start_for(base.ts);
+  const Timestamp end = qspec.window.end_for(base.ts);
   const uint32_t p =
       PartitionTable::PartitionOf(base.key, options().num_partitions);
   const std::vector<uint32_t>& team = s.schedule->teams[p];
+
+  // Once any late probe entered an annex, best-effort queries trade
+  // their incremental window states for full main+annex scans (the
+  // annex breaks the in-order precondition incremental slides rely on).
+  // Exact-policy queries never scan the annex and keep sliding.
+  const bool scan_annex =
+      qspec.late_policy == LatePolicy::kBestEffortJoin &&
+      annex_dirty_.load(std::memory_order_acquire);
 
   uint64_t op_visited = 0;
   double result_value = 0.0;
@@ -211,24 +261,32 @@ void ScaleOijEngine::JoinOne(uint32_t joiner, JoinerState& s,
               s.cache_probe.Touch(&t);
               per_tuple(t);
             });
+        if (scan_annex) {
+          op_visited += states_[m]->annex.ForEachInRange(
+              base.key, lo, hi, [&](const Tuple& t) {
+                s.cache_probe.Touch(&t);
+                per_tuple(t);
+              });
+        }
       }
     };
 
-    if (options().incremental_agg && IsInvertible(spec().agg)) {
-      IncrementalWindowState& inc = s.inc_states[base.key];
-      const auto slide = inc.Slide(start, end, spec().agg, scan);
+    if (!scan_annex && options().incremental_agg &&
+        IsInvertible(qspec.agg)) {
+      IncrementalWindowState& inc = slot.inc_states[base.key];
+      const auto slide = inc.Slide(start, end, qspec.agg, scan);
       if (slide.recomputed) {
         ++s.recomputes;
       } else {
         ++s.incremental_slides;
       }
-      result_value = inc.agg().Result(spec().agg);
+      result_value = inc.agg().Result(qspec.agg);
       result_count = inc.agg().count;
       out_sum = inc.agg().sum;  // min/max not maintained incrementally
-    } else if (options().incremental_agg) {
+    } else if (!scan_annex && options().incremental_agg) {
       // Non-invertible (min/max): Two-Stacks incremental window.
       NonInvertibleWindowState& ni =
-          s.ni_states.try_emplace(base.key, spec().agg).first->second;
+          slot.ni_states.try_emplace(base.key, qspec.agg).first->second;
       const auto slide = ni.Slide(start, end, scan);
       if (slide.recomputed) {
         ++s.recomputes;
@@ -240,13 +298,13 @@ void ScaleOijEngine::JoinOne(uint32_t joiner, JoinerState& s,
                          ? std::numeric_limits<double>::quiet_NaN()
                          : ni.Result();
       if (result_count > 0) {
-        (spec().agg == AggKind::kMin ? out_min : out_max) = ni.Result();
+        (qspec.agg == AggKind::kMin ? out_min : out_max) = ni.Result();
       }
     } else {
       AggState agg;
       scan(start, end, [&](const Tuple& t) { agg.Add(t.payload); });
       ++s.recomputes;
-      result_value = agg.Result(spec().agg);
+      result_value = agg.Result(qspec.agg);
       result_count = agg.count;
       out_sum = agg.sum;
       if (agg.count > 0) {
@@ -276,7 +334,7 @@ void ScaleOijEngine::JoinOne(uint32_t joiner, JoinerState& s,
   result.arrival_us = arrival_us;
   result.emit_us = MonotonicNowUs();
   s.latency.Record(result.emit_us - arrival_us);
-  sink()->OnResult(result);
+  EmitResult(query, result);
 }
 
 void ScaleOijEngine::Evict(JoinerState& s) {
@@ -284,10 +342,14 @@ void ScaleOijEngine::Evict(JoinerState& s) {
   if (bound == kMinTimestamp || bound == kMaxTimestamp) {
     // Nothing published yet, or flush already drained: evict everything
     // only in the latter case.
-    if (bound == kMaxTimestamp) s.evicted += s.index.EvictBefore(bound);
+    if (bound == kMaxTimestamp) {
+      s.evicted += s.index.EvictBefore(bound);
+      s.evicted += s.annex.EvictBefore(bound);
+    }
     return;
   }
   s.evicted += s.index.EvictBefore(bound);
+  s.evicted += s.annex.EvictBefore(bound);
 }
 
 bool ScaleOijEngine::CollectSnapshotState(uint32_t joiner,
@@ -298,21 +360,46 @@ bool ScaleOijEngine::CollectSnapshotState(uint32_t joiner,
   // Probes first, then unfinalized bases; the per-key incremental
   // window states are *derived* state and are rebuilt (or recomputed
   // lazily) when the replayed tuples re-enter through normal ingest.
+  // The annex (late best-effort probes) is intentionally *not*
+  // snapshotted: replayed tuples re-enter under the restored watermark
+  // gate, and late data is only ever best-effort. Pending bases are
+  // deduplicated across query slots — replay fans a base back out to
+  // every active query. (A base already finalized for a narrow-window
+  // query but still pending for a wider one is re-joined for both on a
+  // snapshot-based recovery; exactly-once per query across divergent
+  // windows needs full-log replay, i.e. snapshots off.)
   JoinerState& s = *states_[joiner];
-  out->reserve(out->size() + s.index.size() + s.pending.size());
+  out->reserve(out->size() + s.index.size());
   s.index.ForEachTuple([out](const Tuple& t) {
     StreamEvent ev;
     ev.stream = StreamId::kProbe;
     ev.tuple = t;
     out->push_back(ev);
   });
-  auto pending = s.pending;
-  while (!pending.empty()) {
+  std::vector<Tuple> bases;
+  for (const QuerySlot& qs : s.slots) {
+    auto pending = qs.pending;
+    while (!pending.empty()) {
+      bases.push_back(pending.top().tuple);
+      pending.pop();
+    }
+  }
+  auto tuple_key = [](const Tuple& t) {
+    return std::make_tuple(t.ts, t.key, std::bit_cast<uint64_t>(t.payload));
+  };
+  std::sort(bases.begin(), bases.end(), [&](const Tuple& a, const Tuple& b) {
+    return tuple_key(a) < tuple_key(b);
+  });
+  bases.erase(std::unique(bases.begin(), bases.end(),
+                          [&](const Tuple& a, const Tuple& b) {
+                            return tuple_key(a) == tuple_key(b);
+                          }),
+              bases.end());
+  for (const Tuple& t : bases) {
     StreamEvent ev;
     ev.stream = StreamId::kBase;
-    ev.tuple = pending.top().tuple;
+    ev.tuple = t;
     out->push_back(ev);
-    pending.pop();
   }
   return true;
 }

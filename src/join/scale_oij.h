@@ -66,6 +66,8 @@ class ScaleOijEngine : public ParallelEngineBase {
   void OnWatermark(uint32_t joiner, Timestamp watermark) override;
   void OnIdle(uint32_t joiner) override;
   void OnFlush(uint32_t joiner) override;
+  bool SupportsMultiQuery() const override { return true; }
+  void OnAddQuery(uint32_t joiner, QueryRuntime& query) override;
   void CollectStats(EngineStats* stats) override;
   void SampleMem(WatchdogSample* sample) const override;
   bool CollectSnapshotState(uint32_t joiner,
@@ -81,13 +83,11 @@ class ScaleOijEngine : public ParallelEngineBase {
     }
   };
 
-  struct JoinerState {
-    JoinerState(EpochManager* ebr, uint32_t slot, uint64_t seed,
-                NodeArena* arena)
-        : ebr_slot(slot), index(ebr, slot, seed, arena) {}
-
-    uint32_t ebr_slot;
-    TimeTravelIndex index;
+  /// Per-(joiner, query) runtime state, indexed by query ordinal. Every
+  /// standing query keeps its own pending bases (its window end gates
+  /// finalization) and its own incremental window states, but all of
+  /// them read the one shared time-travel index.
+  struct QuerySlot {
     std::priority_queue<PendingBase, std::vector<PendingBase>,
                         std::greater<PendingBase>>
         pending;
@@ -95,7 +95,32 @@ class ScaleOijEngine : public ParallelEngineBase {
     /// aggregates, Two-Stacks for non-invertible ones (min/max).
     std::unordered_map<Key, IncrementalWindowState> inc_states;
     std::unordered_map<Key, NonInvertibleWindowState> ni_states;
+  };
+
+  struct JoinerState {
+    JoinerState(EpochManager* ebr, uint32_t slot, uint64_t seed,
+                NodeArena* arena)
+        : ebr_slot(slot),
+          index(ebr, slot, seed, arena),
+          annex(ebr, slot, seed ^ 0xa22e7ULL, /*arena=*/nullptr) {
+      slots.resize(1);  // ordinal 0: the primary query
+    }
+
+    uint32_t ebr_slot;
+    TimeTravelIndex index;
+    /// Annex index for lateness-violating probes (multi-query mode with
+    /// at least one best-effort query). Only best-effort queries scan
+    /// it, so drop/side-channel queries keep exact, late-free windows
+    /// over the main index. Heap-allocated (no arena): the late path is
+    /// rare by construction.
+    TimeTravelIndex annex;
+    std::vector<QuerySlot> slots;  ///< indexed by query ordinal
     std::shared_ptr<const Schedule> schedule;  // joiner-local snapshot
+
+    /// Max window reach over every query this joiner has ever been told
+    /// about (monotone — removed queries keep contributing, so already
+    /// pending windows stay scannable).
+    Timestamp reach = 0;
 
     /// Published processing progress (event time); see class comment.
     alignas(64) std::atomic<Timestamp> progress{kMinTimestamp};
@@ -133,9 +158,10 @@ class ScaleOijEngine : public ParallelEngineBase {
   Timestamp GlobalMinReadFloor() const;
 
   void DrainPending(uint32_t joiner, JoinerState& s);
-  void JoinOne(uint32_t joiner, JoinerState& s, const Tuple& base,
-               int64_t arrival_us);
+  void JoinOne(uint32_t joiner, JoinerState& s, QueryRuntime& query,
+               QuerySlot& slot, const Tuple& base, int64_t arrival_us);
   void Evict(JoinerState& s);
+  bool HavePending(const JoinerState& s) const;
 
   /// Joiner-owned slab arenas (pooled_alloc; empty otherwise). Declared
   /// before ebr_ and states_: destruction runs states_ (frees live nodes
@@ -154,6 +180,12 @@ class ScaleOijEngine : public ParallelEngineBase {
   uint64_t rebalances_ = 0;
 
   std::vector<std::unique_ptr<JoinerState>> states_;
+
+  /// Set (never cleared) once any joiner stored a late probe in its
+  /// annex. From then on best-effort queries abandon their incremental
+  /// window states and full-scan main + annex — drop/side-channel
+  /// queries are unaffected either way.
+  std::atomic<bool> annex_dirty_{false};
 };
 
 }  // namespace oij

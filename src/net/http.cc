@@ -4,6 +4,28 @@ namespace oij {
 
 namespace {
 constexpr size_t kMaxHeaderBytes = 8 * 1024;
+constexpr size_t kMaxBodyBytes = 64 * 1024;
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] + 32 : a[i];
+    const char cb = b[i] >= 'A' && b[i] <= 'Z' ? b[i] + 32 : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
 }  // namespace
 
 HttpParseResult ParseHttpRequest(std::string_view in, HttpRequest* out,
@@ -39,9 +61,42 @@ HttpParseResult ParseHttpRequest(std::string_view in, HttpRequest* out,
   if (query != std::string_view::npos) path = path.substr(0, query);
   if (path.empty() || path[0] != '/') return HttpParseResult::kBad;
 
+  // Headers are ignored except Content-Length, which gates how many body
+  // bytes must follow the terminator before the request is complete.
+  size_t content_length = 0;
+  std::string_view headers =
+      line_end == std::string_view::npos ? std::string_view{}
+                                         : head.substr(line_end + 1);
+  while (!headers.empty()) {
+    const size_t nl = headers.find('\n');
+    std::string_view line = headers.substr(0, nl);
+    headers = nl == std::string_view::npos ? std::string_view{}
+                                           : headers.substr(nl + 1);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    if (!EqualsIgnoreCase(Trim(line.substr(0, colon)), "content-length")) {
+      continue;
+    }
+    std::string_view value = Trim(line.substr(colon + 1));
+    if (value.empty()) return HttpParseResult::kBad;
+    uint64_t parsed = 0;
+    for (char c : value) {
+      if (c < '0' || c > '9') return HttpParseResult::kBad;
+      parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+      if (parsed > kMaxBodyBytes) return HttpParseResult::kBad;
+    }
+    content_length = static_cast<size_t>(parsed);
+  }
+
+  const size_t body_start = end + terminator;
+  if (in.size() < body_start + content_length) {
+    return HttpParseResult::kNeedMore;
+  }
+
   out->method = std::string(request_line.substr(0, sp1));
   out->path = std::string(path);
-  *consumed = end + terminator;
+  out->body = std::string(in.substr(body_start, content_length));
+  *consumed = body_start + content_length;
   return HttpParseResult::kOk;
 }
 
@@ -55,6 +110,8 @@ std::string_view HttpStatusText(int status_code) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
     case 503:
       return "Service Unavailable";
     default:

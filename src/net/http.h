@@ -7,13 +7,14 @@
 namespace oij {
 
 /// Minimal HTTP/1.0 support for the admin endpoint: parse
-/// `METHOD /path HTTP/x.y` plus headers (which are ignored), build a
-/// fixed-length response, close. No keep-alive, no chunking, no bodies
-/// on requests.
+/// `METHOD /path HTTP/x.y` plus headers, build a fixed-length response,
+/// close. No keep-alive, no chunking. Request bodies are supported via
+/// Content-Length only (for POST /queries), capped at 64 KiB.
 
 struct HttpRequest {
   std::string method;
   std::string path;  ///< query string stripped
+  std::string body;  ///< Content-Length bytes (empty without the header)
 };
 
 enum class HttpParseResult : uint8_t {

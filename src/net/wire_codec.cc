@@ -61,9 +61,13 @@ double GetF64(const char* p) { return std::bit_cast<double>(GetU64(p)); }
 // Payload sizes (excluding the type byte) of the fixed-size frames.
 constexpr size_t kTupleBytes = 1 + 8 + 8 + 8;
 constexpr size_t kWatermarkBytes = 8;
-constexpr size_t kResultBytes = 24 + 8 + 8 + 24 + 16;
+constexpr size_t kResultBytes = 24 + 8 + 8 + 24 + 16 + 4;
 constexpr size_t kHelloBytes = 4 + 2 + 2 + 8;
 constexpr size_t kWatermarkAckBytes = 8 + 8;
+// kAddQuery payload past the id: pre, fol, lateness (i64 each) plus the
+// agg/emit/late-policy bytes.
+constexpr size_t kQuerySpecBytes = 8 + 8 + 8 + 3;
+constexpr size_t kMaxQueryIdBytes = 64;
 
 void PutTuple(std::string* out, const Tuple& t) {
   PutI64(out, t.ts);
@@ -111,6 +115,7 @@ void AppendResultFrame(std::string* out, const JoinResult& result) {
   PutF64(out, result.max);
   PutI64(out, result.arrival_us);
   PutI64(out, result.emit_us);
+  PutU32(out, result.query);
 }
 
 void AppendTextFrame(std::string* out, FrameType type, std::string_view text) {
@@ -133,10 +138,30 @@ void AppendWatermarkAckFrame(std::string* out, Timestamp watermark,
   PutU64(out, tuples_ingested);
 }
 
+void AppendAddQueryFrame(std::string* out, std::string_view id,
+                         const QuerySpec& spec) {
+  BeginFrame(out, FrameType::kAddQuery, 2 + id.size() + kQuerySpecBytes);
+  PutU16(out, static_cast<uint16_t>(id.size()));
+  out->append(id);
+  PutI64(out, spec.window.pre);
+  PutI64(out, spec.window.fol);
+  PutI64(out, spec.lateness_us);
+  out->push_back(static_cast<char>(spec.agg));
+  out->push_back(static_cast<char>(spec.emit_mode));
+  out->push_back(static_cast<char>(spec.late_policy));
+}
+
+void AppendRemoveQueryFrame(std::string* out, std::string_view id) {
+  BeginFrame(out, FrameType::kRemoveQuery, 2 + id.size());
+  PutU16(out, static_cast<uint16_t>(id.size()));
+  out->append(id);
+}
+
 void AppendCanonicalResult(std::string* out, const JoinResult& result) {
   PutTuple(out, result.base);
   PutF64(out, result.aggregate);
   PutU64(out, result.match_count);
+  PutU32(out, result.query);
 }
 
 void WireDecoder::Feed(const char* data, size_t n) {
@@ -211,6 +236,42 @@ WireDecoder::Result WireDecoder::Next(WireFrame* out) {
       r.max = GetF64(payload + 56);
       r.arrival_us = GetI64(payload + 64);
       r.emit_us = GetI64(payload + 72);
+      r.query = GetU32(payload + 80);
+      break;
+    }
+    case FrameType::kAddQuery:
+    case FrameType::kRemoveQuery: {
+      const bool is_add = type_byte == static_cast<uint8_t>(
+                                           FrameType::kAddQuery);
+      const size_t fixed = is_add ? kQuerySpecBytes : 0;
+      if (payload_bytes < 2 + fixed) {
+        return Fail("catalog frame too short");
+      }
+      const size_t id_len = GetU16(payload);
+      if (id_len == 0 || id_len > kMaxQueryIdBytes ||
+          payload_bytes != 2 + id_len + fixed) {
+        return Fail("catalog frame has bad query-id length");
+      }
+      out->type = static_cast<FrameType>(type_byte);
+      out->query_id.assign(payload + 2, id_len);
+      if (is_add) {
+        const char* p = payload + 2 + id_len;
+        QuerySpec& q = out->query_spec;
+        q.window.pre = GetI64(p);
+        q.window.fol = GetI64(p + 8);
+        q.lateness_us = GetI64(p + 16);
+        const uint8_t agg = static_cast<uint8_t>(p[24]);
+        const uint8_t emit = static_cast<uint8_t>(p[25]);
+        const uint8_t late = static_cast<uint8_t>(p[26]);
+        if (agg > static_cast<uint8_t>(AggKind::kMax) ||
+            emit > static_cast<uint8_t>(EmitMode::kWatermark) ||
+            late > static_cast<uint8_t>(LatePolicy::kSideChannel)) {
+          return Fail("add-query frame has bad enum value");
+        }
+        q.agg = static_cast<AggKind>(agg);
+        q.emit_mode = static_cast<EmitMode>(emit);
+        q.late_policy = static_cast<LatePolicy>(late);
+      }
       break;
     }
     case FrameType::kSummary:

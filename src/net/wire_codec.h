@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "core/query_spec.h"
 #include "stream/generator.h"
 
 namespace oij {
@@ -41,6 +42,14 @@ enum class FrameType : uint8_t {
   /// sync that precedes the watermark broadcast, so an acked watermark
   /// means every earlier tuple on this connection is durable.
   kWatermarkAck = 9,
+  /// Catalog change: register a standing query. Payload:
+  /// id_len(u16) id(bytes) pre(i64) fol(i64) lateness(i64) agg(u8)
+  /// emit(u8) late_policy(u8). The router broadcasts these to every
+  /// backend so the whole cluster serves the same catalog; a backend
+  /// treats a duplicate add with an identical spec as idempotent.
+  kAddQuery = 10,
+  /// Catalog change: deactivate the standing query `id_len(u16) id`.
+  kRemoveQuery = 11,
 };
 
 /// Upper bound on `length`; anything larger is a protocol violation.
@@ -56,7 +65,9 @@ inline constexpr size_t kFrameHeaderBytes = 4;
 /// from a newer/older peer is valid *syntax*, just an unacceptable
 /// *negotiation*.
 inline constexpr uint32_t kWireMagic = 0x314A494Fu;  // "OIJ1" little-endian
-inline constexpr uint16_t kWireVersion = 1;
+/// v2: kResult/canonical-result frames carry the query ordinal, and the
+/// kAddQuery/kRemoveQuery catalog frames exist.
+inline constexpr uint16_t kWireVersion = 2;
 
 /// Hello flag bits (u16).
 /// Client -> server: request kWatermarkAck frames for every kWatermark.
@@ -90,6 +101,8 @@ struct WireFrame {
   HelloInfo hello;                   // kHello
   JoinResult result;                 // kResult
   std::string text;                  // kSummary / kError
+  std::string query_id;              // kAddQuery / kRemoveQuery
+  QuerySpec query_spec;              // kAddQuery
 };
 
 /// Frame encoders append to `out` so a caller can batch many frames into
@@ -102,6 +115,9 @@ void AppendTextFrame(std::string* out, FrameType type, std::string_view text);
 void AppendHelloFrame(std::string* out, const HelloInfo& hello);
 void AppendWatermarkAckFrame(std::string* out, Timestamp watermark,
                              uint64_t tuples_ingested);
+void AppendAddQueryFrame(std::string* out, std::string_view id,
+                         const QuerySpec& spec);
+void AppendRemoveQueryFrame(std::string* out, std::string_view id);
 
 /// Canonical encoding of a result *excluding* the wall-clock stamps
 /// (arrival/emit), so two runs over the same input are byte-comparable.

@@ -1,6 +1,7 @@
 #include "server/admin.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 #include "core/run_summary.h"
@@ -81,6 +82,12 @@ class JsonOut {
     pending_comma_ = true;
   }
 
+  void Null() {
+    Comma();
+    Raw("null");
+    pending_comma_ = true;
+  }
+
   void Open(char bracket) {
     Comma();
     out_ += bracket;
@@ -102,6 +109,48 @@ class JsonOut {
   std::string out_;
   bool pending_comma_ = false;
 };
+
+/// Emits the standing-query catalog as a JSON array (shared by /statz
+/// and /queries).
+void AppendQueryRows(JsonOut& j, const std::vector<QueryStatsRow>& queries) {
+  j.Open('[');
+  for (const QueryStatsRow& q : queries) {
+    j.Open('{');
+    j.Key("id");
+    j.String(q.id);
+    j.Key("ord");
+    j.Number(static_cast<uint64_t>(q.ord));
+    j.Key("active");
+    j.Bool(q.active);
+    j.Key("pre");
+    j.Number(static_cast<int64_t>(q.spec.window.pre));
+    j.Key("fol");
+    j.Number(static_cast<int64_t>(q.spec.window.fol));
+    j.Key("lateness");
+    j.Number(static_cast<int64_t>(q.spec.lateness_us));
+    j.Key("agg");
+    j.String(AggKindName(q.spec.agg));
+    j.Key("emit");
+    j.String(EmitModeName(q.spec.emit_mode));
+    j.Key("late_policy");
+    j.String(LatePolicyName(q.spec.late_policy));
+    j.Key("results");
+    j.Number(q.results);
+    j.Key("late");
+    j.Open('{');
+    j.Key("tuples");
+    j.Number(q.late.tuples);
+    j.Key("joined");
+    j.Number(q.late.joined);
+    j.Key("dropped");
+    j.Number(q.late.dropped);
+    j.Key("side_channel");
+    j.Number(q.late.side_channel);
+    j.Close('}');
+    j.Close('}');
+  }
+  j.Close(']');
+}
 
 }  // namespace
 
@@ -188,6 +237,26 @@ std::string RenderPrometheusMetrics(const AdminSnapshot& snap) {
             "Fully-dead slabs returned to the arena empty pool",
             static_cast<double>(snap.progress.arena_slab_recycles));
 
+  // Standing-query catalog (one sample set per query ever registered;
+  // removed queries keep exporting with active=0 so their counters do
+  // not vanish mid-scrape).
+  for (const QueryStatsRow& q : snap.queries) {
+    const PrometheusLabels ql = {{"query", q.id}};
+    w.Gauge("oij_query_active",
+            "1 while the standing query accepts new base tuples",
+            q.active ? 1.0 : 0.0, ql);
+  }
+  for (const QueryStatsRow& q : snap.queries) {
+    w.Counter("oij_query_results_total",
+              "Join results emitted per standing query",
+              static_cast<double>(q.results), {{"query", q.id}});
+  }
+  for (const QueryStatsRow& q : snap.queries) {
+    w.Counter("oij_query_late_total",
+              "Lateness-bound violations observed per standing query",
+              static_cast<double>(q.late.tuples), {{"query", q.id}});
+  }
+
   // Durability (absent entirely when the engine runs without a WAL).
   if (snap.wal.enabled) {
     const WalStats& wal = snap.wal;
@@ -211,9 +280,14 @@ std::string RenderPrometheusMetrics(const AdminSnapshot& snap) {
               static_cast<double>(wal.short_writes));
     w.Counter("oij_snapshots_total", "Snapshot epochs committed",
               static_cast<double>(wal.snapshots_taken));
-    w.Gauge("oij_snapshot_age_seconds",
-            "Seconds since the last committed snapshot (-1 = never)",
-            snap.snapshot_age_seconds);
+    // Omitted until the first snapshot commits: exporting the -1.0
+    // "never" sentinel as a real sample reads as a negative age and
+    // poisons `oij_snapshot_age_seconds > X` alert rules.
+    if (snap.snapshot_age_seconds >= 0.0) {
+      w.Gauge("oij_snapshot_age_seconds",
+              "Seconds since the last committed snapshot",
+              snap.snapshot_age_seconds);
+    }
     w.Counter("oij_wal_replay_records",
               "Records replayed through ingest during recovery",
               static_cast<double>(wal.replay_records));
@@ -363,6 +437,11 @@ std::string RenderStatzJson(const AdminSnapshot& snap) {
   j.Close('}');
   j.Close('}');
 
+  if (!snap.queries.empty()) {
+    j.Key("queries");
+    AppendQueryRows(j, snap.queries);
+  }
+
   if (snap.wal.enabled) {
     const WalStats& wal = snap.wal;
     j.Key("wal");
@@ -386,7 +465,11 @@ std::string RenderStatzJson(const AdminSnapshot& snap) {
     j.Key("snapshot_records");
     j.Number(wal.snapshot_records);
     j.Key("snapshot_age_seconds");
-    j.Number(snap.snapshot_age_seconds);
+    if (snap.snapshot_age_seconds >= 0.0) {
+      j.Number(snap.snapshot_age_seconds);
+    } else {
+      j.Null();  // no snapshot yet; -1 would read as a real age
+    }
     j.Key("replay_records");
     j.Number(wal.replay_records);
     j.Key("replay_watermarks");
@@ -471,6 +554,219 @@ std::string RenderStatzJson(const AdminSnapshot& snap) {
   return out;
 }
 
+std::string RenderQueriesJson(const std::vector<QueryStatsRow>& queries) {
+  JsonOut j;
+  j.Open('{');
+  j.Key("queries");
+  AppendQueryRows(j, queries);
+  j.Close('}');
+  std::string out = j.Take();
+  out += '\n';
+  return out;
+}
+
+namespace {
+
+/// Cursor over the flat-JSON object POST /queries accepts. Only the
+/// shapes that body can legally contain: one object of string/integer
+/// values, no nesting, escape handling limited to \" \\ \/ (ids are
+/// [A-Za-z0-9_.-] anyway, so anything fancier is rejected downstream).
+struct JsonCursor {
+  std::string_view in;
+  size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < in.size() &&
+           (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\n' ||
+            in[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos < in.size() && in[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return pos < in.size() && in[pos] == c;
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos < in.size()) {
+      const char c = in[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= in.size()) return false;
+        const char e = in[pos++];
+        if (e != '"' && e != '\\' && e != '/') return false;
+        out->push_back(e);
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+  bool ParseInt(int64_t* out) {
+    SkipWs();
+    const size_t start = pos;
+    if (pos < in.size() && in[pos] == '-') ++pos;
+    const size_t digits = pos;
+    while (pos < in.size() && in[pos] >= '0' && in[pos] <= '9') ++pos;
+    if (pos == digits) {
+      pos = start;
+      return false;
+    }
+    int64_t v = 0;
+    for (size_t i = digits; i < pos; ++i) {
+      if (v > (INT64_MAX - (in[i] - '0')) / 10) {
+        pos = start;
+        return false;
+      }
+      v = v * 10 + (in[i] - '0');
+    }
+    *out = in[start] == '-' ? -v : v;
+    return true;
+  }
+};
+
+}  // namespace
+
+Status ParseQuerySpecJson(std::string_view body, const QuerySpec& defaults,
+                          std::string* id, QuerySpec* spec) {
+  *spec = defaults;
+  id->clear();
+  bool saw_id = false;
+  bool saw_lateness = false;
+  bool saw_emit = false;
+  Timestamp lateness = defaults.lateness_us;
+  std::string emit_name;
+
+  JsonCursor c{body};
+  if (!c.Consume('{')) {
+    return Status::InvalidArgument("body must be a JSON object");
+  }
+  std::vector<std::string> seen;
+  if (!c.Peek('}')) {
+    do {
+      std::string key;
+      if (!c.ParseString(&key)) {
+        return Status::InvalidArgument("expected a string key");
+      }
+      for (const std::string& s : seen) {
+        if (s == key) {
+          return Status::InvalidArgument("duplicate field '" + key + "'");
+        }
+      }
+      seen.push_back(key);
+      if (!c.Consume(':')) {
+        return Status::InvalidArgument("expected ':' after '" + key + "'");
+      }
+      if (key == "id" || key == "agg" || key == "emit" || key == "late") {
+        std::string value;
+        if (!c.ParseString(&value)) {
+          return Status::InvalidArgument("field '" + key +
+                                         "' must be a string");
+        }
+        if (key == "id") {
+          *id = value;
+          saw_id = true;
+        } else if (key == "agg") {
+          const Status s = AggKindFromName(value, &spec->agg);
+          if (!s.ok()) return Status::InvalidArgument(s.message());
+        } else if (key == "emit") {
+          emit_name = value;
+          saw_emit = true;
+        } else {
+          const Status s = LatePolicyFromName(value, &spec->late_policy);
+          if (!s.ok()) return Status::InvalidArgument(s.message());
+        }
+      } else if (key == "pre" || key == "fol" || key == "lateness") {
+        int64_t value = 0;
+        if (!c.ParseInt(&value)) {
+          return Status::InvalidArgument("field '" + key +
+                                         "' must be an integer");
+        }
+        if (key == "pre") {
+          spec->window.pre = value;
+        } else if (key == "fol") {
+          spec->window.fol = value;
+        } else {
+          lateness = value;
+          saw_lateness = true;
+        }
+      } else {
+        return Status::InvalidArgument("unknown field '" + key + "'");
+      }
+    } while (c.Consume(','));
+  }
+  if (!c.Consume('}')) {
+    return Status::InvalidArgument("malformed JSON object");
+  }
+  c.SkipWs();
+  if (c.pos != body.size()) {
+    return Status::InvalidArgument("trailing bytes after the JSON object");
+  }
+  if (!saw_id) {
+    return Status::InvalidArgument("missing required field 'id'");
+  }
+  // The shared index pins the tuple-admission properties: every standing
+  // query shares the primary's lateness bound and emit mode, so a body
+  // may restate them only verbatim.
+  if (saw_lateness && lateness != defaults.lateness_us) {
+    return Status::InvalidArgument(
+        "field 'lateness' must match the primary query (" +
+        std::to_string(defaults.lateness_us) + ")");
+  }
+  if (saw_emit) {
+    EmitMode mode;
+    const Status s = EmitModeFromName(emit_name, &mode);
+    if (!s.ok()) return Status::InvalidArgument(s.message());
+    if (mode != defaults.emit_mode) {
+      return Status::InvalidArgument(
+          "field 'emit' must match the primary query (" +
+          std::string(EmitModeName(defaults.emit_mode)) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+int HttpStatusForStatus(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kOk:
+      return 200;
+    case Status::Code::kInvalidArgument:
+    case Status::Code::kParseError:
+    case Status::Code::kFailedPrecondition:
+      return 400;
+    case Status::Code::kNotFound:
+      return 404;
+    default:
+      return 500;
+  }
+}
+
+std::string BuildQueryErrorResponse(const Status& status) {
+  JsonOut j;
+  j.Open('{');
+  j.Key("error");
+  j.Open('{');
+  j.Key("code");
+  j.String(CodeName(status.code()));
+  j.Key("message");
+  j.String(status.message());
+  j.Close('}');
+  j.Close('}');
+  std::string body = j.Take();
+  body += '\n';
+  return BuildHttpResponse(HttpStatusForStatus(status), "application/json",
+                           body);
+}
+
 std::string RenderHealthz(const AdminSnapshot& snap, int* status_code) {
   if (snap.recovering) {
     // Not ready: the engine is still replaying its WAL. 503 keeps load
@@ -504,10 +800,14 @@ std::string HandleAdminRequest(const AdminSnapshot& snap,
   if (request.path == "/statz") {
     return BuildHttpResponse(200, "application/json", RenderStatzJson(snap));
   }
+  if (request.path == "/queries") {
+    return BuildHttpResponse(200, "application/json",
+                             RenderQueriesJson(snap.queries));
+  }
   if (request.path == "/") {
     return BuildHttpResponse(
         200, "text/plain; charset=utf-8",
-        "oij_server admin endpoints: /metrics /healthz /statz\n");
+        "oij_server admin endpoints: /metrics /healthz /statz /queries\n");
   }
   return BuildHttpResponse(404, "text/plain; charset=utf-8",
                            "unknown path: " + request.path + "\n");

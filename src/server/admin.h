@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/watchdog.h"
 #include "core/pipeline.h"
+#include "join/engine.h"
 #include "net/http.h"
 #include "wal/wal.h"
 
@@ -61,8 +63,15 @@ struct AdminSnapshot {
   WalStats wal;
 
   /// Seconds since the last completed snapshot, computed by the server
-  /// from WalStats.last_snapshot_mono_us; negative = no snapshot yet.
+  /// from WalStats.last_snapshot_mono_us; negative = no snapshot yet
+  /// (the gauge is omitted from /metrics and rendered null in /statz
+  /// then — exporting the -1 sentinel as a Prometheus sample poisons
+  /// age-based alert rules).
   double snapshot_age_seconds = -1.0;
+
+  /// Standing-query catalog rows (engine->QuerySnapshot()); empty for
+  /// engines without a catalog.
+  std::vector<QueryStatsRow> queries;
 
   /// Set once the run has been finalized; `final_run` then carries the
   /// merged stats (latency histogram, degradation counters, throughput).
@@ -79,9 +88,37 @@ std::string RenderStatzJson(const AdminSnapshot& snap);
 /// Body for GET /healthz; `status_code` becomes 200 or 503.
 std::string RenderHealthz(const AdminSnapshot& snap, int* status_code);
 
+/// JSON body for GET /queries: the standing-query catalog with per-query
+/// counters.
+std::string RenderQueriesJson(const std::vector<QueryStatsRow>& queries);
+
+/// Parses the flat-JSON body of POST /queries:
+///
+///   {"id": "q1", "pre": 1000, "fol": 0, "agg": "sum",
+///    "late": "drop_and_count"}
+///
+/// `id` is required; pre/fol/agg/late default to `defaults` (the primary
+/// query's spec). lateness/emit are accepted but must equal the
+/// defaults' values — the shared-index contract pins them — and that
+/// mismatch, like any unknown key, duplicate key, or type error, returns
+/// InvalidArgument with a message naming the offending field.
+Status ParseQuerySpecJson(std::string_view body, const QuerySpec& defaults,
+                          std::string* id, QuerySpec* spec);
+
+/// Maps a catalog Status to an admin-plane HTTP status code
+/// (InvalidArgument/ParseError/FailedPrecondition -> 400, NotFound ->
+/// 404, anything else -> 500).
+int HttpStatusForStatus(const Status& status);
+
+/// Complete HTTP response carrying the structured error body
+/// {"error": {"code": "...", "message": "..."}} for a failed catalog
+/// mutation.
+std::string BuildQueryErrorResponse(const Status& status);
+
 /// Routes one parsed admin request to the pages above and wraps the
 /// result in a complete HTTP/1.0 response (404 on unknown paths, 405 on
-/// non-GET methods).
+/// unsupported methods). GET only — the mutating /queries verbs touch
+/// the live engine and are intercepted by the server loop before this.
 std::string HandleAdminRequest(const AdminSnapshot& snap,
                                const HttpRequest& request);
 

@@ -8,6 +8,16 @@
 
 namespace oij {
 
+namespace {
+
+bool SameSpec(const QuerySpec& a, const QuerySpec& b) {
+  return a.window.pre == b.window.pre && a.window.fol == b.window.fol &&
+         a.lateness_us == b.lateness_us && a.agg == b.agg &&
+         a.emit_mode == b.emit_mode && a.late_policy == b.late_policy;
+}
+
+}  // namespace
+
 /// Joiner threads call OnResult concurrently; frames are encoded under a
 /// mutex into one egress buffer the loop thread swaps out. The wakeup is
 /// only issued on the empty->non-empty transition, so a result burst
@@ -380,6 +390,56 @@ bool OijServer::HandleFrame(Conn* conn, const WireFrame& frame) {
       FlushConn(conn);
       return false;
     }
+    case FrameType::kAddQuery: {
+      if (engine_->Recovering()) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, "engine recovering; catalog change rejected");
+        return false;
+      }
+      if (run_finished_.load(std::memory_order_relaxed)) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, "run already finalized; catalog change rejected");
+        return false;
+      }
+      // The router re-broadcasts catalog frames to backends it
+      // reconnects, so a duplicate add carrying an identical spec is an
+      // idempotent no-op; a conflicting spec under the same id is a real
+      // error.
+      for (const QueryStatsRow& row : engine_->QuerySnapshot()) {
+        if (row.active && row.id == frame.query_id &&
+            SameSpec(row.spec, frame.query_spec)) {
+          return true;
+        }
+      }
+      const Status s = engine_->AddQuery(frame.query_id, frame.query_spec);
+      if (!s.ok()) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, "add-query rejected: " + s.ToString());
+        return false;
+      }
+      return true;
+    }
+    case FrameType::kRemoveQuery: {
+      if (engine_->Recovering()) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, "engine recovering; catalog change rejected");
+        return false;
+      }
+      if (run_finished_.load(std::memory_order_relaxed)) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, "run already finalized; catalog change rejected");
+        return false;
+      }
+      const Status s = engine_->RemoveQuery(frame.query_id);
+      // NotFound = this remove already landed (router re-delivery);
+      // treating it as success keeps catalog frames idempotent.
+      if (!s.ok() && s.code() != Status::Code::kNotFound) {
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, "remove-query rejected: " + s.ToString());
+        return false;
+      }
+      return true;
+    }
     case FrameType::kResult:
     case FrameType::kSummary:
     case FrameType::kError:
@@ -526,6 +586,7 @@ AdminSnapshot OijServer::BuildSnapshot() {
   snap.health = engine_ != nullptr ? engine_->Health() : Status::OK();
   if (engine_ != nullptr) {
     snap.recovering = engine_->Recovering();
+    snap.queries = engine_->QuerySnapshot();
     snap.wal = engine_->SampleWal();
     if (snap.wal.last_snapshot_mono_us > 0) {
       snap.snapshot_age_seconds =
@@ -566,9 +627,61 @@ void OijServer::ProcessAdminInput(Conn* conn) {
   }
   conn->tcp.input().erase(0, consumed);
   admin_requests_.fetch_add(1, std::memory_order_relaxed);
-  conn->tcp.QueueWrite(HandleAdminRequest(BuildSnapshot(), request));
+  // The catalog-mutating verbs run here, on the loop thread — which is
+  // the engine's single driver thread, so AddQuery/RemoveQuery need no
+  // extra synchronization. Everything else routes to the pure renderer.
+  std::string response;
+  if (request.method == "POST" && request.path == "/queries") {
+    response = HandleAddQueryRequest(request);
+  } else if (request.method == "DELETE" &&
+             request.path.rfind("/queries/", 0) == 0) {
+    response = HandleRemoveQueryRequest(request.path.substr(9));
+  } else {
+    response = HandleAdminRequest(BuildSnapshot(), request);
+  }
+  conn->tcp.QueueWrite(response);
   conn->tcp.set_close_after_flush(true);
   FlushConn(conn);
+}
+
+std::string OijServer::HandleAddQueryRequest(const HttpRequest& request) {
+  if (engine_->Recovering()) {
+    return BuildHttpResponse(
+        503, "application/json",
+        "{\"error\":{\"code\":\"Unavailable\","
+        "\"message\":\"engine recovering; retry later\"}}\n");
+  }
+  if (run_finished_.load(std::memory_order_relaxed)) {
+    return BuildQueryErrorResponse(
+        Status::FailedPrecondition("run already finalized"));
+  }
+  std::string id;
+  QuerySpec spec;
+  Status s = ParseQuerySpecJson(request.body, config_.query, &id, &spec);
+  if (!s.ok()) return BuildQueryErrorResponse(s);
+  s = engine_->AddQuery(id, spec);
+  if (!s.ok()) return BuildQueryErrorResponse(s);
+  // AddQuery validated the id against [A-Za-z0-9_.-]{1,64}, so embedding
+  // it unescaped is safe.
+  return BuildHttpResponse(200, "application/json",
+                           "{\"added\":\"" + id + "\"}\n");
+}
+
+std::string OijServer::HandleRemoveQueryRequest(const std::string& id) {
+  if (engine_->Recovering()) {
+    return BuildHttpResponse(
+        503, "application/json",
+        "{\"error\":{\"code\":\"Unavailable\","
+        "\"message\":\"engine recovering; retry later\"}}\n");
+  }
+  if (run_finished_.load(std::memory_order_relaxed)) {
+    return BuildQueryErrorResponse(
+        Status::FailedPrecondition("run already finalized"));
+  }
+  const Status s = engine_->RemoveQuery(id);
+  if (!s.ok()) return BuildQueryErrorResponse(s);
+  return BuildHttpResponse(200, "application/json",
+                           "{\"removed\":\"" + id + "\"}\n");
 }
 
 void OijServer::FlushAllBeforeExit() {

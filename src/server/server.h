@@ -121,6 +121,11 @@ class OijServer {
   void OnConnEvent(int fd, uint32_t ready);
   void ProcessDataInput(Conn* conn);
   void ProcessAdminInput(Conn* conn);
+  /// POST /queries: parse the JSON body, register the standing query on
+  /// the loop (= engine driver) thread, answer 200 or a structured 400.
+  std::string HandleAddQueryRequest(const HttpRequest& request);
+  /// DELETE /queries/<id>: deactivate the standing query.
+  std::string HandleRemoveQueryRequest(const std::string& id);
   bool HandleFrame(Conn* conn, const WireFrame& frame);
   void FinalizeRun();
   /// Moves buffered result frames to every subscriber's write queue.

@@ -338,10 +338,29 @@ uint64_t WalManager::AppendTuple(const StreamEvent& event) {
 uint64_t WalManager::AppendWatermark(Timestamp watermark) {
   // One LSN, every shard: replay of any subset of shards still sees the
   // punctuation, and the merge deduplicates by LSN.
+  std::string frame;
+  AppendWatermarkFrame(&frame, watermark);
+  return AppendReplicated(frame);
+}
+
+uint64_t WalManager::AppendAddQuery(std::string_view id,
+                                    const QuerySpec& spec) {
+  std::string frame;
+  AppendAddQueryFrame(&frame, id, spec);
+  return AppendReplicated(frame);
+}
+
+uint64_t WalManager::AppendRemoveQuery(std::string_view id) {
+  std::string frame;
+  AppendRemoveQueryFrame(&frame, id);
+  return AppendReplicated(frame);
+}
+
+uint64_t WalManager::AppendReplicated(std::string_view frame) {
   const uint64_t lsn = next_lsn_++;
   for (Shard& shard : shards_) {
     const size_t before = shard.buffer.size();
-    AppendWalWatermarkRecord(&shard.buffer, lsn, watermark);
+    AppendWalRecord(&shard.buffer, lsn, frame);
     appended_bytes_.fetch_add(shard.buffer.size() - before,
                               std::memory_order_relaxed);
     ++shard.buffered_records;
@@ -408,7 +427,8 @@ bool WalManager::SnapshotDue() const {
          !snapshot_inflight_flag_.load(std::memory_order_acquire);
 }
 
-uint64_t WalManager::BeginSnapshot(Timestamp watermark) {
+uint64_t WalManager::BeginSnapshot(Timestamp watermark,
+                                   std::string catalog) {
   // The barrier: every record appended so far lands in generations that
   // the committed snapshot will supersede. No sync is needed here — the
   // snapshot content comes from joiner memory, which has (or will have,
@@ -420,6 +440,7 @@ uint64_t WalManager::BeginSnapshot(Timestamp watermark) {
   barrier_generation_ = generation_;
   barrier_lsn_ = next_lsn_ - 1;
   barrier_watermark_ = watermark;
+  barrier_catalog_ = std::move(catalog);
   snapshot_joiners_done_ = 0;
   snapshot_records_written_ = 0;
   snapshot_failed_ = false;
@@ -495,6 +516,7 @@ bool WalManager::PollSnapshotCompletion() {
   Timestamp watermark = kMinTimestamp;
   uint64_t snapshot_lsn = 0;
   uint64_t generation_bound = 0;
+  std::string catalog;
   bool failed = false;
   {
     std::lock_guard<std::mutex> lock(snap_mu_);
@@ -509,6 +531,7 @@ bool WalManager::PollSnapshotCompletion() {
       watermark = barrier_watermark_;
       snapshot_lsn = barrier_lsn_;
       generation_bound = barrier_generation_;
+      catalog = barrier_catalog_;
       epoch_in_flight_ = 0;
     } else {
       return false;  // still in flight
@@ -544,6 +567,9 @@ bool WalManager::PollSnapshotCompletion() {
   manifest += line;
   std::snprintf(line, sizeof(line), "records=%" PRIu64 "\n", records);
   manifest += line;
+  // Catalog lines (each starting with "query=", newline-terminated) ride
+  // in the manifest verbatim; the reader collects them back out.
+  manifest += catalog;
   std::snprintf(line, sizeof(line), "crc=%08x\n", Crc32c(manifest));
   manifest += line;
 

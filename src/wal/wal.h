@@ -13,6 +13,7 @@
 #include "common/fault_injector.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "core/query_spec.h"
 #include "stream/generator.h"
 
 namespace oij {
@@ -168,6 +169,12 @@ class WalManager {
   /// deduplicates by LSN); returns it.
   uint64_t AppendWatermark(Timestamp watermark);
 
+  /// Logs a standing-query catalog change. Like watermarks, catalog
+  /// records are replicated to every shard under a single LSN so replay
+  /// of any shard subset still sees them (and the merge deduplicates).
+  uint64_t AppendAddQuery(std::string_view id, const QuerySpec& spec);
+  uint64_t AppendRemoveQuery(std::string_view id);
+
   /// Policy-aware commit point. With `watermark_barrier` false (after a
   /// tuple append) it drains full group-commit buffers and honors the
   /// kInterval timer; with it true (immediately *before* a watermark is
@@ -198,8 +205,12 @@ class WalManager {
   /// Driver thread: starts snapshot epoch. Flushes and rotates the log
   /// (records at or below the returned barrier live in generations that
   /// become truncatable once the snapshot commits) and remembers the
-  /// watermark to store in the manifest. Returns the epoch id.
-  uint64_t BeginSnapshot(Timestamp watermark);
+  /// watermark to store in the manifest. `catalog` is the engine's
+  /// serialized standing-query catalog at the barrier (QueryCatalog
+  /// lines; empty when the engine runs a single query) — it is embedded
+  /// in the manifest so recovery restores the catalog before replaying
+  /// the log suffix. Returns the epoch id.
+  uint64_t BeginSnapshot(Timestamp watermark, std::string catalog = {});
 
   /// Joiner thread: writes this joiner's state (as wire-frame records)
   /// into the epoch's snapshot file and marks the joiner complete.
@@ -236,6 +247,9 @@ class WalManager {
   };
 
   uint32_t ShardForKey(Key key) const;
+  /// Appends `frame` to every shard under one fresh LSN (watermarks and
+  /// catalog records); returns the LSN.
+  uint64_t AppendReplicated(std::string_view frame);
   /// Writes `shard`'s buffer to its fd (with injected short writes).
   Status DrainShard(Shard* shard);
   /// fsync with injected failures; advances synced_records on success.
@@ -269,6 +283,7 @@ class WalManager {
   uint64_t barrier_generation_ = 0;
   uint64_t barrier_lsn_ = 0;
   Timestamp barrier_watermark_ = kMinTimestamp;
+  std::string barrier_catalog_;
   uint32_t snapshot_joiners_done_ = 0;
   uint64_t snapshot_records_written_ = 0;
   bool snapshot_failed_ = false;

@@ -96,6 +96,11 @@ Status ReadWalManifest(const std::string& path, WalManifest* out) {
       m.shards = u32;
     } else if (std::sscanf(line.c_str(), "records=%llu", &u) == 1) {
       m.records = u;
+    } else if (line.compare(0, 6, "query=") == 0) {
+      // Catalog lines are collected verbatim (they are QueryCatalog
+      // serialization, which owns their grammar).
+      m.catalog += line;
+      m.catalog += '\n';
     }
     // Unknown keys are forward-compatible: the CRC already vouches for
     // the file as a whole.
@@ -153,12 +158,21 @@ bool WalFileReader::Next(WalReplayRecord* out) {
     torn_ = true;
     return false;
   }
+  out->is_watermark = false;
   if (wire.type == FrameType::kTuple) {
-    out->is_watermark = false;
+    out->kind = WalReplayRecord::Kind::kTuple;
     out->event = wire.event;
   } else if (wire.type == FrameType::kWatermark) {
+    out->kind = WalReplayRecord::Kind::kWatermark;
     out->is_watermark = true;
     out->watermark = wire.watermark;
+  } else if (wire.type == FrameType::kAddQuery) {
+    out->kind = WalReplayRecord::Kind::kAddQuery;
+    out->query_id = wire.query_id;
+    out->query_spec = wire.query_spec;
+  } else if (wire.type == FrameType::kRemoveQuery) {
+    out->kind = WalReplayRecord::Kind::kRemoveQuery;
+    out->query_id = wire.query_id;
   } else {
     // Valid frame, but not a type the WAL ever writes.
     done_ = true;
@@ -202,6 +216,7 @@ Status BuildReplayPlan(const std::string& dir, WalReplayPlan* out) {
     snapshot_lsn = manifest.snapshot_lsn;
     out->has_snapshot = true;
     out->restore_watermark = manifest.watermark;
+    out->catalog = manifest.catalog;
     // Snapshot files are rename-committed, so a missing or short one
     // under a committed manifest is real damage, not a torn tail.
     for (uint32_t j = 0; j < manifest.joiners; ++j) {
@@ -213,8 +228,8 @@ Status BuildReplayPlan(const std::string& dir, WalReplayPlan* out) {
       }
       WalReplayRecord record;
       while (reader.Next(&record)) {
-        if (record.is_watermark) {
-          return Status::ParseError("watermark record in snapshot: " +
+        if (record.kind != WalReplayRecord::Kind::kTuple) {
+          return Status::ParseError("non-tuple record in snapshot: " +
                                     reader.path());
         }
         out->snapshot_events.push_back(record.event);

@@ -20,6 +20,9 @@ struct WalManifest {
   uint32_t joiners = 0;
   uint32_t shards = 0;
   uint64_t records = 0;  ///< total records across all snapshot files
+  /// Serialized standing-query catalog at the snapshot barrier
+  /// (QueryCatalog lines, newline-terminated; empty = single query).
+  std::string catalog;
 };
 
 /// Reads and CRC-verifies a manifest. ParseError on any corruption —
@@ -27,12 +30,17 @@ struct WalManifest {
 /// means the directory is damaged, not torn.
 Status ReadWalManifest(const std::string& path, WalManifest* out);
 
-/// One replayable WAL record.
+/// One replayable WAL record: a tuple, a watermark, or a standing-query
+/// catalog change (kind discriminates; exactly one kind is set).
 struct WalReplayRecord {
+  enum class Kind : uint8_t { kTuple, kWatermark, kAddQuery, kRemoveQuery };
   uint64_t lsn = 0;
-  bool is_watermark = false;
+  Kind kind = Kind::kTuple;
+  bool is_watermark = false;  ///< convenience mirror of kind==kWatermark
   Timestamp watermark = kMinTimestamp;
   StreamEvent event;
+  std::string query_id;  ///< kAddQuery / kRemoveQuery
+  QuerySpec query_spec;  ///< kAddQuery
 };
 
 /// Hardened, CRC-checked reader over one segment or snapshot file.
@@ -87,8 +95,11 @@ struct WalReplayPlan {
   /// snapshot events and before the log suffix.
   Timestamp restore_watermark = kMinTimestamp;
   /// Log records with lsn > snapshot_lsn, strictly lsn-ascending
-  /// (replicated watermark records collapsed to one per lsn).
+  /// (replicated watermark/catalog records collapsed to one per lsn).
   std::vector<WalReplayRecord> records;
+  /// Verbatim catalog text from the manifest (empty without a snapshot
+  /// or when the snapshotted engine ran a single query).
+  std::string catalog;
   uint64_t max_lsn = 0;      ///< highest lsn seen anywhere (0 = none)
   uint64_t torn_tails = 0;   ///< files that ended at a torn/corrupt record
   uint64_t torn_bytes = 0;   ///< bytes discarded across those tails

@@ -45,6 +45,7 @@ namespace {
 
 const char* ServerBinary() { return std::getenv("OIJ_SERVER_BIN"); }
 const char* RouterBinary() { return std::getenv("OIJ_ROUTER_BIN"); }
+const char* LoadgenBinary() { return std::getenv("OIJ_LOADGEN_BIN"); }
 
 std::vector<StreamEvent> Generate(const WorkloadSpec& spec) {
   WorkloadGenerator gen(spec);
@@ -181,6 +182,73 @@ class Proc {
   uint16_t data_port_ = 0;
   uint16_t admin_port_ = 0;
 };
+
+/// A forked oij_loadgen whose stdout is captured in full; unlike Proc
+/// it prints no port banner, so the pipe is drained only at exit.
+struct LoadgenRun {
+  pid_t pid = -1;
+  int out_fd = -1;
+};
+
+bool StartLoadgen(const std::vector<std::string>& extra_args,
+                  LoadgenRun* run) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    dup2(fds[1], STDOUT_FILENO);
+    close(fds[0]);
+    close(fds[1]);
+    std::vector<std::string> args;
+    args.push_back(LoadgenBinary());
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(LoadgenBinary(), argv.data());
+    _exit(127);
+  }
+  close(fds[1]);
+  run->pid = pid;
+  run->out_fd = fds[0];
+  return true;
+}
+
+/// Drains stdout to EOF, reaps the child, returns its wait status.
+int FinishLoadgen(LoadgenRun* run, std::string* output) {
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(run->out_fd, buf, sizeof(buf))) > 0) {
+    output->append(buf, static_cast<size_t>(n));
+  }
+  close(run->out_fd);
+  run->out_fd = -1;
+  int status = -1;
+  waitpid(run->pid, &status, 0);
+  run->pid = -1;
+  return status;
+}
+
+/// Pulls `field=<n>` out of the report line starting with `line_prefix`.
+bool ReportNumber(const std::string& text, const std::string& line_prefix,
+                  const std::string& field, uint64_t* out) {
+  const size_t line = text.find(line_prefix);
+  if (line == std::string::npos) return false;
+  const size_t eol = text.find('\n', line);
+  const std::string hay = text.substr(
+      line, eol == std::string::npos ? std::string::npos : eol - line);
+  const std::string needle = field + "=";
+  const size_t pos = hay.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtoull(hay.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
 
 /// Data-plane client with an observable received-result count; the one
 /// client in these tests lives across the backend kill, because "zero
@@ -695,6 +763,106 @@ TEST(ClusterIntegrationTest, NonDurableBackendLossFailsOverWithinBound) {
         << "base ts=" << std::get<0>(key) << " key=" << std::get<1>(key)
         << " overcounted after failover";
   }
+}
+
+// --------------------------------- loadgen reconnect accounting
+
+/// Regression for the --targets reconnect double-count: a batch whose
+/// send fails midway used to fold into `lost` even though the kernel
+/// may have delivered a prefix the server then processed — reconciling
+/// the merged client report against server receipts counted those
+/// tuples twice. Now every target partitions its share exactly into
+/// sent + lost + in_doubt, the merged report prints the identity, and
+/// the never-killed target reconciles against its server's tuples_in
+/// to the tuple.
+TEST(ClusterIntegrationTest, LoadgenMultiTargetReconnectAccountingIsExact) {
+  if (ServerBinary() == nullptr || LoadgenBinary() == nullptr) {
+    GTEST_SKIP() << "OIJ_SERVER_BIN / OIJ_LOADGEN_BIN not set";
+  }
+  const std::vector<std::string> backend_args = {
+      "--workload", "default", "--engine", "scale-oij", "--joiners", "2"};
+  Proc backend_a;
+  Proc backend_b;
+  ASSERT_TRUE(backend_a.Spawn(ServerBinary(), backend_args));
+  ASSERT_TRUE(backend_b.Spawn(ServerBinary(), backend_args));
+  const uint16_t a_data_port = backend_a.data_port();
+  const uint16_t b_data_port = backend_b.data_port();
+  const uint16_t b_admin_port = backend_b.admin_port();
+
+  // ~6 s paced run: each slot drives 18k tuples at 3k/s, one 256-tuple
+  // batch every ~85 ms, so a 500 ms outage fails several batches.
+  constexpr uint64_t kTuples = 36'000;
+  const std::string targets = "127.0.0.1:" + std::to_string(a_data_port) +
+                              ",127.0.0.1:" + std::to_string(b_data_port);
+  LoadgenRun loadgen;
+  ASSERT_TRUE(StartLoadgen({"--targets", targets, "--tuples", "36000",
+                            "--rate", "6000", "--wm-every", "256"},
+                           &loadgen));
+
+  // kill -9 one target mid-run, hold it down long enough that slot-b
+  // sends fail, then restart it on the same ports so the reconnect and
+  // the finish handshake both succeed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  backend_b.Kill(SIGKILL);
+  backend_b.WaitExit();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  auto restart_args = backend_args;
+  restart_args.push_back("--port");
+  restart_args.push_back(std::to_string(b_data_port));
+  restart_args.push_back("--admin-port");
+  restart_args.push_back(std::to_string(b_admin_port));
+  Proc backend_b2;
+  ASSERT_TRUE(backend_b2.Spawn(ServerBinary(), restart_args))
+      << "backend restart failed";
+
+  std::string out;
+  const int status = FinishLoadgen(&loadgen, &out);
+  ASSERT_TRUE(WIFEXITED(status)) << out;
+  EXPECT_EQ(WEXITSTATUS(status), 0) << out;
+
+  // Merged totals partition the workload exactly: no tuple double-
+  // counted, none unaccounted, across the reconnect.
+  uint64_t generated = 0, sent = 0, lost = 0, in_doubt = 0;
+  ASSERT_TRUE(ReportNumber(out, "totals:", "generated", &generated)) << out;
+  ASSERT_TRUE(ReportNumber(out, "totals:", "sent", &sent)) << out;
+  ASSERT_TRUE(ReportNumber(out, "totals:", "lost", &lost)) << out;
+  ASSERT_TRUE(ReportNumber(out, "totals:", "in_doubt", &in_doubt)) << out;
+  EXPECT_EQ(generated, kTuples) << out;
+  EXPECT_EQ(generated, sent + lost + in_doubt) << out;
+
+  // The never-killed target took a clean stream: nothing lost, nothing
+  // in doubt, and its server received exactly what the client counted
+  // as sent (the pre-fix code could not make this reconciliation).
+  const std::string a_prefix =
+      "target 127.0.0.1:" + std::to_string(a_data_port) + ":";
+  uint64_t a_generated = 0, a_sent = 0, a_lost = 0, a_in_doubt = 0;
+  ASSERT_TRUE(ReportNumber(out, a_prefix, "generated", &a_generated)) << out;
+  ASSERT_TRUE(ReportNumber(out, a_prefix, "sent", &a_sent)) << out;
+  ASSERT_TRUE(ReportNumber(out, a_prefix, "lost", &a_lost)) << out;
+  ASSERT_TRUE(ReportNumber(out, a_prefix, "in_doubt", &a_in_doubt)) << out;
+  EXPECT_EQ(a_lost, 0u) << out;
+  EXPECT_EQ(a_in_doubt, 0u) << out;
+  EXPECT_EQ(a_sent, a_generated) << out;
+  EXPECT_EQ(StatzNumberOr(backend_a.admin_port(), "tuples_in", -1),
+            static_cast<double>(a_sent))
+      << "server receipts disagree with the client's sent count";
+
+  // The killed target actually exercised the reconnect path and still
+  // balances its own share.
+  const std::string b_prefix =
+      "target 127.0.0.1:" + std::to_string(b_data_port) + ":";
+  uint64_t b_generated = 0, b_sent = 0, b_lost = 0, b_in_doubt = 0;
+  uint64_t b_reconnects = 0;
+  ASSERT_TRUE(ReportNumber(out, b_prefix, "generated", &b_generated)) << out;
+  ASSERT_TRUE(ReportNumber(out, b_prefix, "sent", &b_sent)) << out;
+  ASSERT_TRUE(ReportNumber(out, b_prefix, "lost", &b_lost)) << out;
+  ASSERT_TRUE(ReportNumber(out, b_prefix, "in_doubt", &b_in_doubt)) << out;
+  ASSERT_TRUE(ReportNumber(out, b_prefix, "reconnects", &b_reconnects))
+      << out;
+  EXPECT_GT(b_lost + b_in_doubt, 0u)
+      << "the outage window never failed a batch: " << out;
+  EXPECT_GE(b_reconnects, 1u) << out;
+  EXPECT_EQ(b_generated, b_sent + b_lost + b_in_doubt) << out;
 }
 
 }  // namespace

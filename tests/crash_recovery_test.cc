@@ -282,6 +282,36 @@ std::string HttpGet(uint16_t port, const std::string& path, int* code) {
   return body == std::string::npos ? "" : response.substr(body + 4);
 }
 
+/// One blocking HTTP/1.0 request with a body (the admin catalog
+/// endpoints take POST/DELETE). Same response handling as HttpGet.
+std::string HttpSend(uint16_t port, const std::string& method,
+                     const std::string& path, const std::string& body,
+                     int* code) {
+  *code = 0;
+  int fd = -1;
+  if (!ConnectTcp("127.0.0.1", port, &fd).ok()) return "";
+  std::string request = method + " " + path + " HTTP/1.0\r\n";
+  if (!body.empty()) {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n" + body;
+  if (!SendAll(fd, request.data(), request.size()).ok()) {
+    CloseFd(fd);
+    return "";
+  }
+  std::string response;
+  char buf[8192];
+  int64_t n;
+  while ((n = RecvSome(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  CloseFd(fd);
+  const size_t sp = response.find(' ');
+  if (sp != std::string::npos) *code = std::atoi(response.c_str() + sp + 1);
+  const size_t resp_body = response.find("\r\n\r\n");
+  return resp_body == std::string::npos ? "" : response.substr(resp_body + 4);
+}
+
 /// Pulls `"key":<number>` out of a /statz body. All keys probed by these
 /// tests are unique within the document.
 bool StatzNumber(const std::string& body, const std::string& key,
@@ -359,6 +389,19 @@ void Accumulate(const std::vector<JoinResult>& results, bool dups_must_agree,
         it->second = Observed{r.match_count, r.aggregate};
       }
     }
+  }
+}
+
+/// Per-standing-query union-dedupe: results carry the query ordinal on
+/// the wire, so one subscriber stream splits into one accumulator per
+/// standing query.
+void AccumulateByQuery(const std::vector<JoinResult>& results,
+                       bool dups_must_agree,
+                       std::map<uint32_t, std::map<BaseKey, Observed>>* acc) {
+  std::map<uint32_t, std::vector<JoinResult>> by_query;
+  for (const JoinResult& r : results) by_query[r.query].push_back(r);
+  for (const auto& [ord, rs] : by_query) {
+    Accumulate(rs, dups_must_agree, &(*acc)[ord]);
   }
 }
 
@@ -523,6 +566,167 @@ TEST(CrashRecoveryTest, PerBatchKillNineRecoversExactly) {
     EXPECT_EQ(it->second.match_count, want.match_count)
         << "base ts=" << std::get<0>(key) << " key=" << std::get<1>(key);
     EXPECT_NEAR(it->second.aggregate, want.aggregate, 1e-6);
+  }
+}
+
+/// The multi-query variant of the acceptance bar: a --fsync per_batch
+/// server with THREE standing queries (the workload primary plus two
+/// added over POST /queries) is killed with SIGKILL mid-run. The restart
+/// must restore the catalog from the WAL/MANIFEST before serving — GET
+/// /queries lists all three with their specs and ordinals — and the
+/// union of per-query results across the crash must equal each query's
+/// own reference oracle exactly.
+TEST(CrashRecoveryTest, PerBatchKillNineRestoresQueryCatalog) {
+  if (ServerBinary() == nullptr) {
+    GTEST_SKIP() << "OIJ_SERVER_BIN not set";
+  }
+  constexpr uint64_t kWmEvery = 64;
+  const CrashWorkload w =
+      BuildCrashWorkload(6'000, kWmEvery, /*crash_on_boundary=*/true);
+
+  // Two riders on the shared index, both inside the retained-history
+  // exactness bound (primary pre 1000 >= rider pre + lateness 100) and
+  // added before any ingest, so each rider's oracle is simply the full
+  // reference run under its own spec.
+  QuerySpec narrow = w.query;
+  narrow.window = IntervalWindow{400, 0};
+  narrow.agg = AggKind::kCount;
+  QuerySpec half = w.query;
+  half.window = IntervalWindow{800, 0};
+  half.agg = AggKind::kSum;
+  std::map<uint32_t, std::map<BaseKey, Observed>> want;
+  want[0] = OracleIndex(w.expected);
+  want[1] = OracleIndex(ReferenceJoinWithPolicy(w.events, narrow, kWmEvery));
+  want[2] = OracleIndex(ReferenceJoinWithPolicy(w.events, half, kWmEvery));
+
+  TempDir dir;
+  const std::vector<std::string> args = {
+      "--workload", "default",    "--engine",         "scale-oij",
+      "--joiners",  "2",          "--wal-dir",        dir.path(),
+      "--fsync",    "per_batch",  "--snapshot-every", "2048"};
+
+  std::map<uint32_t, std::map<BaseKey, Observed>> got;
+  {
+    ServerProc server;
+    ASSERT_TRUE(server.Spawn(args)) << "oij_server failed to start";
+
+    int code = 0;
+    std::string resp =
+        HttpSend(server.admin_port(), "POST", "/queries",
+                 R"({"id":"narrow","pre":400,"fol":0,"agg":"count"})", &code);
+    ASSERT_EQ(code, 200) << resp;
+    resp = HttpSend(server.admin_port(), "POST", "/queries",
+                    R"({"id":"half","pre":800,"fol":0,"agg":"sum"})", &code);
+    ASSERT_EQ(code, 200) << resp;
+
+    LiveClient client(server.data_port());
+    std::string batch;
+    AppendControlFrame(&batch, FrameType::kSubscribe);
+    WatermarkTracker tracker(w.query.lateness_us);
+    ASSERT_TRUE(SendRange(&client, w.events, 0, w.crash_at, &tracker,
+                          kWmEvery, &batch));
+
+    // Same quiesce discipline as the single-query test: every sent tuple
+    // ingested, the WAL fully synced, every streamed result delivered.
+    const auto quiesced = [&] {
+      int c = 0;
+      const std::string body = HttpGet(server.admin_port(), "/statz", &c);
+      double tuples_in = -1, appended = -1, synced = -2, streamed = -1;
+      if (c != 200 || !StatzNumber(body, "tuples_in", &tuples_in) ||
+          !StatzNumber(body, "appended_records", &appended) ||
+          !StatzNumber(body, "synced_records", &synced) ||
+          !StatzNumber(body, "results_streamed", &streamed)) {
+        return false;
+      }
+      return tuples_in == static_cast<double>(w.crash_at) && appended > 0 &&
+             appended == synced &&
+             static_cast<double>(client.ResultCount()) == streamed;
+    };
+    ASSERT_TRUE(WaitUntil([&] {
+      if (!quiesced()) return false;
+      const size_t before = client.ResultCount();
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      return quiesced() && client.ResultCount() == before;
+    })) << "server never quiesced before the kill";
+
+    server.Kill(SIGKILL);
+    server.WaitExit();
+    client.JoinReader();
+    AccumulateByQuery(client.results(), /*dups_must_agree=*/true, &got);
+  }
+  for (const uint32_t ord : {0u, 1u, 2u}) {
+    EXPECT_GT(got[ord].size(), 0u)
+        << "standing query ord " << ord << " streamed nothing pre-kill";
+  }
+
+  // Restart over the same directory. Recovery must rebuild the standing
+  // queries from the durable catalog before replaying a single tuple.
+  ServerProc server;
+  ASSERT_TRUE(server.Spawn(args)) << "restart failed";
+  ASSERT_TRUE(WaitUntil([&] {
+    int code = 0;
+    HttpGet(server.admin_port(), "/healthz", &code);
+    return code == 200;
+  })) << "server never became healthy after recovery";
+
+  int code = 0;
+  const std::string statz = HttpGet(server.admin_port(), "/statz", &code);
+  ASSERT_EQ(code, 200);
+  double replayed = 0;
+  ASSERT_TRUE(StatzNumber(statz, "replay_records", &replayed)) << statz;
+  EXPECT_GT(replayed, 0) << "restart did not replay the WAL: " << statz;
+
+  const std::string queries = HttpGet(server.admin_port(), "/queries", &code);
+  ASSERT_EQ(code, 200);
+  EXPECT_NE(
+      queries.find("\"id\":\"narrow\",\"ord\":1,\"active\":true,\"pre\":400"),
+      std::string::npos)
+      << "recovered catalog lost 'narrow': " << queries;
+  EXPECT_NE(
+      queries.find("\"id\":\"half\",\"ord\":2,\"active\":true,\"pre\":800"),
+      std::string::npos)
+      << "recovered catalog lost 'half': " << queries;
+  EXPECT_NE(queries.find("\"agg\":\"count\""), std::string::npos) << queries;
+
+  {
+    LiveClient client(server.data_port());
+    std::string batch;
+    AppendControlFrame(&batch, FrameType::kSubscribe);
+    WatermarkTracker tracker(w.query.lateness_us);
+    for (size_t i = 0; i < w.crash_at; ++i) {
+      tracker.Observe(w.events[i].tuple.ts);
+    }
+    ASSERT_TRUE(SendRange(&client, w.events, w.crash_at, w.events.size(),
+                          &tracker, kWmEvery, &batch));
+    AppendControlFrame(&batch, FrameType::kFinish);
+    ASSERT_TRUE(client.Send(batch));
+    client.JoinReader();
+    EXPECT_TRUE(client.errors().empty())
+        << "server error: " << client.errors().front();
+    EXPECT_FALSE(client.summary().empty()) << "no summary after recovery";
+    AccumulateByQuery(client.results(), /*dups_must_agree=*/true, &got);
+  }
+  server.Kill(SIGKILL);
+  server.WaitExit();
+
+  // All three result sets, union-deduped across the crash, must equal
+  // their per-query oracles exactly.
+  ASSERT_EQ(got.size(), 3u) << "results arrived for an unknown query ordinal";
+  for (const auto& [ord, oracle] : want) {
+    const auto& seen = got[ord];
+    ASSERT_EQ(seen.size(), oracle.size())
+        << "query ord " << ord
+        << " finalized a different set of bases across the crash";
+    for (const auto& [key, expect] : oracle) {
+      const auto it = seen.find(key);
+      ASSERT_NE(it, seen.end())
+          << "query ord " << ord << " base ts=" << std::get<0>(key)
+          << " key=" << std::get<1>(key) << " never emitted";
+      EXPECT_EQ(it->second.match_count, expect.match_count)
+          << "query ord " << ord << " base ts=" << std::get<0>(key)
+          << " key=" << std::get<1>(key);
+      EXPECT_NEAR(it->second.aggregate, expect.aggregate, 1e-6);
+    }
   }
 }
 

@@ -22,6 +22,47 @@ TEST(LatencyRecorderTest, EmptyRecorder) {
   EXPECT_TRUE(rec.CdfPoints().empty());
 }
 
+TEST(LatencyRecorderTest, EmptyRecorderEveryQuantile) {
+  // Regression guard for the empty-recorder path: every quantile —
+  // including out-of-range ones, which Percentile clamps — must answer
+  // 0 without touching any bucket.
+  LatencyRecorder rec;
+  for (double q : {-1.0, 0.0, 0.5, 0.99, 1.0, 2.0}) {
+    EXPECT_EQ(rec.Percentile(q), 0) << "q=" << q;
+  }
+  EXPECT_EQ(rec.max_us(), 0);
+  EXPECT_EQ(rec.sum_us(), 0);
+  EXPECT_DOUBLE_EQ(rec.mean_us(), 0.0);
+  EXPECT_TRUE(rec.CumulativeBuckets().empty());
+}
+
+TEST(LatencyRecorderTest, SingleSampleEveryQuantile) {
+  // With one observation, every quantile is that observation — the
+  // `count_ - 1` arithmetic inside Percentile must not underflow or
+  // land outside the single occupied bucket.
+  LatencyRecorder rec;
+  rec.Record(37);
+  for (double q : {-0.5, 0.0, 0.5, 0.99, 1.0, 1.5}) {
+    EXPECT_EQ(rec.Percentile(q), 37) << "q=" << q;
+  }
+  EXPECT_EQ(rec.max_us(), 37);
+  EXPECT_DOUBLE_EQ(rec.mean_us(), 37.0);
+  const auto buckets = rec.CumulativeBuckets();
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].cumulative_count, 1u);
+  EXPECT_GE(buckets[0].upper_us, 37);
+}
+
+TEST(LatencyRecorderTest, SingleLargeSampleClampsToObservedMax) {
+  // Bucket upper edges exceed the recorded value at large magnitudes;
+  // the max_us_ clamp keeps the reported percentile at the observation.
+  LatencyRecorder rec;
+  rec.Record(1'000'003);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(rec.Percentile(q), 1'000'003) << "q=" << q;
+  }
+}
+
 TEST(LatencyRecorderTest, ExactSmallValues) {
   LatencyRecorder rec;
   for (int64_t v : {1, 2, 3, 4, 5}) rec.Record(v);

@@ -183,6 +183,53 @@ TEST(Prometheus, ArenaGaugesRenderFromProgressSample) {
   EXPECT_EQ(ParseGauge(text, "oij_arena_slab_recycles_total"), 7.0);
 }
 
+TEST(Prometheus, SnapshotAgeGaugeOmittedUntilFirstSnapshot) {
+  // Regression: before the first snapshot commits the engine reports the
+  // -1.0 "never" sentinel, and /metrics used to export it verbatim — a
+  // negative age that poisons `oij_snapshot_age_seconds > X` alert rules.
+  AdminSnapshot snap;
+  snap.engine_name = "scale-oij";
+  snap.workload_name = "default";
+  snap.wal.enabled = true;
+  snap.snapshot_age_seconds = -1.0;
+  std::string text = RenderPrometheusMetrics(snap);
+  EXPECT_EQ(text.find("oij_snapshot_age_seconds"), std::string::npos)
+      << "sentinel leaked as a sample:\n"
+      << text;
+  // The rest of the WAL family still renders without it.
+  EXPECT_NE(text.find("oij_wal_appended_records_total"), std::string::npos);
+  EXPECT_NE(text.find("oij_snapshots_total"), std::string::npos);
+
+  // Zero is a real age (a snapshot committed within the last second) and
+  // must render; so must any positive age.
+  snap.snapshot_age_seconds = 0.0;
+  text = RenderPrometheusMetrics(snap);
+  EXPECT_EQ(ParseGauge(text, "oij_snapshot_age_seconds"), 0.0);
+  snap.snapshot_age_seconds = 12.5;
+  text = RenderPrometheusMetrics(snap);
+  EXPECT_EQ(ParseGauge(text, "oij_snapshot_age_seconds"), 12.5);
+}
+
+TEST(Statz, SnapshotAgeIsNullUntilFirstSnapshot) {
+  // The /statz side of the same fix: the sentinel renders as JSON null,
+  // never as -1, and becomes a number once a snapshot exists.
+  AdminSnapshot snap;
+  snap.engine_name = "scale-oij";
+  snap.workload_name = "default";
+  snap.wal.enabled = true;
+  snap.snapshot_age_seconds = -1.0;
+  std::string text = RenderStatzJson(snap);
+  EXPECT_NE(text.find("\"snapshot_age_seconds\":null"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("-1"), std::string::npos) << text;
+
+  snap.snapshot_age_seconds = 3.0;
+  text = RenderStatzJson(snap);
+  EXPECT_NE(text.find("\"snapshot_age_seconds\":3"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("null"), std::string::npos) << text;
+}
+
 TEST(Statz, ArraysAreCommaSeparatedAndMemoryObjectRenders) {
   // Regression: JsonOut used to omit the separator between bare array
   // elements, so multi-joiner queue_depths rendered as [123] instead of

@@ -137,6 +137,36 @@ std::string HttpGet(uint16_t port, const std::string& path, int* code,
   return body == std::string::npos ? "" : response.substr(body + 4);
 }
 
+/// One blocking HTTP/1.0 request with a Content-Length body (the shape
+/// POST /queries and DELETE /queries/<id> accept).
+std::string HttpSend(uint16_t port, const std::string& method,
+                     const std::string& path, const std::string& body,
+                     int* code) {
+  int fd = -1;
+  Status s = ConnectTcp("127.0.0.1", port, &fd);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  *code = 0;
+  if (fd < 0) return "";
+  const std::string request = method + " " + path +
+                              " HTTP/1.0\r\nContent-Length: " +
+                              std::to_string(body.size()) + "\r\n\r\n" + body;
+  s = SendAll(fd, request.data(), request.size());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  std::string response;
+  char buf[8192];
+  int64_t n;
+  while ((n = RecvSome(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  CloseFd(fd);
+  const size_t sp = response.find(' ');
+  if (sp != std::string::npos) {
+    *code = std::atoi(response.c_str() + sp + 1);
+  }
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
 /// Replays `events` through a server over loopback with the same
 /// observe-then-punctuate watermark cadence the in-process harness and
 /// the reference oracle use, and returns the subscribed-to results.
@@ -382,6 +412,96 @@ TEST(ServerAdminTest, MalformedHttpRequestGets400) {
   }
   CloseFd(fd);
   EXPECT_NE(response.find(" 400 "), std::string::npos) << response;
+  server.Shutdown();
+}
+
+// ------------------------------------------------ query catalog endpoint
+
+/// The standing-query admin surface: POST /queries adds, GET /queries
+/// lists, DELETE /queries/<id> removes — and every malformed, duplicate,
+/// or otherwise invalid spec is refused with a structured JSON error
+/// body and the right status code, leaving the catalog untouched.
+TEST(ServerAdminTest, QueryEndpointAddsListsRejectsAndRemoves) {
+  ServerConfig config;
+  config.engine = EngineKind::kScaleOij;
+  config.query.window = IntervalWindow{400, 0};
+  config.query.lateness_us = 50;
+  config.query.emit_mode = EmitMode::kWatermark;
+  config.options.num_joiners = 2;
+  OijServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.admin_port();
+  int code = 0;
+
+  // Happy path, then the listing shows primary + the new query.
+  std::string body = HttpSend(
+      port, "POST", "/queries",
+      "{\"id\":\"q1\",\"pre\":200,\"fol\":0,\"agg\":\"count\"}", &code);
+  EXPECT_EQ(code, 200) << body;
+  EXPECT_NE(body.find("\"added\":\"q1\""), std::string::npos) << body;
+  body = HttpGet(port, "/queries", &code);
+  EXPECT_EQ(code, 200);
+  EXPECT_NE(body.find("\"id\":\"main\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"id\":\"q1\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"agg\":\"count\""), std::string::npos) << body;
+
+  // Every rejection carries {"error":{"code":...,"message":...}}.
+  const auto expect_error = [&](const std::string& reply, int got_code,
+                                int want_code, const std::string& want_text) {
+    EXPECT_EQ(got_code, want_code) << reply;
+    EXPECT_NE(reply.find("\"error\":{\"code\":\""), std::string::npos)
+        << reply;
+    EXPECT_NE(reply.find("\"message\":\""), std::string::npos) << reply;
+    EXPECT_NE(reply.find(want_text), std::string::npos) << reply;
+  };
+
+  body = HttpSend(port, "POST", "/queries",
+                  "{\"id\":\"q1\",\"pre\":100}", &code);
+  expect_error(body, code, 400, "already exists");
+  body = HttpSend(port, "POST", "/queries", "{\"id\":\"x\"", &code);
+  expect_error(body, code, 400, "malformed");
+  body = HttpSend(port, "POST", "/queries", "not json at all", &code);
+  expect_error(body, code, 400, "JSON object");
+  body = HttpSend(port, "POST", "/queries", "{\"pre\":100}", &code);
+  expect_error(body, code, 400, "missing required field 'id'");
+  body = HttpSend(port, "POST", "/queries",
+                  "{\"id\":\"x\",\"weird\":1}", &code);
+  expect_error(body, code, 400, "unknown field 'weird'");
+  body = HttpSend(port, "POST", "/queries",
+                  "{\"id\":\"x\",\"id\":\"y\"}", &code);
+  expect_error(body, code, 400, "duplicate field 'id'");
+  body = HttpSend(port, "POST", "/queries",
+                  "{\"id\":\"x\",\"pre\":-5}", &code);
+  expect_error(body, code, 400, "non-negative");
+  body = HttpSend(port, "POST", "/queries",
+                  "{\"id\":\"x\",\"agg\":\"median\"}", &code);
+  expect_error(body, code, 400, "unknown aggregate");
+  // The shared index pins lateness and emit mode to the primary's.
+  body = HttpSend(port, "POST", "/queries",
+                  "{\"id\":\"x\",\"lateness\":999}", &code);
+  expect_error(body, code, 400, "must match the primary");
+  body = HttpSend(port, "POST", "/queries",
+                  "{\"id\":\"x\",\"emit\":\"eager\"}", &code);
+  expect_error(body, code, 400, "must match the primary");
+
+  // None of the rejects touched the catalog.
+  body = HttpGet(port, "/queries", &code);
+  EXPECT_EQ(body.find("\"id\":\"x\""), std::string::npos) << body;
+
+  // Removal: unknown id is 404, the primary is pinned, a real remove
+  // flips the row inactive but keeps it listed.
+  body = HttpSend(port, "DELETE", "/queries/ghost", "", &code);
+  expect_error(body, code, 404, "NotFound");
+  body = HttpSend(port, "DELETE", "/queries/main", "", &code);
+  expect_error(body, code, 400, "primary");
+  body = HttpSend(port, "DELETE", "/queries/q1", "", &code);
+  EXPECT_EQ(code, 200) << body;
+  EXPECT_NE(body.find("\"removed\":\"q1\""), std::string::npos) << body;
+  body = HttpSend(port, "DELETE", "/queries/q1", "", &code);
+  EXPECT_NE(code, 200) << "second remove of the same id must fail";
+  body = HttpGet(port, "/queries", &code);
+  EXPECT_NE(body.find("\"active\":false"), std::string::npos) << body;
+
   server.Shutdown();
 }
 

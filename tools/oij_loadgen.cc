@@ -22,10 +22,16 @@
 // result latency percentiles alongside the send-side throughput.
 //
 // Multi-target mode is open-loop: a dead target never stalls the
-// stream. Tuples due while a target is down (and the batches a failed
-// send takes with it) count as that target's loss, reconnect attempts
-// pace out on full-jitter exponential backoff, and the final report
-// lists sent/lost/reconnects plus latency percentiles per target.
+// stream. Tuples due while a target is down count as that target's
+// loss, a batch whose send fails midway counts as in-doubt (the kernel
+// may have delivered a prefix, so folding it into "lost" would count
+// the delivered tuples twice — once as client loss, once as server
+// receipt), reconnect attempts pace out on full-jitter exponential
+// backoff, and the final report lists sent/lost/in-doubt/reconnects
+// plus latency percentiles per target. Every target upholds
+// generated == sent + lost + in_doubt exactly, across any number of
+// reconnects; the merged report prints the identity and the run fails
+// if it does not hold.
 
 #include <sys/socket.h>
 
@@ -117,13 +123,19 @@ void ReadServerStream(int fd, ReaderReport* report) {
   }
 }
 
-/// One peer in --targets mode.
+/// One peer in --targets mode. The four tuple counters partition this
+/// slot's share of the workload: generated == sent + lost + in_doubt
+/// holds at all times, including across reconnects.
 struct Target {
   std::string host;
   uint16_t port = 0;
 
-  uint64_t sent = 0;
-  uint64_t lost = 0;        ///< tuples undeliverable while it was down
+  uint64_t generated = 0;  ///< tuples this slot's round-robin share produced
+  uint64_t sent = 0;       ///< handed to the kernel in full
+  uint64_t lost = 0;       ///< never handed to the kernel (target was down)
+  /// Batch tuples whose send failed midway: a prefix may have reached
+  /// the server, so they are neither sent nor cleanly lost.
+  uint64_t in_doubt = 0;
   uint64_t reconnects = 0;  ///< successful reconnects after a drop
   bool summary_ok = false;
   ReaderReport report;
@@ -208,6 +220,7 @@ void DriveTarget(const WorkloadSpec& workload, size_t slot, size_t stride,
   auto send_batch = [&](std::string* out, uint64_t batch_tuples) {
     if (out->empty()) return;
     if (!try_connect()) {
+      // Never handed to the kernel: a clean, exactly-once loss.
       target->lost += batch_tuples;
       out->clear();
       return;
@@ -215,8 +228,13 @@ void DriveTarget(const WorkloadSpec& workload, size_t slot, size_t stride,
     if (SendAll(fd, out->data(), out->size()).ok()) {
       target->sent += batch_tuples;
     } else {
-      // The whole batch is in doubt; count it lost and back off.
-      target->lost += batch_tuples;
+      // The kernel may have accepted a prefix of the batch before the
+      // failure, so the server can still process part of it. Counting
+      // the batch as `lost` would double-count that delivered prefix
+      // (client loss + server receipt); keep it in its own bucket so
+      // sent + lost + in_doubt == generated stays exact across the
+      // reconnect.
+      target->in_doubt += batch_tuples;
       drop_connection();
     }
     out->clear();
@@ -230,6 +248,7 @@ void DriveTarget(const WorkloadSpec& workload, size_t slot, size_t stride,
   while (gen.Next(&ev)) {
     const bool mine = index++ % stride == slot;
     if (!mine) continue;
+    ++target->generated;
     AppendTupleFrame(&out, ev);
     ++in_batch;
     if (++since_wm >= wm_every) {
@@ -242,6 +261,7 @@ void DriveTarget(const WorkloadSpec& workload, size_t slot, size_t stride,
       in_batch = 0;
     }
   }
+  if (!limiter.unlimited() && in_batch > 0) limiter.AcquireBatch(in_batch);
   send_batch(&out, in_batch);
 
   // Finish: one last reconnect window so a briefly-down target still
@@ -280,13 +300,29 @@ int RunMultiTarget(std::vector<Target>* targets, const WorkloadSpec& workload,
   for (auto& t : drivers) t.join();
   meter.Stop();
 
+  uint64_t generated = 0;
   uint64_t sent = 0;
   uint64_t lost = 0;
+  uint64_t in_doubt = 0;
   size_t summaries = 0;
+  bool accounting_ok = true;
   for (const Target& t : *targets) {
+    generated += t.generated;
     sent += t.sent;
     lost += t.lost;
+    in_doubt += t.in_doubt;
     summaries += t.summary_ok ? 1 : 0;
+    if (t.generated != t.sent + t.lost + t.in_doubt) {
+      accounting_ok = false;
+      std::fprintf(stderr,
+                   "accounting error at %s:%u: generated=%llu != "
+                   "sent=%llu + lost=%llu + in_doubt=%llu\n",
+                   t.host.c_str(), t.port,
+                   static_cast<unsigned long long>(t.generated),
+                   static_cast<unsigned long long>(t.sent),
+                   static_cast<unsigned long long>(t.lost),
+                   static_cast<unsigned long long>(t.in_doubt));
+    }
   }
   meter.AddTuples(sent);
   std::printf("sent %llu tuples to %zu target(s) in %.3f s (%s), "
@@ -295,12 +331,19 @@ int RunMultiTarget(std::vector<Target>* targets, const WorkloadSpec& workload,
               meter.elapsed_seconds(),
               HumanRate(meter.TuplesPerSecond()).c_str(),
               static_cast<unsigned long long>(lost));
+  std::printf("totals: generated=%llu sent=%llu lost=%llu in_doubt=%llu\n",
+              static_cast<unsigned long long>(generated),
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(lost),
+              static_cast<unsigned long long>(in_doubt));
   for (const Target& t : *targets) {
-    std::printf("target %s:%u: sent=%llu lost=%llu reconnects=%llu "
-                "results=%llu",
+    std::printf("target %s:%u: generated=%llu sent=%llu lost=%llu "
+                "in_doubt=%llu reconnects=%llu results=%llu",
                 t.host.c_str(), t.port,
+                static_cast<unsigned long long>(t.generated),
                 static_cast<unsigned long long>(t.sent),
                 static_cast<unsigned long long>(t.lost),
+                static_cast<unsigned long long>(t.in_doubt),
                 static_cast<unsigned long long>(t.reconnects),
                 static_cast<unsigned long long>(t.report.results));
     if (subscribe && t.report.results > 0) {
@@ -320,9 +363,10 @@ int RunMultiTarget(std::vector<Target>* targets, const WorkloadSpec& workload,
                   t.report.summary.c_str());
     }
   }
-  // Success = every target answered the finish; loss alone is reported,
-  // not fatal (that is the point of open-loop).
-  return summaries == n ? 0 : 1;
+  // Success = every target answered the finish AND the per-target
+  // counters partition the generated share exactly; loss alone is
+  // reported, not fatal (that is the point of open-loop).
+  return summaries == n && accounting_ok ? 0 : 1;
 }
 
 }  // namespace
