@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "common/spsc_queue.h"
 #include "ebr/epoch_manager.h"
@@ -33,7 +34,12 @@ void BM_SkipListInsert(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SkipListInsert)->Arg(1000)->Arg(10000);
+// Element-count args honor OIJ_BENCH_SCALE (bench::ScaledArg); x-axis
+// parameters — batch sizes, allocation byte widths, feed chunk sizes —
+// stay fixed, since scaling them would change what the figure measures.
+BENCHMARK(BM_SkipListInsert)
+    ->Arg(bench::ScaledArg(1000))
+    ->Arg(bench::ScaledArg(10000));
 
 void BM_SkipListSeek(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -47,7 +53,9 @@ void BM_SkipListSeek(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_SkipListSeek)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_SkipListSeek)
+    ->Arg(bench::ScaledArg(1000))
+    ->Arg(bench::ScaledArg(100000));
 
 /// The core asymmetry of the paper: window lookup via index seek+scan vs
 /// full scan of an unsorted buffer with a filter. `range(0)` is the
@@ -67,10 +75,12 @@ void BM_WindowLookup_TimeTravelIndex(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 100);
 }
+// Floor of 1000 keeps the population safely above the fixed 100-tuple
+// lookup window even at tiny OIJ_BENCH_SCALE values.
 BENCHMARK(BM_WindowLookup_TimeTravelIndex)
-    ->Arg(1000)
-    ->Arg(10000)
-    ->Arg(100000);
+    ->Arg(bench::ScaledArg(1000, 1000))
+    ->Arg(bench::ScaledArg(10000, 1000))
+    ->Arg(bench::ScaledArg(100000, 1000));
 
 void BM_WindowLookup_UnsortedScan(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -95,7 +105,10 @@ void BM_WindowLookup_UnsortedScan(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_WindowLookup_UnsortedScan)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_WindowLookup_UnsortedScan)
+    ->Arg(bench::ScaledArg(1000, 1000))
+    ->Arg(bench::ScaledArg(10000, 1000))
+    ->Arg(bench::ScaledArg(100000, 1000));
 
 /// The allocation hot path of the pooled_alloc ablation: steady-state
 /// churn of a time-travel index under EBR, interleaved Insert +
@@ -132,10 +145,10 @@ void BM_ChurnInsertEvict(benchmark::State& state) {
   state.SetLabel(pooled ? "pooled" : "heap");
 }
 BENCHMARK(BM_ChurnInsertEvict)
-    ->Args({0, 32768})
-    ->Args({1, 32768})
-    ->Args({0, 65536})
-    ->Args({1, 65536});
+    ->Args({0, bench::ScaledArg(32768, 1024)})
+    ->Args({1, bench::ScaledArg(32768, 1024)})
+    ->Args({0, bench::ScaledArg(65536, 1024)})
+    ->Args({1, bench::ScaledArg(65536, 1024)});
 
 /// The raw allocator pair underneath the churn number: recycle one slot
 /// of a fixed live population per iteration, arena vs global heap, at a
@@ -143,7 +156,8 @@ BENCHMARK(BM_ChurnInsertEvict)
 /// maintenance.
 void BM_NodeAllocChurn_Arena(benchmark::State& state) {
   const size_t bytes = static_cast<size_t>(state.range(0));
-  constexpr size_t kPopulation = 1024;
+  const size_t kPopulation =
+      static_cast<size_t>(bench::ScaledArg(1024, 64));
   NodeArena arena;
   std::vector<void*> live(kPopulation);
   for (size_t i = 0; i < kPopulation; ++i) live[i] = arena.Allocate(bytes);
@@ -161,7 +175,8 @@ BENCHMARK(BM_NodeAllocChurn_Arena)->Arg(64)->Arg(160);
 
 void BM_NodeAllocChurn_Heap(benchmark::State& state) {
   const size_t bytes = static_cast<size_t>(state.range(0));
-  constexpr size_t kPopulation = 1024;
+  const size_t kPopulation =
+      static_cast<size_t>(bench::ScaledArg(1024, 64));
   std::vector<void*> live(kPopulation);
   for (size_t i = 0; i < kPopulation; ++i) live[i] = ::operator new(bytes);
   size_t j = 0;
@@ -197,7 +212,9 @@ BENCHMARK(BM_SpscQueueRoundTrip);
 /// dominated by the shared head/tail cache-line traffic that batching
 /// amortizes.
 void BM_SpscQueueHopBatched(benchmark::State& state) {
-  static constexpr int64_t kChunk = 1 << 16;
+  // Credit-grant unit (work per measured iteration): scalable; the
+  // transfer batch size below is the x-axis and stays fixed.
+  const int64_t kChunk = bench::ScaledArg(1 << 16, 4096);
   const size_t batch = static_cast<size_t>(state.range(0));
   SpscQueue<Tuple> q(4096);
   std::atomic<int64_t> credits{0};
@@ -308,7 +325,9 @@ void BM_IncrementalSlide(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_IncrementalSlide)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_IncrementalSlide)
+    ->Arg(bench::ScaledArg(1000))
+    ->Arg(bench::ScaledArg(10000));
 
 void BM_FullRecompute(benchmark::State& state) {
   const int64_t window = state.range(0);
@@ -326,7 +345,9 @@ void BM_FullRecompute(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_FullRecompute)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_FullRecompute)
+    ->Arg(bench::ScaledArg(1000))
+    ->Arg(bench::ScaledArg(10000));
 
 }  // namespace
 }  // namespace oij

@@ -27,6 +27,17 @@ inline uint64_t Scaled(uint64_t tuples) {
   return scaled < 1000 ? 1000 : static_cast<uint64_t>(scaled);
 }
 
+/// OIJ_BENCH_SCALE for google-benchmark Arg() element counts (items
+/// inserted / encoded / appended per iteration). Lower floor than
+/// Scaled() so micro runs stay micro. Use only for work *amounts* —
+/// never for x-axis parameters like batch sizes, byte widths, or ring
+/// capacities, which define what is being measured.
+inline int64_t ScaledArg(int64_t n, int64_t min_n = 100) {
+  const double scaled = static_cast<double>(n) * ScaleFactor();
+  const auto v = static_cast<int64_t>(scaled);
+  return v < min_n ? min_n : v;
+}
+
 /// Joiner-thread sweep used by the scalability figures. Overridable via
 /// OIJ_BENCH_THREADS="1,2,4" for constrained machines.
 inline std::vector<uint32_t> ThreadSweep() {

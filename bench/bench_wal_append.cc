@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "wal/wal.h"
 
@@ -97,17 +98,24 @@ void RunAppendLoop(benchmark::State& state, FsyncPolicy policy,
 void BM_WalAppendFsyncNone(benchmark::State& state) {
   RunAppendLoop(state, FsyncPolicy::kNone, 2);
 }
-BENCHMARK(BM_WalAppendFsyncNone)->Arg(4096)->Arg(65536);
+// Record counts honor OIJ_BENCH_SCALE. PerBatch fsyncs once per record,
+// so even its smaller count dominates wall time on slow disks; the floor
+// keeps at least one 256-record watermark barrier in every run.
+BENCHMARK(BM_WalAppendFsyncNone)
+    ->Arg(bench::ScaledArg(4096, 512))
+    ->Arg(bench::ScaledArg(65536, 512));
 
 void BM_WalAppendFsyncInterval(benchmark::State& state) {
   RunAppendLoop(state, FsyncPolicy::kInterval, 2);
 }
-BENCHMARK(BM_WalAppendFsyncInterval)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_WalAppendFsyncInterval)
+    ->Arg(bench::ScaledArg(4096, 512))
+    ->Arg(bench::ScaledArg(65536, 512));
 
 void BM_WalAppendFsyncPerBatch(benchmark::State& state) {
   RunAppendLoop(state, FsyncPolicy::kPerBatch, 2);
 }
-BENCHMARK(BM_WalAppendFsyncPerBatch)->Arg(4096);
+BENCHMARK(BM_WalAppendFsyncPerBatch)->Arg(bench::ScaledArg(4096, 512));
 
 /// Record encoding alone (no file I/O): the pure CPU cost a WAL append
 /// adds to the ingest path before any buffering or syscalls.

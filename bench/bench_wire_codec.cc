@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "net/wire_codec.h"
 
@@ -43,7 +44,11 @@ void BM_EncodeTupleFrames(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() *
                           static_cast<int64_t>(out.size()));
 }
-BENCHMARK(BM_EncodeTupleFrames)->Arg(1024)->Arg(65536);
+// Frame counts honor OIJ_BENCH_SCALE; the chunked-feed chunk size below
+// does not — it is the x-axis (MTU-sized vs large reads).
+BENCHMARK(BM_EncodeTupleFrames)
+    ->Arg(bench::ScaledArg(1024))
+    ->Arg(bench::ScaledArg(65536));
 
 void BM_DecodeTupleFrames(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -62,14 +67,17 @@ void BM_DecodeTupleFrames(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() *
                           static_cast<int64_t>(stream.size()));
 }
-BENCHMARK(BM_DecodeTupleFrames)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_DecodeTupleFrames)
+    ->Arg(bench::ScaledArg(1024))
+    ->Arg(bench::ScaledArg(65536));
 
 /// Decode under realistic TCP segmentation: the same byte stream fed in
 /// fixed-size chunks, exercising the decoder's buffering/compaction path
 /// rather than the single-contiguous-feed fast path.
 void BM_DecodeChunkedFeed(benchmark::State& state) {
   const size_t chunk = static_cast<size_t>(state.range(0));
-  const auto events = MakeEvents(65536);
+  const auto events =
+      MakeEvents(static_cast<size_t>(bench::ScaledArg(65536)));
   std::string stream;
   for (const StreamEvent& ev : events) AppendTupleFrame(&stream, ev);
   for (auto _ : state) {

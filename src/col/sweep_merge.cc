@@ -1,0 +1,21 @@
+#include "col/sweep_merge.h"
+
+namespace oij::col {
+
+void ComputeWindowSlices(const Timestamp* base_ts, size_t num_bases,
+                         IntervalWindow window, const Timestamp* probe_ts,
+                         size_t num_probes, BaseSlice* out) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  for (size_t i = 0; i < num_bases; ++i) {
+    const Timestamp start = window.start_for(base_ts[i]);
+    const Timestamp end = window.end_for(base_ts[i]);
+    while (lo < num_probes && probe_ts[lo] < start) ++lo;
+    if (hi < lo) hi = lo;
+    while (hi < num_probes && probe_ts[hi] <= end) ++hi;
+    out[i].lo = lo;
+    out[i].hi = hi;
+  }
+}
+
+}  // namespace oij::col

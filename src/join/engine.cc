@@ -49,6 +49,11 @@ Status EngineOptions::Validate() const {
   if (drop_wait_us < 0) {
     return Status::InvalidArgument("drop_wait_us must be non-negative");
   }
+  if (columnar_batch && columnar_min_run < 2) {
+    return Status::InvalidArgument(
+        "columnar_min_run must be >= 2 (a run of one base is always "
+        "cheaper scalar)");
+  }
   if (finish_timeout_us <= 0) {
     return Status::InvalidArgument("finish_timeout_us must be positive");
   }

@@ -205,6 +205,31 @@ struct EngineOptions {
   /// stay byte-for-byte faithful either way.
   bool pooled_alloc = true;
 
+  /// --- Columnar batch-join kernels (src/col/, DESIGN.md §5h) ---
+
+  /// Let the joiners finalize drained base runs through the columnar
+  /// batch kernels: transpose the ready bases into SoA columns, locate
+  /// each key-group's window boundary in the index once, sweep the
+  /// sorted run, and aggregate contiguous payload slices with
+  /// SIMD/prefetch. Exactness is unaffected (differential-tested
+  /// against the scalar path and the reference oracle across policies);
+  /// off = byte-for-byte legacy per-tuple path.
+  bool columnar_batch = true;
+
+  /// Minimum ready bases in one drain before the columnar path engages;
+  /// smaller runs take the scalar path (the transpose/sort overhead
+  /// only amortizes at batch sizes around this default).
+  uint32_t columnar_min_run = 16;
+
+  /// Minimum bases in one sorted key-group before that group is swept
+  /// columnar; smaller groups replay through the scalar kernel even
+  /// inside a columnar drain. A group of one or two bases has nothing
+  /// to amortize the per-group gather against (a run of N keys × 1 base
+  /// would otherwise pay N gathers for zero sharing), so high-key-count
+  /// batches degrade gracefully to the legacy cost instead of
+  /// regressing. 0 or 1 sweeps every group.
+  uint32_t columnar_min_group = 4;
+
   /// Scale-OIJ: router events between rebalance attempts.
   uint32_t rebalance_interval_events = 32768;
 
@@ -301,6 +326,13 @@ struct EngineStats {
   uint64_t final_schedule_version = 0;
   uint64_t evicted_tuples = 0;
   uint64_t peak_buffered_tuples = 0;
+
+  /// Columnar batch kernel engagement (src/col/): base tuples finalized
+  /// through the sweep path, key-groups swept, and groups that bounced
+  /// back to the scalar path (non-finite payloads).
+  uint64_t columnar_bases = 0;
+  uint64_t columnar_groups = 0;
+  uint64_t columnar_fallbacks = 0;
 
   /// Tuples lost to backpressure (kDropNewest + kShedOldest combined;
   /// `overload_shed` is the kShedOldest share).

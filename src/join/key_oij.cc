@@ -94,12 +94,39 @@ void KeyOijEngine::DrainPending(uint32_t joiner, JoinerState& s) {
   for (QueryRuntime* q : JoinerQueries(joiner)) {
     if (q == nullptr) continue;  // not yet announced to this joiner
     QuerySlot& qs = s.slots[q->ord];
+    if (!options().columnar_batch) {
+      while (!qs.pending.empty() &&
+             qs.pending.top().tuple.ts + q->spec.window.fol <= threshold) {
+        const PendingBase pb = qs.pending.top();
+        qs.pending.pop();
+        JoinOne(s, *q, pb.tuple, pb.arrival_us);
+      }
+      continue;
+    }
+    // Columnar path: release the whole finalize-ready run into the
+    // stage first, then join it key-group at a time. Pop order is
+    // non-decreasing ts, which SortByKey preserves within each group
+    // (stable sort) — the sweep-merge precondition.
+    s.stage.Clear();
     while (!qs.pending.empty() &&
            qs.pending.top().tuple.ts + q->spec.window.fol <= threshold) {
       const PendingBase pb = qs.pending.top();
       qs.pending.pop();
-      JoinOne(s, *q, pb.tuple, pb.arrival_us);
+      s.stage.Append(pb.tuple, pb.arrival_us);
     }
+    if (s.stage.empty()) continue;
+    if (s.stage.size() < options().columnar_min_run) {
+      // Short runs are cheaper scalar: replay in pop order, exactly
+      // the sequence the legacy loop would have produced.
+      for (size_t i = 0; i < s.stage.size(); ++i) {
+        JoinOne(s, *q, s.stage.TupleAt(i), s.stage.ArrivalAt(i));
+      }
+      continue;
+    }
+    s.stage.SortByKey();
+    s.stage.ForEachGroup([&](Key key, size_t begin, size_t end) {
+      JoinGroupColumnar(s, *q, key, begin, end);
+    });
   }
 }
 
@@ -154,9 +181,105 @@ void KeyOijEngine::JoinOne(JoinerState& s, QueryRuntime& query,
                 static_cast<double>(op_visited);
   ++s.join_ops;
 
+  Emit(s, query, base, arrival_us, agg);
+}
+
+void KeyOijEngine::JoinGroupColumnar(JoinerState& s, QueryRuntime& query,
+                                     Key key, size_t begin, size_t end) {
+  const QuerySpec& qspec = query.spec;
+  const size_t num_bases = end - begin;
+
+  if (num_bases < options().columnar_min_group) {
+    // Too few bases to amortize the per-group gather + sort; the scalar
+    // kernel is cheaper. Same replay the NaN fallback below uses.
+    for (size_t i = begin; i < end; ++i) {
+      JoinOne(s, query, s.stage.SortedTuple(i), s.stage.SortedArrival(i));
+    }
+    return;
+  }
+
+  // Stage 1 (lookup leg): transpose the key's unsorted buffer — and the
+  // late-probe annex for best-effort queries — into contiguous probe
+  // columns, then ts-sort them once. This replaces one full scan *per
+  // base* with one transpose + sort *per group*.
+  s.probes.Clear();
+  uint64_t group_visited = 0;
+  {
+    ScopedTimerNs timer(&s.breakdown.lookup_ns);
+    auto gather_bucket = [&](const std::unordered_map<Key,
+                                                      std::vector<Tuple>>&
+                                 buckets) {
+      auto it = buckets.find(key);
+      if (it == buckets.end()) return;
+      for (const Tuple& r : it->second) {
+        s.cache_probe.Touch(&r);
+        s.probes.Append(r.ts, r.payload);
+        ++group_visited;
+      }
+    };
+    gather_bucket(s.buffers);
+    if (qspec.late_policy == LatePolicy::kBestEffortJoin &&
+        !s.annex.empty()) {
+      gather_bucket(s.annex);
+    }
+    s.probes.EnsureSorted();
+  }
+
+  if (!s.probes.all_finite()) {
+    // NaN/Inf payloads would diverge under the SIMD min/max lanes;
+    // replay this group through the scalar path instead.
+    ++s.columnar_fallbacks;
+    for (size_t i = begin; i < end; ++i) {
+      JoinOne(s, query, s.stage.SortedTuple(i), s.stage.SortedArrival(i));
+    }
+    return;
+  }
+
+  // Stage 2 (sweep merge): locate every base's window boundaries with
+  // two monotone cursors over the sorted columns.
+  s.group_ts.resize(num_bases);
+  for (size_t i = 0; i < num_bases; ++i) {
+    s.group_ts[i] = s.stage.SortedTs(begin + i);
+  }
+  s.slices.resize(num_bases);
+  {
+    ScopedTimerNs timer(&s.breakdown.lookup_ns);
+    col::ComputeWindowSlices(s.group_ts.data(), num_bases, qspec.window,
+                             s.probes.ts(), s.probes.size(),
+                             s.slices.data());
+  }
+
+  // Stage 3 (vector aggregate): reduce each slice and emit.
+  {
+    ScopedTimerNs timer(&s.breakdown.match_ns);
+    for (size_t i = 0; i < num_bases; ++i) {
+      const col::BaseSlice sl = s.slices[i];
+      const col::SliceAgg sa =
+          col::AggregateSlice(s.probes.payload() + sl.lo, sl.hi - sl.lo);
+      const AggState agg = sa.ToAggState();
+      s.matched += agg.count;
+      s.effectiveness_sum +=
+          group_visited == 0
+              ? 1.0
+              : std::min(1.0, static_cast<double>(agg.count) /
+                                  static_cast<double>(group_visited));
+      ++s.join_ops;
+      Emit(s, query, s.stage.SortedTuple(begin + i),
+           s.stage.SortedArrival(begin + i), agg);
+    }
+  }
+  // The buffer was walked once for the whole group, not once per base.
+  s.visited += group_visited;
+  s.columnar_bases += num_bases;
+  ++s.columnar_groups;
+}
+
+void KeyOijEngine::Emit(JoinerState& s, QueryRuntime& query,
+                        const Tuple& base, int64_t arrival_us,
+                        const AggState& agg) {
   JoinResult result;
   result.base = base;
-  result.aggregate = agg.Result(qspec.agg);
+  result.aggregate = agg.Result(query.spec.agg);
   result.match_count = agg.count;
   FillWindowStats(&result, agg);
   result.arrival_us = arrival_us;
@@ -251,6 +374,9 @@ void KeyOijEngine::CollectStats(EngineStats* stats) {
     stats->latency.Merge(s.latency);
     stats->evicted_tuples += s.evicted;
     stats->peak_buffered_tuples += s.peak_buffered;
+    stats->columnar_bases += s.columnar_bases;
+    stats->columnar_groups += s.columnar_groups;
+    stats->columnar_fallbacks += s.columnar_fallbacks;
   }
 }
 

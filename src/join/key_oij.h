@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "col/column_batch.h"
+#include "col/sweep_merge.h"
 #include "join/engine.h"
 
 namespace oij {
@@ -68,6 +70,18 @@ class KeyOijEngine : public ParallelEngineBase {
     std::vector<QuerySlot> slots{1};  ///< indexed by query ordinal
     std::vector<const Tuple*> scratch_matches;
 
+    /// Columnar batch kernel scratch (src/col/, reused across drains):
+    /// drained base runs, the transposed+sorted key buffer, and the
+    /// per-base window slices of the sweep. Heap-backed — Key-OIJ has
+    /// no arena; Scale-OIJ's counterpart stages on slab loans.
+    col::ColumnarBatchStage stage;
+    col::ProbeColumns probes;
+    std::vector<col::BaseSlice> slices;
+    std::vector<Timestamp> group_ts;
+    uint64_t columnar_bases = 0;
+    uint64_t columnar_groups = 0;
+    uint64_t columnar_fallbacks = 0;
+
     /// Max (PRE + FOL) over every query this joiner has ever been told
     /// about — monotone, bounds eviction.
     Timestamp reach = 0;
@@ -94,6 +108,14 @@ class KeyOijEngine : public ParallelEngineBase {
   void DrainPending(uint32_t joiner, JoinerState& s);
   void JoinOne(JoinerState& s, QueryRuntime& query, const Tuple& base,
                int64_t arrival_us);
+  /// Columnar path: joins one key-group of the staged run (positions
+  /// [begin, end) of the sorted stage) against the key's buffer in a
+  /// single transpose + sweep instead of one full scan per base.
+  void JoinGroupColumnar(JoinerState& s, QueryRuntime& query, Key key,
+                         size_t begin, size_t end);
+  /// Shared result-emission tail of both join paths.
+  void Emit(JoinerState& s, QueryRuntime& query, const Tuple& base,
+            int64_t arrival_us, const AggState& agg);
   void Evict(JoinerState& s);
 
   std::vector<std::unique_ptr<JoinerState>> states_;

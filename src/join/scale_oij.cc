@@ -211,6 +211,25 @@ void ScaleOijEngine::DrainPending(uint32_t joiner, JoinerState& s) {
   for (QueryRuntime* q : JoinerQueries(joiner)) {
     if (q == nullptr) continue;  // not yet announced to this joiner
     QuerySlot& qs = s.slots[q->ord];
+    if (!options().columnar_batch) {
+      while (!qs.pending.empty()) {
+        const PendingBase top = qs.pending.top();
+        const uint32_t p = PartitionTable::PartitionOf(
+            top.tuple.key, options().num_partitions);
+        const Timestamp window_end = q->spec.window.end_for(top.tuple.ts);
+        if (window_end > TeamMinProgress(s.schedule->teams[p])) break;
+        qs.pending.pop();
+        popped = true;
+        JoinOne(joiner, s, *q, qs, top.tuple, top.arrival_us);
+      }
+      continue;
+    }
+    // Columnar path: release the whole team-progress-gated run into the
+    // stage first (the gate is checked per pop exactly as the scalar
+    // loop does), then join it key-group at a time. Pop order is
+    // non-decreasing ts, which the stable key sort preserves within
+    // each group — the sweep-merge precondition.
+    s.stage.Clear();
     while (!qs.pending.empty()) {
       const PendingBase top = qs.pending.top();
       const uint32_t p = PartitionTable::PartitionOf(
@@ -219,8 +238,21 @@ void ScaleOijEngine::DrainPending(uint32_t joiner, JoinerState& s) {
       if (window_end > TeamMinProgress(s.schedule->teams[p])) break;
       qs.pending.pop();
       popped = true;
-      JoinOne(joiner, s, *q, qs, top.tuple, top.arrival_us);
+      s.stage.Append(top.tuple, top.arrival_us);
     }
+    if (s.stage.empty()) continue;
+    if (s.stage.size() < options().columnar_min_run) {
+      // Short runs are cheaper scalar: replay in pop order, exactly
+      // the sequence the legacy loop would have produced.
+      for (size_t i = 0; i < s.stage.size(); ++i) {
+        JoinOne(joiner, s, *q, qs, s.stage.TupleAt(i), s.stage.ArrivalAt(i));
+      }
+      continue;
+    }
+    s.stage.SortByKey();
+    s.stage.ForEachGroup([&](Key key, size_t begin, size_t end) {
+      JoinGroupColumnar(joiner, s, *q, qs, key, begin, end);
+    });
   }
   if (popped) PublishReadFloor(s);
 }
@@ -324,10 +356,183 @@ void ScaleOijEngine::JoinOne(uint32_t joiner, JoinerState& s,
                                           static_cast<double>(op_visited));
   ++s.join_ops;
 
+  EmitOne(s, query, base, arrival_us, result_value, result_count, out_sum,
+          out_min, out_max);
+}
+
+void ScaleOijEngine::JoinGroupColumnar(uint32_t joiner, JoinerState& s,
+                                       QueryRuntime& query, QuerySlot& slot,
+                                       Key key, size_t begin, size_t end) {
+  const QuerySpec& qspec = query.spec;
+  const size_t num_bases = end - begin;
+
+  // Engagement gate. The bar is higher when the scalar alternative is
+  // the invertible incremental path: that baseline carries window state
+  // across drains and only pays the *delta* per base, while the columnar
+  // gather re-reads the group's whole union window — which only pays off
+  // once the saved per-base index descents outweigh the re-read (~2x the
+  // generic group floor, empirically).
+  uint32_t min_group = options().columnar_min_group;
+  if (options().incremental_agg && IsInvertible(qspec.agg)) {
+    min_group = std::max(min_group, 2 * options().columnar_min_group);
+  }
+  if (num_bases < min_group) {
+    // Same replay the NaN fallback below uses.
+    for (size_t i = begin; i < end; ++i) {
+      JoinOne(joiner, s, query, slot, s.stage.SortedTuple(i),
+              s.stage.SortedArrival(i));
+    }
+    return;
+  }
+
+  const uint32_t p =
+      PartitionTable::PartitionOf(key, options().num_partitions);
+  const std::vector<uint32_t>& team = s.schedule->teams[p];
+  const bool scan_annex =
+      qspec.late_policy == LatePolicy::kBestEffortJoin &&
+      annex_dirty_.load(std::memory_order_acquire);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  ScopedTimerNs timer(&s.breakdown.match_ns);
+
+  // The group's base timestamps, sorted (stable key sort kept pop
+  // order), and the union of their windows.
+  s.group_ts.resize(num_bases);
+  for (size_t i = 0; i < num_bases; ++i) {
+    s.group_ts[i] = s.stage.SortedTs(begin + i);
+  }
+  const Timestamp lo = qspec.window.start_for(s.group_ts[0]);
+  const Timestamp hi = qspec.window.end_for(s.group_ts[num_bases - 1]);
+
+  // Stage 1 (gather): one SeekGE per team member covers every base of
+  // the group; the scalar path would descend once per (base, member).
+  // The epoch guard is only held here — once gathered, the batch is
+  // decoupled from index memory.
+  s.probes.Clear();
+  uint64_t gathered = 0;
+  {
+    EpochGuard guard(ebr_, s.ebr_slot);
+    auto touch = [&](const Tuple& t) { s.cache_probe.Touch(&t); };
+    for (uint32_t m : team) {
+      gathered +=
+          col::GatherRange(states_[m]->index, key, lo, hi, &s.probes, touch);
+      if (scan_annex) {
+        gathered += col::GatherRange(states_[m]->annex, key, lo, hi,
+                                     &s.probes, touch);
+      }
+    }
+  }
+  s.probes.EnsureSorted();
+
+  if (!s.probes.all_finite()) {
+    // NaN/Inf payloads would diverge under the SIMD min/max lanes;
+    // replay this group through the scalar path instead.
+    ++s.columnar_fallbacks;
+    for (size_t i = begin; i < end; ++i) {
+      JoinOne(joiner, s, query, slot, s.stage.SortedTuple(i),
+              s.stage.SortedArrival(i));
+    }
+    return;
+  }
+
+  // Stage 2 (sweep merge): per-base window slices from two monotone
+  // cursors.
+  s.slices.resize(num_bases);
+  col::ComputeWindowSlices(s.group_ts.data(), num_bases, qspec.window,
+                           s.probes.ts(), s.probes.size(), s.slices.data());
+
+  // Stage 3 (vector aggregate + emit), mirroring the scalar path's
+  // result-field contract per configuration.
+  const bool incremental = !scan_annex && options().incremental_agg;
+  if (incremental && IsInvertible(qspec.agg)) {
+    // Invertible fast path: exclusive prefix sums turn every window sum
+    // into two loads and a subtract. Scalar emits sum/count only here
+    // (min/max are not maintained incrementally), so we do the same.
+    s.prefix.resize(s.probes.size() + 1);
+    col::PrefixSums(s.probes.payload(), s.probes.size(), s.prefix.data());
+    AggState agg;
+    for (size_t i = 0; i < num_bases; ++i) {
+      const col::BaseSlice sl = s.slices[i];
+      agg.sum = s.prefix[sl.hi] - s.prefix[sl.lo];
+      agg.count = sl.hi - sl.lo;
+      s.matched += agg.count;
+      s.effectiveness_sum +=
+          gathered == 0 ? 1.0
+                        : std::min(1.0, static_cast<double>(agg.count) /
+                                            static_cast<double>(gathered));
+      ++s.join_ops;
+      ++s.incremental_slides;
+      EmitOne(s, query, s.stage.SortedTuple(begin + i),
+              s.stage.SortedArrival(begin + i), agg.Result(qspec.agg),
+              agg.count, agg.sum, nan, nan);
+    }
+    // Hand the last window's aggregate to the key's incremental state:
+    // a later scalar slide must start from *this* window, or its
+    // subtract-scan could reach below the published read floor (the
+    // floor budgets for at most one window below the next start).
+    slot.inc_states[key].Reseed(
+        qspec.window.start_for(s.group_ts[num_bases - 1]),
+        qspec.window.end_for(s.group_ts[num_bases - 1]), agg);
+  } else if (incremental) {
+    // Non-invertible (min/max): scalar emits only the requested extreme.
+    for (size_t i = 0; i < num_bases; ++i) {
+      const col::BaseSlice sl = s.slices[i];
+      const col::SliceAgg sa =
+          col::AggregateSlice(s.probes.payload() + sl.lo, sl.hi - sl.lo);
+      const double extreme = qspec.agg == AggKind::kMin ? sa.min : sa.max;
+      const double value = sa.count == 0 ? nan : extreme;
+      s.matched += sa.count;
+      s.effectiveness_sum +=
+          gathered == 0 ? 1.0
+                        : std::min(1.0, static_cast<double>(sa.count) /
+                                            static_cast<double>(gathered));
+      ++s.join_ops;
+      ++s.recomputes;
+      EmitOne(s, query, s.stage.SortedTuple(begin + i),
+              s.stage.SortedArrival(begin + i), value, sa.count, nan,
+              qspec.agg == AggKind::kMin && sa.count > 0 ? sa.min : nan,
+              qspec.agg == AggKind::kMax && sa.count > 0 ? sa.max : nan);
+    }
+    // The Two-Stacks FIFO (if armed) no longer matches the last scalar
+    // window; force its next slide to recompute.
+    auto it = slot.ni_states.find(key);
+    if (it != slot.ni_states.end()) it->second.Invalidate();
+  } else {
+    // Full-scan configuration: scalar emits the complete window stats.
+    for (size_t i = 0; i < num_bases; ++i) {
+      const col::BaseSlice sl = s.slices[i];
+      const col::SliceAgg sa =
+          col::AggregateSlice(s.probes.payload() + sl.lo, sl.hi - sl.lo);
+      const AggState agg = sa.ToAggState();
+      s.matched += agg.count;
+      s.effectiveness_sum +=
+          gathered == 0 ? 1.0
+                        : std::min(1.0, static_cast<double>(agg.count) /
+                                            static_cast<double>(gathered));
+      ++s.join_ops;
+      ++s.recomputes;
+      EmitOne(s, query, s.stage.SortedTuple(begin + i),
+              s.stage.SortedArrival(begin + i), agg.Result(qspec.agg),
+              agg.count, agg.sum, agg.count > 0 ? agg.min : nan,
+              agg.count > 0 ? agg.max : nan);
+    }
+  }
+
+  // The team's indexes were walked once for the whole group, not once
+  // per base.
+  s.visited += gathered;
+  s.columnar_bases += num_bases;
+  ++s.columnar_groups;
+}
+
+void ScaleOijEngine::EmitOne(JoinerState& s, QueryRuntime& query,
+                             const Tuple& base, int64_t arrival_us,
+                             double value, uint64_t count, double out_sum,
+                             double out_min, double out_max) {
   JoinResult result;
   result.base = base;
-  result.aggregate = result_value;
-  result.match_count = result_count;
+  result.aggregate = value;
+  result.match_count = count;
   result.sum = out_sum;
   result.min = out_min;
   result.max = out_max;
@@ -418,6 +623,9 @@ void ScaleOijEngine::CollectStats(EngineStats* stats) {
     stats->latency.Merge(s.latency);
     stats->evicted_tuples += s.evicted;
     stats->peak_buffered_tuples += s.peak_buffered;
+    stats->columnar_bases += s.columnar_bases;
+    stats->columnar_groups += s.columnar_groups;
+    stats->columnar_fallbacks += s.columnar_fallbacks;
   }
   stats->rebalances = rebalances_;
   stats->final_schedule_version = router_schedule_->version;

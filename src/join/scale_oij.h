@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "col/column_batch.h"
+#include "col/sweep_merge.h"
 #include "ebr/epoch_manager.h"
 #include "join/engine.h"
 #include "mem/node_arena.h"
@@ -102,7 +104,9 @@ class ScaleOijEngine : public ParallelEngineBase {
                 NodeArena* arena)
         : ebr_slot(slot),
           index(ebr, slot, seed, arena),
-          annex(ebr, slot, seed ^ 0xa22e7ULL, /*arena=*/nullptr) {
+          annex(ebr, slot, seed ^ 0xa22e7ULL, /*arena=*/nullptr),
+          stage(arena),
+          probes(arena) {
       slots.resize(1);  // ordinal 0: the primary query
     }
 
@@ -116,6 +120,19 @@ class ScaleOijEngine : public ParallelEngineBase {
     TimeTravelIndex annex;
     std::vector<QuerySlot> slots;  ///< indexed by query ordinal
     std::shared_ptr<const Schedule> schedule;  // joiner-local snapshot
+
+    /// Columnar batch kernel scratch (src/col/, reused across drains).
+    /// With pooled_alloc the columns stage on slabs loaned from this
+    /// joiner's own arena, so evicted index slabs recycle straight into
+    /// batch staging.
+    col::ColumnarBatchStage stage;
+    col::ProbeColumns probes;
+    std::vector<col::BaseSlice> slices;
+    std::vector<Timestamp> group_ts;
+    std::vector<double> prefix;
+    uint64_t columnar_bases = 0;
+    uint64_t columnar_groups = 0;
+    uint64_t columnar_fallbacks = 0;
 
     /// Max window reach over every query this joiner has ever been told
     /// about (monotone — removed queries keep contributing, so already
@@ -160,6 +177,18 @@ class ScaleOijEngine : public ParallelEngineBase {
   void DrainPending(uint32_t joiner, JoinerState& s);
   void JoinOne(uint32_t joiner, JoinerState& s, QueryRuntime& query,
                QuerySlot& slot, const Tuple& base, int64_t arrival_us);
+  /// Columnar path: joins one key-group of the staged run (positions
+  /// [begin, end) of the sorted stage) with one gather from the team's
+  /// indexes + one sweep, instead of one index descent per base. Keeps
+  /// the per-key incremental window states consistent (Reseed /
+  /// Invalidate) so interleaved scalar slides stay eviction-safe.
+  void JoinGroupColumnar(uint32_t joiner, JoinerState& s,
+                         QueryRuntime& query, QuerySlot& slot, Key key,
+                         size_t begin, size_t end);
+  /// Shared result-emission tail of both join paths.
+  void EmitOne(JoinerState& s, QueryRuntime& query, const Tuple& base,
+               int64_t arrival_us, double value, uint64_t count,
+               double out_sum, double out_min, double out_max);
   void Evict(JoinerState& s);
   bool HavePending(const JoinerState& s) const;
 

@@ -80,6 +80,28 @@ void NodeArena::Deallocate(void* ptr, size_t bytes) {
   }
 }
 
+void* NodeArena::AcquireSlab() {
+  Bump(slab_loans_, 1);
+  Slab* slab = empty_;
+  if (slab != nullptr) {
+    empty_ = slab->next;
+  } else {
+    void* raw = ::operator new(kSlabBytes, std::align_val_t{kSlabBytes});
+    slab = new (raw) Slab();
+    all_slabs_.push_back(slab);
+    Bump(reserved_bytes_, kSlabBytes);
+  }
+  // The borrower may overwrite the whole slab, header included;
+  // ReleaseSlab() rebuilds it before the slab re-enters the pool.
+  return slab;
+}
+
+void NodeArena::ReleaseSlab(void* slab) {
+  Slab* s = new (slab) Slab();
+  s->next = empty_;
+  empty_ = s;
+}
+
 NodeArena::Slab* NodeArena::TakeSlab(uint32_t class_bytes) {
   Slab* slab = empty_;
   if (slab != nullptr) {
@@ -124,6 +146,7 @@ NodeArena::Stats NodeArena::snapshot() const {
   s.allocations = allocations_.load(std::memory_order_relaxed);
   s.slab_recycles = slab_recycles_.load(std::memory_order_relaxed);
   s.oversize_allocs = oversize_allocs_.load(std::memory_order_relaxed);
+  s.slab_loans = slab_loans_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -1,0 +1,96 @@
+#ifndef OIJ_ROW_COLUMNAR_H_
+#define OIJ_ROW_COLUMNAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "row/row.h"
+#include "row/schema.h"
+
+namespace oij {
+
+/// Columnar (SoA) counterpart of the packed row layout in row/row.h —
+/// the layout the batch-join kernels (src/col/, DESIGN.md §5h) stage
+/// into: one contiguous 8-byte-wide vector per schema field, so a batch
+/// of N rows becomes `num_fields` cache-dense arrays instead of N
+/// scattered row buffers.
+///
+/// The transpose is bit-exact in both directions: values are moved as
+/// raw 64-bit patterns, so NaN payloads (including negative / signalling
+/// patterns used as SQL-NULL stand-ins) and all-zero "null" rows survive
+/// a round trip byte-for-byte. `row_test`/`col_batch_test` fuzz this
+/// property over random schemas.
+class ColumnarBlock {
+ public:
+  explicit ColumnarBlock(const Schema* schema)
+      : schema_(schema), columns_(schema->num_fields()) {}
+
+  /// Appends one packed row (schema()->row_bytes() bytes).
+  void AppendRow(const uint8_t* row) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      uint64_t bits;
+      std::memcpy(&bits, row + c * 8, 8);
+      columns_[c].push_back(bits);
+    }
+    ++num_rows_;
+  }
+
+  void AppendRow(const RowView& view) {
+    // RowView does not expose its byte pointer; go through the typed
+    // getters, which are bit-preserving for int64/timestamp. Doubles are
+    // re-encoded via the same memcpy the builder used.
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      uint64_t bits;
+      if (schema_->field(c).type == FieldType::kDouble) {
+        const double v = view.GetDouble(static_cast<int>(c));
+        std::memcpy(&bits, &v, 8);
+      } else {
+        bits = static_cast<uint64_t>(view.GetInt64(static_cast<int>(c)));
+      }
+      columns_[c].push_back(bits);
+    }
+    ++num_rows_;
+  }
+
+  /// Writes row `r` back into packed form (`out` must have
+  /// schema()->row_bytes() bytes). Inverse of AppendRow, bit-exact.
+  void MaterializeRow(size_t r, uint8_t* out) const {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      std::memcpy(out + c * 8, &columns_[c][r], 8);
+    }
+  }
+
+  int64_t GetInt64(size_t col, size_t row) const {
+    return static_cast<int64_t>(columns_[col][row]);
+  }
+  double GetDouble(size_t col, size_t row) const {
+    double v;
+    std::memcpy(&v, &columns_[col][row], 8);
+    return v;
+  }
+  Timestamp GetTimestamp(size_t col, size_t row) const {
+    return GetInt64(col, row);
+  }
+
+  /// Contiguous raw column `c` (num_rows() 64-bit patterns) — what the
+  /// vectorized kernels iterate.
+  const uint64_t* ColumnData(size_t c) const { return columns_[c].data(); }
+
+  size_t num_rows() const { return num_rows_; }
+  const Schema* schema() const { return schema_; }
+
+  void Clear() {
+    for (auto& col : columns_) col.clear();
+    num_rows_ = 0;
+  }
+
+ private:
+  const Schema* schema_;
+  std::vector<std::vector<uint64_t>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace oij
+
+#endif  // OIJ_ROW_COLUMNAR_H_

@@ -97,6 +97,20 @@ class SwmrSkipList {
     const V& value() const { return node_->value; }
     void Next() { node_ = node_->Next(0); }
 
+    /// Software-prefetches the successor node's cache line so it is
+    /// warm by the time Next()+value() touch it — the gather walks of
+    /// the columnar batch kernels (src/col/sweep_merge.h) call this
+    /// while copying the current node out. The level-0 link load is
+    /// the same acquire Next() will perform, so publication safety is
+    /// unchanged; prefetching the resulting address is purely a hint.
+    void PrefetchSuccessor() const {
+#if defined(__GNUC__) || defined(__clang__)
+      if (node_ != nullptr) {
+        __builtin_prefetch(node_->Next(0), /*rw=*/0, /*locality=*/3);
+      }
+#endif
+    }
+
    private:
     const Node* node_ = nullptr;
   };

@@ -73,6 +73,20 @@ class IncrementalWindowState {
   /// this when the owner's eviction horizon may have passed prev_start.
   void Invalidate() { valid_ = false; }
 
+  /// Installs an externally computed full-window aggregate for
+  /// [start, end]. The columnar batch kernel calls this after finalizing
+  /// a key-group in bulk: the group's last window was aggregated from
+  /// staged columns, so handing it over keeps the overlap precondition
+  /// (prev window at most one window behind the next scalar slide) that
+  /// the eviction read-floor accounting relies on. Like any state after
+  /// a Subtract, only the invertible components of `agg` are meaningful.
+  void Reseed(Timestamp start, Timestamp end, const AggState& agg) {
+    agg_ = agg;
+    prev_start_ = start;
+    prev_end_ = end;
+    valid_ = true;
+  }
+
   bool valid() const { return valid_; }
   Timestamp prev_start() const { return prev_start_; }
   Timestamp prev_end() const { return prev_end_; }

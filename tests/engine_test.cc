@@ -343,6 +343,11 @@ TEST(EngineBehaviourTest, KeyOijVisitsOutOfWindowDataUnderLateness) {
 
   EngineOptions options;
   options.num_joiners = 2;
+  // This test characterizes the *per-base* scan profile (Eq. 1); the
+  // columnar batch path shares one gather across a key-group, which
+  // redefines visited/effectiveness. Differential correctness of that
+  // path is covered by col_batch_test.
+  options.columnar_batch = false;
   const auto key = RunOverEvents(EngineKind::kKeyOij, events, q, options);
   options.incremental_agg = false;  // isolate the index effect
   const auto scale =
@@ -362,6 +367,10 @@ TEST(EngineBehaviourTest, IncrementalReducesVisitsOnLargeWindows) {
 
   EngineOptions options;
   options.num_joiners = 2;
+  // Scalar path only: the incremental-slide visit saving this test
+  // measures is a per-base property; the columnar batch path amortizes
+  // differently (one union-window gather per key-group).
+  options.columnar_batch = false;
   options.incremental_agg = true;
   const auto inc = RunOverEvents(EngineKind::kScaleOij, events, q, options);
   options.incremental_agg = false;

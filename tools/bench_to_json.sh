@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Collects the machine-readable `BENCHJSON {...}` lines that bench
+# binaries print alongside their human-readable tables into one JSON
+# document, seeding the per-PR perf trajectory (BENCH_<nnn>.json at the
+# repo root; see EXPERIMENTS.md).
+#
+# Usage:
+#   build/bench/bench_batch_kernel | tools/bench_to_json.sh BENCH_009.json
+#   tools/bench_to_json.sh out.json < saved_bench_output.txt
+#
+# Lines not starting with BENCHJSON pass through to stderr untouched, so
+# piping a bench through this keeps its table visible.
+set -euo pipefail
+
+OUT="${1:-/dev/stdout}"
+
+records="$(tee >(grep -v '^BENCHJSON ' >&2 || true) \
+           | sed -n 's/^BENCHJSON //p')"
+
+count=0
+if [ -n "$records" ]; then
+  count="$(printf '%s\n' "$records" | wc -l | tr -d ' ')"
+fi
+
+{
+  printf '{\n'
+  printf '  "generated_by": "tools/bench_to_json.sh",\n'
+  printf '  "bench_scale": %s,\n' "${OIJ_BENCH_SCALE:-1.0}"
+  printf '  "record_count": %s,\n' "$count"
+  printf '  "records": [\n'
+  if [ -n "$records" ]; then
+    # Indent each record and comma-join all but the last.
+    printf '%s\n' "$records" | sed 's/^/    /' | sed '$!s/$/,/'
+  fi
+  printf '  ]\n'
+  printf '}\n'
+} > "$OUT"
+
+if [ "$count" -eq 0 ]; then
+  echo "bench_to_json: no BENCHJSON lines found in input" >&2
+  exit 1
+fi
