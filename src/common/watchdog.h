@@ -53,6 +53,19 @@ struct WatchdogSample {
   uint64_t arena_live_nodes = 0;     ///< nodes resident in the arenas
   uint64_t ebr_retired_backlog = 0;  ///< nodes retired, awaiting epoch drain
   uint64_t arena_slab_recycles = 0;  ///< fully-dead slabs returned to pool
+
+  /// NUMA placement gauges (src/topo/; all empty/zero when placement is
+  /// inactive). Per-node arrays are indexed by node ordinal and split
+  /// the arena gauges above by the owning joiner's node — grouped from
+  /// per-arena counters, never by re-walking slabs.
+  bool numa_active = false;
+  uint32_t numa_nodes = 1;
+  std::vector<int> numa_pin_cpus;          ///< per joiner; -1 = unpinned
+  std::vector<uint32_t> numa_joiner_node;  ///< per joiner: node ordinal
+  std::vector<uint64_t> per_node_arena_bytes;
+  std::vector<uint64_t> per_node_arena_live_nodes;
+  uint64_t numa_cross_replications = 0;
+  uint64_t numa_cross_dispatches = 0;
 };
 
 /// Monitor thread that detects stalled joiners and frozen watermarks.

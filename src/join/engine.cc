@@ -57,6 +57,20 @@ Status EngineOptions::Validate() const {
   if (finish_timeout_us <= 0) {
     return Status::InvalidArgument("finish_timeout_us must be positive");
   }
+  if (!numa.explicit_cpus.empty()) {
+    if (numa.explicit_cpus.size() != num_joiners) {
+      return Status::InvalidArgument(
+          "numa.explicit_cpus must have one entry per joiner (" +
+          std::to_string(num_joiners) + "), got " +
+          std::to_string(numa.explicit_cpus.size()));
+    }
+    for (int cpu : numa.explicit_cpus) {
+      if (cpu < -1) {
+        return Status::InvalidArgument(
+            "numa.explicit_cpus entries must be a cpu id or -1 (unpinned)");
+      }
+    }
+  }
   if (enable_watchdog) {
     if (watchdog.interval_ms <= 0) {
       return Status::InvalidArgument("watchdog.interval_ms must be positive");
@@ -89,6 +103,12 @@ ParallelEngineBase::ParallelEngineBase(const QuerySpec& spec,
                                        const EngineOptions& options,
                                        ResultSink* sink)
     : spec_(spec), options_(options), sink_(sink) {
+  // Resolve NUMA placement before anything else so subclass constructors
+  // (which run after this body) can bind per-joiner state — arenas — to
+  // their joiner's node.
+  placement_ =
+      PlanPlacement(Topology::Detect(), options_.num_joiners, options_.numa);
+
   queues_.reserve(options_.num_joiners);
   for (uint32_t j = 0; j < options_.num_joiners; ++j) {
     queues_.push_back(
@@ -524,7 +544,12 @@ void ParallelEngineBase::FlushStaged(uint32_t joiner, int64_t deadline_ns) {
 
 void ParallelEngineBase::FlushAllStaged(int64_t deadline_ns) {
   if (staged_total_ == 0) return;
-  for (uint32_t j = 0; j < options_.num_joiners; ++j) {
+  // Per-socket batches: the plan's flush order groups joiners by node,
+  // so one socket's rings are filled back-to-back before the router's
+  // writes move to the next socket's cache lines. Identity order when
+  // placement is inactive; either way every joiner is flushed, and
+  // per-queue FIFO (the only ordering contract) is untouched.
+  for (uint32_t j : placement_.flush_order) {
     FlushStaged(j, deadline_ns);
   }
 }
@@ -721,6 +746,12 @@ EngineStats ParallelEngineBase::Finish() {
     std::lock_guard<std::mutex> lock(health_mu_);
     stats.health = health_;
   }
+  stats.numa_active = placement_.active;
+  stats.numa_nodes = placement_.num_nodes;
+  if (placement_.active) {
+    stats.numa_pin_cpus = placement_.joiner_cpu;
+    stats.numa_joiner_node = placement_.joiner_node;
+  }
   CollectStats(&stats);
   if (options_.collect_breakdown) {
     for (int64_t b : busy_ns_) stats.breakdown.busy_ns += b;
@@ -736,7 +767,13 @@ EngineStats ParallelEngineBase::Finish() {
 
 void ParallelEngineBase::JoinerMain(uint32_t joiner) {
   SetCurrentThreadName("joiner-" + std::to_string(joiner));
-  if (options_.pin_threads) {
+  if (placement_.active) {
+    // Pin per the placement plan; pinning to a CPU the host lacks (fake
+    // topologies, shrunken cpusets) is a silent no-op inside TryPin.
+    if (placement_.joiner_cpu[joiner] >= 0) {
+      TryPinCurrentThreadTo(placement_.joiner_cpu[joiner]);
+    }
+  } else if (options_.pin_threads) {
     TryPinCurrentThreadTo(static_cast<int>(joiner) % NumCpus());
   }
 
@@ -856,6 +893,12 @@ WatchdogSample ParallelEngineBase::SampleProgress() const {
   }
   sample.pushed = pushed_.load(std::memory_order_relaxed);
   sample.watermarks = watermarks_signaled_.load(std::memory_order_relaxed);
+  sample.numa_active = placement_.active;
+  sample.numa_nodes = placement_.num_nodes;
+  if (placement_.active) {
+    sample.numa_pin_cpus = placement_.joiner_cpu;
+    sample.numa_joiner_node = placement_.joiner_node;
+  }
   SampleMem(&sample);
   return sample;
 }

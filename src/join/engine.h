@@ -24,6 +24,7 @@
 #include "metrics/latency_recorder.h"
 #include "sched/rebalancer.h"
 #include "stream/generator.h"
+#include "topo/topology.h"
 #include "wal/wal.h"
 
 namespace oij {
@@ -235,7 +236,18 @@ struct EngineOptions {
 
   RebalanceConfig rebalance;
 
-  /// Pin joiner threads to CPUs round-robin.
+  /// NUMA placement (src/topo/, DESIGN.md §5i): detect the machine's
+  /// node topology, assign joiners to socket-sized teams, pin them,
+  /// bind their arenas node-locally, and bias partition replication
+  /// toward same-socket targets. `auto` (default) engages only when
+  /// more than one node is detected — single-node machines see a strict
+  /// no-op — and `explicit_cpus` overrides the derived map. Exactness
+  /// is unaffected either way: placement moves threads and pages, never
+  /// results.
+  NumaOptions numa;
+
+  /// Pin joiner threads to CPUs round-robin (legacy flat pinning;
+  /// superseded by an active `numa` placement plan).
   bool pin_threads = false;
 
   /// Measure per-joiner busy time (the denominator of the Fig 6 time
@@ -353,6 +365,23 @@ struct EngineStats {
 
   /// Allocator observability (pooled_alloc runs).
   MemStats mem;
+
+  /// NUMA placement observability (src/topo/, DESIGN.md §5i).
+  /// `numa_active` is true when a placement plan pinned this run;
+  /// the per-node arrays are indexed by node ordinal (empty for
+  /// engines without arenas). The cross counters tally scheduler
+  /// decisions that crossed a socket: partition replications the
+  /// rebalancer accepted onto a remote node after same-node headroom
+  /// ran out, and round-robin tuple dispatches that left the team
+  /// leader's node.
+  bool numa_active = false;
+  uint32_t numa_nodes = 1;
+  std::vector<int> numa_pin_cpus;          ///< per joiner; -1 = unpinned
+  std::vector<uint32_t> numa_joiner_node;  ///< per joiner: node ordinal
+  std::vector<uint64_t> numa_node_arena_bytes;
+  std::vector<uint64_t> numa_node_arena_live_nodes;
+  uint64_t numa_cross_replications = 0;
+  uint64_t numa_cross_dispatches = 0;
 
   /// Durability counters (all-zero with durability off).
   WalStats wal;
@@ -577,6 +606,12 @@ class ParallelEngineBase : public JoinEngine {
   const EngineOptions& options() const { return options_; }
   ResultSink* sink() const { return sink_; }
 
+  /// The NUMA placement this engine resolved at construction (from
+  /// Topology::Detect() and options().numa). Subclass constructors may
+  /// query it — e.g. Scale-OIJ binds each joiner's arena to
+  /// placement().OsNodeOfJoiner(j) — and joiner threads pin by it.
+  const PlacementPlan& placement() const { return placement_; }
+
   /// --- Standing-query catalog plumbing for subclasses ---
 
   /// Joiner `j`'s current view of the catalog, indexed by ordinal; only
@@ -687,6 +722,9 @@ class ParallelEngineBase : public JoinEngine {
   QuerySpec spec_;
   EngineOptions options_;
   ResultSink* sink_;
+
+  /// Resolved at construction so subclass constructors can read it.
+  PlacementPlan placement_;
 
   std::vector<std::unique_ptr<SpscQueue<Event>>> queues_;
   std::vector<std::thread> threads_;

@@ -10,14 +10,29 @@
 
 namespace oij {
 
+namespace {
+/// The rebalancer config actually run: the user's knobs plus, when
+/// placement resolved a multi-node machine, the per-joiner node map
+/// that makes replication prefer same-socket targets.
+RebalanceConfig TopoAwareRebalance(const RebalanceConfig& base,
+                                   const PlacementPlan& plan) {
+  RebalanceConfig config = base;
+  if (plan.active && plan.num_nodes > 1) {
+    config.joiner_node = plan.joiner_node;
+  }
+  return config;
+}
+}  // namespace
+
 ScaleOijEngine::ScaleOijEngine(const QuerySpec& spec,
                                const EngineOptions& options, ResultSink* sink)
     : ParallelEngineBase(spec, options, sink),
       ebr_(options.num_joiners + 1),
       table_(options.num_partitions, options.num_joiners),
       router_stats_(options.num_partitions),
-      rebalancer_(options.rebalance),
+      rebalancer_(TopoAwareRebalance(options.rebalance, placement())),
       round_robin_(options.num_partitions, 0) {
+  numa_topo_ = placement().active && placement().num_nodes > 1;
   router_schedule_ = table_.Snapshot();
   states_.reserve(options.num_joiners);
   for (uint32_t j = 0; j < options.num_joiners; ++j) {
@@ -26,6 +41,11 @@ ScaleOijEngine::ScaleOijEngine(const QuerySpec& spec,
     if (options.pooled_alloc) {
       arenas_.push_back(std::make_unique<NodeArena>());
       arena = arenas_.back().get();
+      if (placement().active) {
+        // Every slab this joiner's index grows onto lands on its own
+        // socket (mbind, or first touch from the pinned thread).
+        arena->SetNumaNode(placement().OsNodeOfJoiner(j));
+      }
     }
     states_.push_back(std::make_unique<JoinerState>(
         &ebr_, slot, /*seed=*/0x5ca1e + j, arena));
@@ -53,14 +73,29 @@ void ScaleOijEngine::Route(const Event& event) {
 
   const auto& team = router_schedule_->teams[p];
   const uint32_t member = team[round_robin_[p]++ % team.size()];
+  if (numa_topo_ && team.size() > 1 &&
+      placement().NodeOfJoiner(member) != placement().NodeOfJoiner(team[0])) {
+    // Single-writer bump (driver thread only; admin threads just read).
+    numa_cross_dispatches_.store(
+        numa_cross_dispatches_.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+  }
   EnqueueTo(member, event);
 
   if (options().dynamic_schedule &&
       ++events_since_rebalance_ >= options().rebalance_interval_events) {
     events_since_rebalance_ = 0;
-    auto next = rebalancer_.Rebalance(router_schedule_, &router_stats_);
+    RebalanceTelemetry tel;
+    auto next =
+        rebalancer_.Rebalance(router_schedule_, &router_stats_, &tel);
     if (next != router_schedule_) {
       ++rebalances_;
+      if (tel.cross_node_moves > 0) {
+        numa_cross_replications_.store(
+            numa_cross_replications_.load(std::memory_order_relaxed) +
+                tel.cross_node_moves,
+            std::memory_order_relaxed);
+      }
       router_schedule_ = next;
       table_.Publish(next);
     }
@@ -631,26 +666,57 @@ void ScaleOijEngine::CollectStats(EngineStats* stats) {
   stats->final_schedule_version = router_schedule_->version;
 
   stats->mem.pooled = !arenas_.empty();
-  for (const auto& arena : arenas_) {
-    const NodeArena::Stats a = arena->snapshot();
+  // One pass over the per-arena counters fills both the engine-wide
+  // aggregate and the per-node split (each arena is wholly on its
+  // joiner's node, so grouping is by the placement map — no slab walk).
+  const PlacementPlan& plan = placement();
+  if (!arenas_.empty()) {
+    stats->numa_node_arena_bytes.assign(plan.num_nodes, 0);
+    stats->numa_node_arena_live_nodes.assign(plan.num_nodes, 0);
+  }
+  for (size_t j = 0; j < arenas_.size(); ++j) {
+    const NodeArena::Stats a = arenas_[j]->snapshot();
     stats->mem.arena_reserved_bytes += a.reserved_bytes;
     stats->mem.arena_live_nodes += a.live_nodes;
     stats->mem.arena_allocations += a.allocations;
     stats->mem.arena_slab_recycles += a.slab_recycles;
     stats->mem.arena_oversize_allocs += a.oversize_allocs;
+    const uint32_t ord =
+        std::min(plan.NodeOfJoiner(static_cast<uint32_t>(j)),
+                 plan.num_nodes - 1);
+    stats->numa_node_arena_bytes[ord] += a.reserved_bytes;
+    stats->numa_node_arena_live_nodes[ord] += a.live_nodes;
   }
   stats->mem.ebr_retired_backlog = ebr_.PendingCountAll();
+  stats->numa_cross_replications =
+      numa_cross_replications_.load(std::memory_order_relaxed);
+  stats->numa_cross_dispatches =
+      numa_cross_dispatches_.load(std::memory_order_relaxed);
 }
 
 void ScaleOijEngine::SampleMem(WatchdogSample* sample) const {
   // Watchdog/serving threads: only the relaxed-atomic gauges are touched.
-  for (const auto& arena : arenas_) {
-    const NodeArena::Stats a = arena->snapshot();
+  const PlacementPlan& plan = placement();
+  if (!arenas_.empty()) {
+    sample->per_node_arena_bytes.assign(plan.num_nodes, 0);
+    sample->per_node_arena_live_nodes.assign(plan.num_nodes, 0);
+  }
+  for (size_t j = 0; j < arenas_.size(); ++j) {
+    const NodeArena::Stats a = arenas_[j]->snapshot();
     sample->arena_bytes += a.reserved_bytes;
     sample->arena_live_nodes += a.live_nodes;
     sample->arena_slab_recycles += a.slab_recycles;
+    const uint32_t ord =
+        std::min(plan.NodeOfJoiner(static_cast<uint32_t>(j)),
+                 plan.num_nodes - 1);
+    sample->per_node_arena_bytes[ord] += a.reserved_bytes;
+    sample->per_node_arena_live_nodes[ord] += a.live_nodes;
   }
   sample->ebr_retired_backlog = ebr_.PendingCountAll();
+  sample->numa_cross_replications =
+      numa_cross_replications_.load(std::memory_order_relaxed);
+  sample->numa_cross_dispatches =
+      numa_cross_dispatches_.load(std::memory_order_relaxed);
 }
 
 }  // namespace oij

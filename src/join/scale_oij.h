@@ -208,6 +208,17 @@ class ScaleOijEngine : public ParallelEngineBase {
   uint64_t events_since_rebalance_ = 0;
   uint64_t rebalances_ = 0;
 
+  /// True when placement resolved more than one node: the rebalancer
+  /// runs socket-aware and the cross counters are live.
+  bool numa_topo_ = false;
+
+  /// Cross-socket scheduler activity (driver thread writes, admin
+  /// threads read — single-writer relaxed atomics): partition replicas
+  /// the rebalancer placed on a remote node, and round-robin dispatches
+  /// that left the team leader's node.
+  std::atomic<uint64_t> numa_cross_replications_{0};
+  std::atomic<uint64_t> numa_cross_dispatches_{0};
+
   std::vector<std::unique_ptr<JoinerState>> states_;
 
   /// Set (never cleared) once any joiner stored a late probe in its

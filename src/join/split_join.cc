@@ -181,6 +181,11 @@ void SplitJoinEngine::StopAuxiliary() {
 
 void SplitJoinEngine::CollectorMain() {
   SetCurrentThreadName("sj-collector");
+  if (placement().active && placement().aux_cpu >= 0) {
+    // The collector merges every joiner's partials; parking it on the
+    // placement plan's auxiliary CPU keeps it off the joiners' cores.
+    TryPinCurrentThreadTo(placement().aux_cpu);
+  }
   uint32_t done_count = 0;
   Backoff backoff;
   Partial partial;

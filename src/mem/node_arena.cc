@@ -3,6 +3,8 @@
 #include <cassert>
 #include <new>
 
+#include "topo/topology.h"
+
 namespace oij {
 
 namespace {
@@ -86,8 +88,7 @@ void* NodeArena::AcquireSlab() {
   if (slab != nullptr) {
     empty_ = slab->next;
   } else {
-    void* raw = ::operator new(kSlabBytes, std::align_val_t{kSlabBytes});
-    slab = new (raw) Slab();
+    slab = new (NewRawSlab()) Slab();
     all_slabs_.push_back(slab);
     Bump(reserved_bytes_, kSlabBytes);
   }
@@ -108,14 +109,27 @@ NodeArena::Slab* NodeArena::TakeSlab(uint32_t class_bytes) {
     empty_ = slab->next;
     slab->next = nullptr;
   } else {
-    void* raw = ::operator new(kSlabBytes, std::align_val_t{kSlabBytes});
-    slab = new (raw) Slab();
+    slab = new (NewRawSlab()) Slab();
     all_slabs_.push_back(slab);
     Bump(reserved_bytes_, kSlabBytes);
   }
   slab->class_bytes = class_bytes;
   LinkUsable(ClassIndex(class_bytes), slab);
   return slab;
+}
+
+void* NodeArena::NewRawSlab() {
+  void* raw = ::operator new(kSlabBytes, std::align_val_t{kSlabBytes});
+  if (numa_node_ >= 0) {
+    // Slabs are kSlabBytes-self-aligned, so the bind covers whole pages.
+    // Best-effort: on failure (no SYS_mbind, invalid node) the pages are
+    // placed by first touch — which is the owning joiner's pinned
+    // thread, landing them on the same node anyway.
+    if (TryBindMemoryToNode(raw, kSlabBytes, numa_node_)) {
+      Bump(numa_bound_slabs_, 1);
+    }
+  }
+  return raw;
 }
 
 void NodeArena::LinkUsable(size_t cls, Slab* slab) {
@@ -147,6 +161,7 @@ NodeArena::Stats NodeArena::snapshot() const {
   s.slab_recycles = slab_recycles_.load(std::memory_order_relaxed);
   s.oversize_allocs = oversize_allocs_.load(std::memory_order_relaxed);
   s.slab_loans = slab_loans_.load(std::memory_order_relaxed);
+  s.numa_bound_slabs = numa_bound_slabs_.load(std::memory_order_relaxed);
   return s;
 }
 

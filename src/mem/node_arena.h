@@ -53,6 +53,14 @@ class NodeArena {
   NodeArena(const NodeArena&) = delete;
   NodeArena& operator=(const NodeArena&) = delete;
 
+  /// Binds every *subsequently* allocated slab to OS NUMA node `node`
+  /// (best-effort mbind; -1 restores the default first-touch policy).
+  /// Engines call this at construction, before the owner thread exists,
+  /// so the joiner's time-travel index grows on its own socket. Slabs
+  /// already held keep their placement.
+  void SetNumaNode(int node) { numa_node_ = node; }
+  int numa_node() const { return numa_node_; }
+
   /// Returns 16-byte-aligned storage for `bytes` (owner thread only).
   void* Allocate(size_t bytes);
 
@@ -86,6 +94,7 @@ class NodeArena {
     uint64_t slab_recycles = 0;    ///< fully-dead slabs returned to pool
     uint64_t oversize_allocs = 0;  ///< requests above kMaxClassBytes
     uint64_t slab_loans = 0;       ///< cumulative AcquireSlab() calls
+    uint64_t numa_bound_slabs = 0;  ///< fresh slabs mbind succeeded on
   };
   Stats snapshot() const;
 
@@ -116,6 +125,7 @@ class NodeArena {
   }
 
   Slab* TakeSlab(uint32_t class_bytes);
+  void* NewRawSlab();
   void LinkUsable(size_t cls, Slab* slab);
   void UnlinkUsable(size_t cls, Slab* slab);
 
@@ -129,6 +139,10 @@ class NodeArena {
   std::atomic<uint64_t> slab_recycles_{0};
   std::atomic<uint64_t> oversize_allocs_{0};
   std::atomic<uint64_t> slab_loans_{0};
+  std::atomic<uint64_t> numa_bound_slabs_{0};
+
+  /// OS node fresh slabs are mbind-bound to; -1 = first-touch default.
+  int numa_node_ = -1;
 };
 
 }  // namespace oij

@@ -31,10 +31,41 @@ double Rebalancer::Unbalancedness(const std::vector<double>& workloads) {
 }
 
 std::shared_ptr<const Schedule> Rebalancer::Rebalance(
-    std::shared_ptr<const Schedule> current, LoadStats* stats) const {
+    std::shared_ptr<const Schedule> current, LoadStats* stats,
+    RebalanceTelemetry* telemetry) const {
   auto next = std::make_shared<Schedule>(*current);
   next->version = current->version + 1;
   bool changed = false;
+
+  const bool topo_aware = config_.joiner_node.size() == next->num_joiners;
+
+  // Step 3 of each move: replicate the hottest partition of j_max that
+  // actually improves the balance by more than δ when the replica lands
+  // on `target` (Alg. 3 lines 5-10, parameterized over the target).
+  const auto try_target = [&](uint32_t j_max, uint32_t target,
+                              double before) {
+    std::vector<uint32_t> candidates;
+    for (uint32_t p = 0; p < next->num_partitions(); ++p) {
+      const auto& team = next->teams[p];
+      if (std::find(team.begin(), team.end(), j_max) != team.end() &&
+          std::find(team.begin(), team.end(), target) == team.end()) {
+        candidates.push_back(p);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](uint32_t a, uint32_t b) {
+                return stats->count(a) > stats->count(b);
+              });
+    for (uint32_t p : candidates) {
+      auto& team = next->teams[p];
+      team.insert(std::upper_bound(team.begin(), team.end(), target),
+                  target);
+      const double after = Unbalancedness(JoinerWorkloads(*next, *stats));
+      if (before - after > config_.improvement_threshold) return true;
+      team.erase(std::find(team.begin(), team.end(), target));
+    }
+    return false;
+  };
 
   for (uint32_t move = 0; move < config_.max_moves; ++move) {
     const std::vector<double> w = JoinerWorkloads(*next, *stats);
@@ -49,35 +80,42 @@ std::shared_ptr<const Schedule> Rebalancer::Rebalance(
     }
     if (j_max == j_min) break;
 
-    // Step 2: partitions of J_max by descending load (the priority queue
-    // PQ of Alg. 3 line 5).
-    std::vector<uint32_t> candidates;
-    for (uint32_t p = 0; p < next->num_partitions(); ++p) {
-      const auto& team = next->teams[p];
-      if (std::find(team.begin(), team.end(), j_max) != team.end() &&
-          std::find(team.begin(), team.end(), j_min) == team.end()) {
-        candidates.push_back(p);
+    // Step 2: choose replication targets. Flat topology: the global
+    // least-loaded joiner, exactly the paper's Alg. 3. Topology-aware:
+    // the least-loaded joiner on j_max's own node first, falling back
+    // to the global one only when no same-node move clears δ —
+    // cross-socket replication is the last resort, not the default.
+    std::vector<uint32_t> targets;
+    if (topo_aware) {
+      const uint32_t home = config_.joiner_node[j_max];
+      uint32_t local = j_max;
+      for (uint32_t j = 0; j < next->num_joiners; ++j) {
+        if (j == j_max || config_.joiner_node[j] != home) continue;
+        if (local == j_max || w[j] < w[local]) local = j;
       }
+      if (local != j_max) targets.push_back(local);
+      if (j_min != j_max &&
+          (targets.empty() || targets.front() != j_min)) {
+        targets.push_back(j_min);
+      }
+    } else {
+      targets.push_back(j_min);
     }
-    std::sort(candidates.begin(), candidates.end(),
-              [&](uint32_t a, uint32_t b) {
-                return stats->count(a) > stats->count(b);
-              });
 
-    // Step 3: replicate the hottest candidate that actually improves the
-    // balance by more than δ (Alg. 3 lines 6-10).
     bool accepted = false;
-    for (uint32_t p : candidates) {
-      auto& team = next->teams[p];
-      team.insert(std::upper_bound(team.begin(), team.end(), j_min), j_min);
-      const double after =
-          Unbalancedness(JoinerWorkloads(*next, *stats));
-      if (before - after > config_.improvement_threshold) {
+    for (uint32_t target : targets) {
+      if (try_target(j_max, target, before)) {
         accepted = true;
         changed = true;
+        if (telemetry != nullptr) {
+          ++telemetry->moves;
+          if (topo_aware &&
+              config_.joiner_node[target] != config_.joiner_node[j_max]) {
+            ++telemetry->cross_node_moves;
+          }
+        }
         break;
       }
-      team.erase(std::find(team.begin(), team.end(), j_min));
     }
     // Step 4: stop when the schedule no longer changes (Alg. 3 line 11-12).
     if (!accepted) break;

@@ -24,6 +24,23 @@ struct RebalanceConfig {
   double decay = 0.5;
   /// Safety bound on greedy iterations per rebalance.
   uint32_t max_moves = 64;
+
+  /// NUMA node ordinal of each joiner (from the engine's placement
+  /// plan; empty = flat topology, the legacy behavior). When set,
+  /// replication prefers a target on the overloaded joiner's own node:
+  /// the least-loaded *same-node* joiner is tried first, and the global
+  /// least-loaded joiner is considered only when no same-node move
+  /// clears δ — i.e. cross-socket replication only once intra-socket
+  /// headroom is exhausted. Team probes of a replicated partition read
+  /// every member's index, so keeping teams socket-local is what keeps
+  /// the probe traffic socket-local.
+  std::vector<uint32_t> joiner_node;
+};
+
+/// What one Rebalance() call did (NUMA observability).
+struct RebalanceTelemetry {
+  uint64_t moves = 0;             ///< replications accepted
+  uint64_t cross_node_moves = 0;  ///< of those, onto a different node
 };
 
 class Rebalancer {
@@ -44,8 +61,11 @@ class Rebalancer {
 
   /// Runs Algorithm 3. Returns the improved schedule, or `current` itself
   /// (same pointer) when no move helps. Decays `stats` in place.
+  /// `telemetry` (optional) receives the accepted / cross-node move
+  /// counts of this call.
   std::shared_ptr<const Schedule> Rebalance(
-      std::shared_ptr<const Schedule> current, LoadStats* stats) const;
+      std::shared_ptr<const Schedule> current, LoadStats* stats,
+      RebalanceTelemetry* telemetry = nullptr) const;
 
   const RebalanceConfig& config() const { return config_; }
 

@@ -237,6 +237,43 @@ std::string RenderPrometheusMetrics(const AdminSnapshot& snap) {
             "Fully-dead slabs returned to the arena empty pool",
             static_cast<double>(snap.progress.arena_slab_recycles));
 
+  // NUMA placement (src/topo/). The node-count gauge always exports so
+  // dashboards can tell "flat machine" from "not scraping"; the per-node
+  // and per-joiner series appear only when a placement plan is active.
+  w.Gauge("oij_numa_nodes", "NUMA nodes the engine's placement plan spans",
+          static_cast<double>(snap.progress.numa_nodes));
+  w.Gauge("oij_numa_active",
+          "1 while joiners run pinned under a NUMA placement plan",
+          snap.progress.numa_active ? 1.0 : 0.0);
+  if (snap.progress.numa_active) {
+    for (size_t j = 0; j < snap.progress.numa_pin_cpus.size(); ++j) {
+      w.Gauge("oij_numa_joiner_cpu",
+              "CPU each joiner thread is pinned to (-1 = unpinned)",
+              static_cast<double>(snap.progress.numa_pin_cpus[j]),
+              {{"joiner", std::to_string(j)}});
+    }
+    for (size_t n = 0; n < snap.progress.per_node_arena_bytes.size(); ++n) {
+      w.Gauge("oij_numa_node_arena_bytes",
+              "Arena slab bytes reserved by joiners of each NUMA node",
+              static_cast<double>(snap.progress.per_node_arena_bytes[n]),
+              {{"node", std::to_string(n)}});
+    }
+    for (size_t n = 0;
+         n < snap.progress.per_node_arena_live_nodes.size(); ++n) {
+      w.Gauge("oij_numa_node_arena_live_nodes",
+              "Index nodes resident in each NUMA node's arenas",
+              static_cast<double>(
+                  snap.progress.per_node_arena_live_nodes[n]),
+              {{"node", std::to_string(n)}});
+    }
+    w.Counter("oij_numa_cross_replications_total",
+              "Partition replicas the rebalancer placed on a remote node",
+              static_cast<double>(snap.progress.numa_cross_replications));
+    w.Counter("oij_numa_cross_dispatches_total",
+              "Tuple dispatches routed off the partition leader's node",
+              static_cast<double>(snap.progress.numa_cross_dispatches));
+  }
+
   // Standing-query catalog (one sample set per query ever registered;
   // removed queries keep exporting with active=0 so their counters do
   // not vanish mid-scrape).
@@ -435,6 +472,37 @@ std::string RenderStatzJson(const AdminSnapshot& snap) {
   j.Key("arena_slab_recycles");
   j.Number(snap.progress.arena_slab_recycles);
   j.Close('}');
+  j.Key("numa");
+  j.Open('{');
+  j.Key("active");
+  j.Bool(snap.progress.numa_active);
+  j.Key("nodes");
+  j.Number(static_cast<uint64_t>(snap.progress.numa_nodes));
+  j.Key("pin_cpus");
+  j.Open('[');
+  for (int cpu : snap.progress.numa_pin_cpus) {
+    j.Number(static_cast<int64_t>(cpu));
+  }
+  j.Close(']');
+  j.Key("joiner_node");
+  j.Open('[');
+  for (uint32_t n : snap.progress.numa_joiner_node) {
+    j.Number(static_cast<uint64_t>(n));
+  }
+  j.Close(']');
+  j.Key("per_node_arena_bytes");
+  j.Open('[');
+  for (uint64_t v : snap.progress.per_node_arena_bytes) j.Number(v);
+  j.Close(']');
+  j.Key("per_node_arena_live_nodes");
+  j.Open('[');
+  for (uint64_t v : snap.progress.per_node_arena_live_nodes) j.Number(v);
+  j.Close(']');
+  j.Key("cross_replications");
+  j.Number(snap.progress.numa_cross_replications);
+  j.Key("cross_dispatches");
+  j.Number(snap.progress.numa_cross_dispatches);
+  j.Close('}');
   j.Close('}');
 
   if (!snap.queries.empty()) {
@@ -541,6 +609,25 @@ std::string RenderStatzJson(const AdminSnapshot& snap) {
     j.Number(st.mem.arena_slab_recycles);
     j.Key("ebr_retired_backlog");
     j.Number(st.mem.ebr_retired_backlog);
+    j.Close('}');
+    j.Key("numa");
+    j.Open('{');
+    j.Key("active");
+    j.Bool(st.numa_active);
+    j.Key("nodes");
+    j.Number(static_cast<uint64_t>(st.numa_nodes));
+    j.Key("per_node_arena_bytes");
+    j.Open('[');
+    for (uint64_t v : st.numa_node_arena_bytes) j.Number(v);
+    j.Close(']');
+    j.Key("per_node_arena_live_nodes");
+    j.Open('[');
+    for (uint64_t v : st.numa_node_arena_live_nodes) j.Number(v);
+    j.Close(']');
+    j.Key("cross_replications");
+    j.Number(st.numa_cross_replications);
+    j.Key("cross_dispatches");
+    j.Number(st.numa_cross_dispatches);
     j.Close('}');
     j.Key("warnings");
     j.Open('[');

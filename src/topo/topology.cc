@@ -1,0 +1,403 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <sys/stat.h>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "common/thread_util.h"
+
+namespace oij {
+
+std::string_view NumaModeName(NumaMode mode) {
+  switch (mode) {
+    case NumaMode::kAuto:
+      return "auto";
+    case NumaMode::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+Status NumaModeFromName(std::string_view name, NumaMode* out) {
+  if (name == "auto") {
+    *out = NumaMode::kAuto;
+    return Status::OK();
+  }
+  if (name == "off") {
+    *out = NumaMode::kOff;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("numa mode must be auto or off, got '" +
+                                 std::string(name) + "'");
+}
+
+Status ParseCpuList(std::string_view text, std::vector<int>* out) {
+  out->clear();
+  size_t pos = 0;
+  const auto skip_ws = [&] {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  const auto parse_int = [&](int* value) -> bool {
+    skip_ws();
+    if (pos >= text.size() ||
+        !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      return false;
+    }
+    long v = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      v = v * 10 + (text[pos] - '0');
+      if (v > 1'000'000) return false;  // no machine has a million CPUs
+      ++pos;
+    }
+    *value = static_cast<int>(v);
+    return true;
+  };
+
+  skip_ws();
+  while (pos < text.size()) {
+    int lo = 0;
+    if (!parse_int(&lo)) {
+      return Status::InvalidArgument("malformed cpulist: '" +
+                                     std::string(text) + "'");
+    }
+    int hi = lo;
+    skip_ws();
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      if (!parse_int(&hi) || hi < lo) {
+        return Status::InvalidArgument("malformed cpulist range: '" +
+                                       std::string(text) + "'");
+      }
+      if (hi - lo > 1'000'000) {
+        return Status::InvalidArgument("implausible cpulist range: '" +
+                                       std::string(text) + "'");
+      }
+    }
+    for (int c = lo; c <= hi; ++c) out->push_back(c);
+    skip_ws();
+    if (pos >= text.size()) break;
+    if (text[pos] != ',') {
+      return Status::InvalidArgument("malformed cpulist separator: '" +
+                                     std::string(text) + "'");
+    }
+    ++pos;
+    skip_ws();
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return Status::OK();
+}
+
+std::vector<int> CurrentAllowedCpus() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    std::vector<int> cpus;
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+      if (CPU_ISSET(c, &set)) cpus.push_back(c);
+    }
+    if (!cpus.empty()) return cpus;
+  }
+#endif
+  std::vector<int> cpus(static_cast<size_t>(std::max(1, NumCpus())));
+  std::iota(cpus.begin(), cpus.end(), 0);
+  return cpus;
+}
+
+namespace {
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return !in.bad();
+}
+
+bool DirExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// Node ids present under `root`: the `online` cpulist-format file when
+/// it parses, a directory probe otherwise (node ids may be sparse).
+std::vector<int> CandidateNodeIds(const std::string& root) {
+  std::string online;
+  if (ReadFileToString(root + "/online", &online)) {
+    std::vector<int> ids;
+    if (ParseCpuList(online, &ids).ok() && !ids.empty()) return ids;
+  }
+  std::vector<int> ids;
+  for (int i = 0; i < 256; ++i) {
+    if (DirExists(root + "/node" + std::to_string(i))) ids.push_back(i);
+  }
+  return ids;
+}
+
+}  // namespace
+
+Topology Topology::SingleNode(int num_cpus) {
+  Topology t;
+  TopologyNode node;
+  node.id = 0;
+  node.cpus.resize(static_cast<size_t>(std::max(1, num_cpus)));
+  std::iota(node.cpus.begin(), node.cpus.end(), 0);
+  t.nodes_.push_back(std::move(node));
+  return t;
+}
+
+Topology Topology::Detect() {
+  const char* fake = std::getenv("OIJ_FAKE_SYSFS");
+  if (fake != nullptr && fake[0] != '\0') {
+    // A fake tree defines the whole machine — no cpuset intersection, so
+    // a test's 2-node topology survives a 1-CPU host.
+    return DetectFrom(fake, {});
+  }
+  return DetectFrom("/sys/devices/system/node", CurrentAllowedCpus());
+}
+
+Topology Topology::DetectFrom(const std::string& root,
+                              const std::vector<int>& allowed_cpus) {
+  const auto fallback = [&]() {
+    Topology t;
+    TopologyNode node;
+    node.id = 0;
+    if (allowed_cpus.empty()) {
+      node.cpus.resize(static_cast<size_t>(std::max(1, NumCpus())));
+      std::iota(node.cpus.begin(), node.cpus.end(), 0);
+    } else {
+      node.cpus = allowed_cpus;
+    }
+    t.nodes_.push_back(std::move(node));
+    t.fallback_ = true;
+    return t;
+  };
+  if (root.empty()) return fallback();
+
+  const std::vector<int> ids = CandidateNodeIds(root);
+  if (ids.empty()) return fallback();
+
+  std::vector<TopologyNode> parsed;          // before cpuset filtering
+  std::vector<std::vector<int>> distances;   // per parsed node, may be empty
+  for (int id : ids) {
+    const std::string dir = root + "/node" + std::to_string(id);
+    std::string cpulist;
+    if (!ReadFileToString(dir + "/cpulist", &cpulist)) return fallback();
+    TopologyNode node;
+    node.id = id;
+    if (!ParseCpuList(cpulist, &node.cpus).ok()) return fallback();
+
+    std::vector<int> dist;
+    std::string dist_text;
+    if (ReadFileToString(dir + "/distance", &dist_text)) {
+      std::istringstream in(dist_text);
+      int d;
+      while (in >> d) dist.push_back(d);
+    }
+    parsed.push_back(std::move(node));
+    distances.push_back(std::move(dist));
+  }
+
+  Topology t;
+  std::vector<size_t> kept;  // index into `parsed` per kept node
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    TopologyNode node = parsed[i];
+    if (!allowed_cpus.empty()) {
+      std::vector<int> usable;
+      std::set_intersection(node.cpus.begin(), node.cpus.end(),
+                            allowed_cpus.begin(), allowed_cpus.end(),
+                            std::back_inserter(usable));
+      node.cpus = std::move(usable);
+    }
+    if (node.cpus.empty()) continue;  // offline / outside the cpuset
+    kept.push_back(i);
+    t.nodes_.push_back(std::move(node));
+  }
+  if (t.nodes_.empty()) return fallback();
+
+  // Distance hints are optional: keep them only when every kept node's
+  // file covers every kept position (entries follow candidate order).
+  bool have_distance = true;
+  for (size_t a = 0; a < kept.size() && have_distance; ++a) {
+    for (size_t b = 0; b < kept.size(); ++b) {
+      if (kept[b] >= distances[kept[a]].size()) {
+        have_distance = false;
+        break;
+      }
+    }
+  }
+  if (have_distance) {
+    t.distance_.resize(kept.size());
+    for (size_t a = 0; a < kept.size(); ++a) {
+      t.distance_[a].resize(kept.size());
+      for (size_t b = 0; b < kept.size(); ++b) {
+        t.distance_[a][b] = distances[kept[a]][kept[b]];
+      }
+    }
+  }
+  return t;
+}
+
+int Topology::num_cpus() const {
+  int n = 0;
+  for (const TopologyNode& node : nodes_) {
+    n += static_cast<int>(node.cpus.size());
+  }
+  return n;
+}
+
+int Topology::NodeOfCpu(int cpu) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (std::binary_search(nodes_[i].cpus.begin(), nodes_[i].cpus.end(),
+                           cpu)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int Topology::Distance(int a, int b) const {
+  if (a < 0 || b < 0 || static_cast<size_t>(a) >= distance_.size() ||
+      static_cast<size_t>(b) >= distance_.size()) {
+    return 0;
+  }
+  return distance_[static_cast<size_t>(a)][static_cast<size_t>(b)];
+}
+
+PlacementPlan PlanPlacement(const Topology& topo, uint32_t num_joiners,
+                            const NumaOptions& numa) {
+  PlacementPlan plan;
+  plan.joiner_cpu.assign(num_joiners, -1);
+  plan.joiner_node.assign(num_joiners, 0);
+  plan.flush_order.resize(num_joiners);
+  std::iota(plan.flush_order.begin(), plan.flush_order.end(), 0u);
+  for (const TopologyNode& node : topo.nodes()) {
+    plan.node_ids.push_back(node.id);
+  }
+  if (plan.node_ids.empty()) plan.node_ids.push_back(0);
+
+  if (numa.mode == NumaMode::kOff) return plan;
+
+  if (!numa.explicit_cpus.empty()) {
+    // Operator override: trust the map (Validate bounds it), derive node
+    // ordinals from the topology so stats grouping and the scheduler
+    // still see sockets. Forces placement active even on one node.
+    plan.active = true;
+    plan.num_nodes =
+        static_cast<uint32_t>(std::max<size_t>(1, topo.num_nodes()));
+    const size_t n =
+        std::min<size_t>(num_joiners, numa.explicit_cpus.size());
+    for (size_t j = 0; j < n; ++j) {
+      const int cpu = numa.explicit_cpus[j];
+      plan.joiner_cpu[j] = cpu;
+      const int ord = cpu >= 0 ? topo.NodeOfCpu(cpu) : -1;
+      plan.joiner_node[j] = ord >= 0 ? static_cast<uint32_t>(ord) : 0;
+      if (plan.aux_cpu < 0 && cpu >= 0) plan.aux_cpu = cpu;
+    }
+    std::stable_sort(plan.flush_order.begin(), plan.flush_order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return plan.joiner_node[a] < plan.joiner_node[b];
+                     });
+    return plan;
+  }
+
+  // Auto mode is a strict no-op on a flat machine: CI boxes and laptops
+  // must see zero behavior change from the default.
+  if (topo.single_node()) return plan;
+
+  plan.active = true;
+  plan.num_nodes = static_cast<uint32_t>(topo.num_nodes());
+
+  // Socket-sized teams: node ordinal i gets a joiner count proportional
+  // to its usable core share (largest-remainder apportionment, ties to
+  // the bigger node then the lower ordinal — deterministic), laid out as
+  // a contiguous joiner range so per-socket staging flushes are just the
+  // identity order.
+  const double total = static_cast<double>(std::max(1, topo.num_cpus()));
+  const size_t nn = topo.num_nodes();
+  std::vector<uint32_t> count(nn, 0);
+  std::vector<double> frac(nn, 0.0);
+  uint32_t assigned = 0;
+  for (size_t i = 0; i < nn; ++i) {
+    const double exact =
+        num_joiners * static_cast<double>(topo.nodes()[i].cpus.size()) /
+        total;
+    count[i] = static_cast<uint32_t>(exact);
+    frac[i] = exact - static_cast<double>(count[i]);
+    assigned += count[i];
+  }
+  std::vector<size_t> order(nn);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (frac[a] != frac[b]) return frac[a] > frac[b];
+    if (topo.nodes()[a].cpus.size() != topo.nodes()[b].cpus.size()) {
+      return topo.nodes()[a].cpus.size() > topo.nodes()[b].cpus.size();
+    }
+    return a < b;
+  });
+  for (size_t k = 0; assigned < num_joiners; k = (k + 1) % nn) {
+    ++count[order[k]];
+    ++assigned;
+  }
+
+  uint32_t next = 0;
+  for (size_t i = 0; i < nn; ++i) {
+    const std::vector<int>& cpus = topo.nodes()[i].cpus;
+    for (uint32_t k = 0; k < count[i]; ++k) {
+      plan.joiner_node[next] = static_cast<uint32_t>(i);
+      plan.joiner_cpu[next] = cpus[k % cpus.size()];
+      ++next;
+    }
+  }
+  plan.aux_cpu = topo.nodes()[0].cpus[0];
+  return plan;
+}
+
+bool TryBindMemoryToNode(void* addr, size_t len, int node) {
+#if defined(__linux__) && defined(SYS_mbind)
+  if (addr == nullptr || len == 0 || node < 0) return false;
+  constexpr unsigned long kMpolPreferred = 1;  // degrade, don't fail, OOM
+  constexpr size_t kMaskWords = 16;            // 1024 nodes
+  if (node >= static_cast<int>(kMaskWords * sizeof(unsigned long) * 8)) {
+    return false;
+  }
+  unsigned long mask[kMaskWords] = {0};
+  const size_t bits = sizeof(unsigned long) * 8;
+  mask[static_cast<size_t>(node) / bits] |=
+      1UL << (static_cast<size_t>(node) % bits);
+
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) return false;
+  const uintptr_t mask_down = ~static_cast<uintptr_t>(page - 1);
+  const uintptr_t start = reinterpret_cast<uintptr_t>(addr) & mask_down;
+  const uintptr_t end = reinterpret_cast<uintptr_t>(addr) + len;
+  const size_t span =
+      ((end - start) + static_cast<size_t>(page) - 1) &
+      static_cast<size_t>(mask_down);
+  return ::syscall(SYS_mbind, start, span, kMpolPreferred, mask,
+                   kMaskWords * bits + 1, 0UL) == 0;
+#else
+  (void)addr;
+  (void)len;
+  (void)node;
+  return false;
+#endif
+}
+
+}  // namespace oij

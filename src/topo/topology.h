@@ -1,0 +1,155 @@
+#ifndef OIJ_TOPO_TOPOLOGY_H_
+#define OIJ_TOPO_TOPOLOGY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oij {
+
+/// NUMA topology detection and joiner placement (DESIGN.md §5i).
+///
+/// The engines treat all cores as one flat pool unless this layer says
+/// otherwise: joiner threads float, slabs land wherever first touch puts
+/// them, and the dynamic balanced scheduler (paper Alg. 3) replicates hot
+/// partitions across sockets. On multi-socket machines cross-socket
+/// traffic — not core count — is what caps ordered stream joins (Prasaad
+/// et al., PAPERS.md), so placement groups joiners into socket-sized
+/// teams, pins them, binds their arenas node-locally, and biases
+/// replication toward same-socket targets.
+///
+/// Detection reads `node*/cpulist` under a sysfs-style root directory —
+/// `/sys/devices/system/node` on a real machine, or the directory named
+/// by the `OIJ_FAKE_SYSFS` environment variable (tests, forced-topology
+/// CI legs). Real detection intersects each node's CPU list with the
+/// process cpuset (`sched_getaffinity`), so a restrictive container
+/// cpuset shrinks or drops nodes; a fake root defines the whole machine
+/// and skips the intersection. Any parse failure degrades to a
+/// single-node fallback covering every allowed CPU — detection can make
+/// placement a no-op but never an error.
+
+/// How EngineOptions::numa drives placement.
+enum class NumaMode : uint8_t {
+  kAuto = 0,  ///< pin + bind when >1 node is detected; no-op otherwise
+  kOff,       ///< never pin or bind (flat pool, the pre-topology behavior)
+};
+
+std::string_view NumaModeName(NumaMode mode);
+Status NumaModeFromName(std::string_view name, NumaMode* out);
+
+/// NUMA placement knobs carried inside EngineOptions.
+struct NumaOptions {
+  NumaMode mode = NumaMode::kAuto;
+
+  /// Explicit joiner->cpu map (operator override / interleave benches).
+  /// When non-empty it must have one entry per joiner (Validate checks);
+  /// an entry of -1 leaves that joiner unpinned. An explicit map forces
+  /// placement active even on a single-node machine.
+  std::vector<int> explicit_cpus;
+};
+
+/// One NUMA node: its OS id and the usable CPUs on it (sorted).
+struct TopologyNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+class Topology {
+ public:
+  /// Detects the machine: sysfs root from OIJ_FAKE_SYSFS when set (the
+  /// fake tree defines the whole machine), `/sys/devices/system/node`
+  /// intersected with the process cpuset otherwise.
+  static Topology Detect();
+
+  /// Injectable detection (tests): parses `<root>/node*/cpulist`,
+  /// keeping only CPUs in `allowed_cpus` (empty = no restriction).
+  /// Nodes whose CPU list empties out (offline / outside the cpuset)
+  /// are dropped; malformed files or an empty result fall back to one
+  /// node holding every allowed CPU.
+  static Topology DetectFrom(const std::string& root,
+                             const std::vector<int>& allowed_cpus);
+
+  /// The explicit flat fallback: one node, CPUs 0..num_cpus-1.
+  static Topology SingleNode(int num_cpus);
+
+  const std::vector<TopologyNode>& nodes() const { return nodes_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  int num_cpus() const;
+  bool single_node() const { return nodes_.size() <= 1; }
+
+  /// Node *ordinal* (index into nodes()) owning `cpu`; -1 when unknown.
+  int NodeOfCpu(int cpu) const;
+
+  /// Relative distance hint between node ordinals (`node*/distance`,
+  /// ACPI SLIT units: 10 = local). 0 when the hint was unavailable.
+  int Distance(int a, int b) const;
+
+  /// True when detection failed and the single-node fallback was used.
+  bool fallback() const { return fallback_; }
+
+ private:
+  std::vector<TopologyNode> nodes_;
+  std::vector<std::vector<int>> distance_;  ///< [ordinal][ordinal], may be empty
+  bool fallback_ = false;
+};
+
+/// Parses a kernel cpulist ("0,2,4-6") into sorted unique CPU ids.
+Status ParseCpuList(std::string_view text, std::vector<int>* out);
+
+/// CPUs this process may run on (sched_getaffinity); falls back to
+/// 0..NumCpus()-1 when the syscall is unavailable.
+std::vector<int> CurrentAllowedCpus();
+
+/// The resolved per-joiner placement an engine runs with.
+struct PlacementPlan {
+  /// False = placement is a complete no-op (numa off, or auto on a
+  /// single-node machine): no pinning, no memory binding, flat flush
+  /// order, and the scheduler sees no topology.
+  bool active = false;
+
+  std::vector<int> joiner_cpu;        ///< per joiner; -1 = leave unpinned
+  std::vector<uint32_t> joiner_node;  ///< per joiner: node ordinal
+  std::vector<int> node_ids;          ///< ordinal -> OS node id (for mbind)
+  uint32_t num_nodes = 1;
+
+  /// Joiner ids grouped by node ordinal — the router flushes staged
+  /// batches in this order so one socket's rings are filled back-to-back
+  /// (per-queue FIFO is the only ordering contract, so regrouping
+  /// across joiners is semantics-free).
+  std::vector<uint32_t> flush_order;
+
+  /// CPU for auxiliary threads (SplitJoin's collector): first CPU of the
+  /// first node, or -1 when inactive.
+  int aux_cpu = -1;
+
+  uint32_t NodeOfJoiner(uint32_t joiner) const {
+    return joiner < joiner_node.size() ? joiner_node[joiner] : 0;
+  }
+  int OsNodeOfJoiner(uint32_t joiner) const {
+    const uint32_t ord = NodeOfJoiner(joiner);
+    return ord < node_ids.size() ? node_ids[ord] : -1;
+  }
+};
+
+/// Assigns joiners to socket-sized teams: contiguous joiner ranges per
+/// node, sized proportionally to each node's usable core count, CPUs
+/// round-robined within the node. `numa.explicit_cpus` overrides the
+/// topology-derived map; `kOff` (or auto on a single node) yields an
+/// inactive plan.
+PlacementPlan PlanPlacement(const Topology& topo, uint32_t num_joiners,
+                            const NumaOptions& numa);
+
+/// Best-effort `mbind(MPOL_PREFERRED)` of the pages spanning
+/// [addr, addr+len) to OS node `node`. Returns false — never an error —
+/// when the syscall is unavailable, the node is invalid, or the kernel
+/// refuses; the caller then relies on first-touch from the pinned
+/// thread, which lands the pages on the same node anyway.
+bool TryBindMemoryToNode(void* addr, size_t len, int node);
+
+}  // namespace oij
+
+#endif  // OIJ_TOPO_TOPOLOGY_H_

@@ -7,6 +7,8 @@
 //       per-joiner WAL, --fsync <none|interval|per_batch> picks the
 //       group-commit policy, --snapshot-every <n> snapshots the index
 //       every n records, --recover replays the WAL before ingesting.
+//       --numa <auto|off> controls NUMA placement (auto = pin joiner
+//       teams per socket when >1 node is detected).
 //   oij_cli config <preset>
 //       Print a preset as an editable workload config file.
 //   oij_cli trace-gen <workload.conf|preset> <out.trace[.csv]>
@@ -121,6 +123,14 @@ int CmdRun(int argc, char** argv) {
           static_cast<uint64_t>(std::atoll(v));
     } else if (flag == "--recover") {
       recover = true;
+    } else if (flag == "--numa") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      const Status ns = NumaModeFromName(v, &options.numa.mode);
+      if (!ns.ok()) {
+        std::fprintf(stderr, "%s\n", ns.ToString().c_str());
+        return 2;
+      }
     } else {
       pos.push_back(argv[i]);
     }
@@ -131,7 +141,7 @@ int CmdRun(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: oij_cli run <workload> <engine> [joiners] "
                  "[tuples] [batch] [--wal-dir <dir>] [--fsync <policy>] "
-                 "[--snapshot-every <n>] [--recover]\n");
+                 "[--snapshot-every <n>] [--recover] [--numa <auto|off>]\n");
     return 2;
   }
   WorkloadSpec workload;

@@ -30,6 +30,10 @@
 //                                  --fsync per_batch this is what lets a
 //                                  router replay the un-acked suffix
 //                                  exactly once after kill -9
+//     --numa <auto|off>            NUMA placement: auto (default) pins
+//                                  joiner teams per socket and binds
+//                                  arenas node-locally when >1 node is
+//                                  detected; off restores the flat pool
 //     --max-subscriber-backlog-mb <n>
 //                                  evict a subscriber whose un-flushed
 //                                  egress exceeds this (default 64)
@@ -75,6 +79,7 @@ int Usage() {
       "per_batch>]\n"
       "                  [--fsync-interval-us <n>] [--snapshot-every <n>]\n"
       "                  [--no-recover] [--recover-to-watermark]\n"
+      "                  [--numa <auto|off>]\n"
       "                  [--max-subscriber-backlog-mb <n>]\n");
   return 2;
 }
@@ -181,6 +186,14 @@ int main(int argc, char** argv) {
       if (v == nullptr || std::atoll(v) < 0) return Usage();
       config.options.durability.snapshot_interval_records =
           static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--numa") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      const Status s = NumaModeFromName(v, &config.options.numa.mode);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 2;
+      }
     } else if (flag == "--no-recover") {
       config.recover = false;
     } else if (flag == "--recover-to-watermark") {
